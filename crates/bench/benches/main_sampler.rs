@@ -1,0 +1,50 @@
+//! Criterion bench: the main sampler (E1's kernel) across n and engines.
+
+use cct_core::{CliqueTreeSampler, EngineChoice, SamplerConfig, WalkLength};
+use cct_graph::generators;
+use cct_sim::ALPHA;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench_main_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("main_sampler");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let p = (2.0 * (n as f64).ln() / n as f64).min(0.9);
+        let g = generators::erdos_renyi_connected(n, p, &mut seed_rng);
+        let sampler = CliqueTreeSampler::new(
+            SamplerConfig::new().engine(EngineChoice::FastOracle { alpha: ALPHA }),
+        );
+        group.bench_with_input(BenchmarkId::new("theorem1", n), &g, |b, g| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            b.iter(|| sampler.sample(g, &mut rng).unwrap());
+        });
+    }
+    // Exact variant at one size for comparison.
+    let g = generators::erdos_renyi_connected(32, 0.4, &mut rand::rngs::StdRng::seed_from_u64(1));
+    let exact = CliqueTreeSampler::new(SamplerConfig::exact_variant());
+    group.bench_with_input(BenchmarkId::new("exact_variant", 32), &g, |b, g| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        b.iter(|| exact.sample(g, &mut rng).unwrap());
+    });
+    // Direction 4 prototype (§1.4) at one size for comparison.
+    group.bench_with_input(BenchmarkId::new("direction4", 32), &g, |b, g| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        b.iter(|| cct_core::direction4_sample(g, 1.0, &mut rng).unwrap());
+    });
+    // Semiring engine (real data movement) at one size.
+    let sem = CliqueTreeSampler::new(
+        SamplerConfig::new()
+            .engine(EngineChoice::Semiring)
+            .walk_length(WalkLength::ScaledCubic { factor: 1.0 }),
+    );
+    group.bench_with_input(BenchmarkId::new("semiring_engine", 32), &g, |b, g| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        b.iter(|| sem.sample(g, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_main_sampler);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: weighted perfect-matching samplers (E9's kernel).
+
+use cct_matching::{ExactPermanentSampler, MatchingInstance, SwapChainSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_instance(values: usize, groups: usize, copies: usize, seed: u64) -> MatchingInstance {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let value_counts = vec![copies; values];
+    let total = values * copies;
+    let base = total / groups;
+    let mut group_sizes = vec![base; groups];
+    group_sizes[0] += total - base * groups;
+    let weights = (0..values)
+        .map(|_| (0..groups).map(|_| 0.1 + rng.gen::<f64>()).collect())
+        .collect();
+    MatchingInstance::new(value_counts, group_sizes, weights).unwrap()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(20);
+    // Exact permanent sampler on instances up to its limit.
+    for slots in [6usize, 10, 14] {
+        let inst = random_instance(slots / 2, 2, 2, slots as u64);
+        group.bench_with_input(BenchmarkId::new("exact_jvv", slots), &inst, |b, inst| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| ExactPermanentSampler.sample(inst, &mut rng).unwrap());
+        });
+    }
+    // Swap chain across sizes the exact sampler cannot touch.
+    for slots in [16usize, 64, 256] {
+        let inst = random_instance(slots / 4, 4, 4, slots as u64);
+        group.bench_with_input(BenchmarkId::new("swap_chain", slots), &inst, |b, inst| {
+            let sampler = SwapChainSampler { steps_per_slot: 64 };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| sampler.sample(inst, None, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

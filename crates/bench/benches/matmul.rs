@@ -1,0 +1,47 @@
+//! Criterion bench: distributed matrix multiplication engines (the
+//! dominant per-phase cost, Lemma 5).
+
+use cct_linalg::{normalize_rows, Matrix};
+use cct_sim::{Clique, FastOracleEngine, MatMulEngine, SemiringEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn random_stochastic(n: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>());
+    normalize_rows(&mut m);
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [64usize, 128, 216] {
+        let a = random_stochastic(n, 1);
+        let b_mat = random_stochastic(n, 2);
+        group.bench_with_input(BenchmarkId::new("local", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b_mat));
+        });
+        group.bench_with_input(BenchmarkId::new("local_4threads", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_parallel(&b_mat, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("fast_oracle", n), &n, |bench, _| {
+            let engine = FastOracleEngine::default();
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                engine.multiply(&mut clique, &a, &b_mat)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("semiring_simulated", n), &n, |bench, _| {
+            let engine = SemiringEngine::new(1);
+            bench.iter(|| {
+                let mut clique = Clique::new(n);
+                engine.multiply(&mut clique, &a, &b_mat)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

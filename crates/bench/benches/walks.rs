@@ -1,0 +1,41 @@
+//! Criterion bench: the sequential tree samplers and the top-down fill
+//! (baselines the distributed algorithm is measured against).
+
+use cct_graph::generators;
+use cct_linalg::powers_of_two;
+use cct_walks::{aldous_broder, top_down_walk, truncated_top_down_walk, wilson};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walks");
+    for n in [32usize, 128] {
+        let g = generators::erdos_renyi_connected(
+            n,
+            0.3,
+            &mut rand::rngs::StdRng::seed_from_u64(n as u64),
+        );
+        group.bench_with_input(BenchmarkId::new("aldous_broder", n), &g, |b, g| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| aldous_broder(g, 0, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("wilson", n), &g, |b, g| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            b.iter(|| wilson(g, 0, &mut rng).unwrap());
+        });
+        let table = powers_of_two(&g.transition_matrix(), 11, 1);
+        group.bench_with_input(BenchmarkId::new("top_down_walk_1024", n), &g, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| top_down_walk(&table, 0, 1024, &mut rng));
+        });
+        let rho = (n as f64).sqrt() as usize;
+        group.bench_with_input(BenchmarkId::new("truncated_top_down", n), &g, |b, _| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            b.iter(|| truncated_top_down_walk(&table, 0, 1024, rho, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

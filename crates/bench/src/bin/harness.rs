@@ -1,0 +1,54 @@
+//! The experiment harness: regenerates every table/series in
+//! DESIGN.md's experiment index.
+//!
+//! ```sh
+//! cargo run -p cct-bench --release --bin harness -- all [--quick]
+//! cargo run -p cct-bench --release --bin harness -- e1 e4 e6
+//! ```
+
+use cct_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = selected.is_empty() || selected.contains(&"all");
+
+    let experiments: Vec<(&str, fn(bool))> = vec![
+        ("e1", ex::e1),
+        ("e2", ex::e2),
+        ("e3", ex::e3),
+        ("e4", ex::e4),
+        ("e5", ex::e5),
+        ("e6", ex::e6),
+        ("e7", ex::e7),
+        ("e8", ex::e8),
+        ("e9", ex::e9),
+        ("e10", ex::e10),
+        ("e11", ex::e11),
+        ("e12", ex::e12),
+        ("e13", ex::e13),
+        ("e14", ex::e14),
+        ("e15", ex::e15),
+        ("e16", ex::e16),
+        ("aux", ex::failure_probe),
+    ];
+
+    println!(
+        "cct experiment harness — {} mode",
+        if quick { "quick" } else { "full" }
+    );
+    let started = std::time::Instant::now();
+    for (name, f) in &experiments {
+        if run_all || selected.contains(name) {
+            let t = std::time::Instant::now();
+            f(quick);
+            println!("[{name} done in {:.1?}]", t.elapsed());
+        }
+    }
+    println!("\nall selected experiments finished in {:.1?}", started.elapsed());
+}

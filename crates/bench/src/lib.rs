@@ -1,0 +1,22 @@
+//! # cct-bench
+//!
+//! The experiment harness regenerating every claim in DESIGN.md's
+//! experiment index (E1–E13). The paper (PODC 2025) is a theory paper
+//! with no measurement tables, so the "tables and figures" reproduced
+//! here are its theorems, lemmas, and worked examples; `EXPERIMENTS.md`
+//! records claimed-vs-measured for each.
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run -p cct-bench --release --bin harness -- all
+//! ```
+//!
+//! or a single experiment (`e1` … `e13`, `aux`), with `--quick` for the
+//! reduced-size sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod util;

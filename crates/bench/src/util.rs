@@ -1,0 +1,89 @@
+//! Shared experiment utilities: log–log exponent fits and table output.
+
+/// Least-squares slope of `log y` against `log x` — the empirical
+/// exponent `b` in `y ≈ a·x^b`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is
+/// non-positive.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "coordinates must be positive");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Prints a section banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{id}: {claim}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Runs `f` over `items` on `threads` scoped worker threads, preserving
+/// input order in the output. Each item gets an independent seed, so
+/// parallelism never changes results.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<U>> = items.iter().map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let f = &f;
+    let slot_refs = std::sync::Mutex::new(&mut slots);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                match item {
+                    Some((idx, t)) => {
+                        let u = f(t);
+                        slot_refs.lock().expect("slot lock")[idx] = Some(u);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (i * 10) as f64;
+            (x, 3.0 * x.powf(1.7))
+        }).collect();
+        assert!((loglog_slope(&pts) - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect::<Vec<_>>(), 4, |x| x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+}

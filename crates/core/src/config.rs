@@ -1,0 +1,317 @@
+//! Configuration for the phase-based Congested Clique spanning-tree
+//! sampler.
+//!
+//! The defaults reproduce Theorem 1's setting: `ρ = ⌊√n⌋`,
+//! `ℓ = ` smallest power of two `≥ log₂(4√n/ε)·n³`, Monte Carlo
+//! semantics, matching-based midpoint placement, and the fast-matmul
+//! oracle with `α = 0.157`. [`SamplerConfig::exact_variant`] switches to
+//! the Appendix §5 setting (`ρ = ⌊n^{1/3}⌋`, Las Vegas, per-pair shuffle
+//! placement).
+
+use cct_linalg::FixedPoint;
+use cct_sim::ALPHA;
+
+/// How the target walk length `ℓ` is chosen per phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalkLength {
+    /// The paper's choice (§2.1): the smallest power of two at least
+    /// `log₂(4√n/ε) · n³`, with `ε = 1/n^c` given by `epsilon`.
+    Paper {
+        /// Total-variation budget `ε` of Theorem 1.
+        epsilon: f64,
+    },
+    /// A fixed power of two (tests and experiments).
+    Fixed(u64),
+    /// The smallest power of two at least `factor · n³`.
+    ScaledCubic {
+        /// Multiplier on `n³`.
+        factor: f64,
+    },
+}
+
+impl WalkLength {
+    /// Resolves the target length for an `n`-vertex input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy yields a length below 2 or overflowing `u64`,
+    /// or `Fixed` is not a power of two.
+    pub fn resolve(&self, n: usize) -> u64 {
+        let raw = match *self {
+            WalkLength::Paper { epsilon } => {
+                assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+                let n = n as f64;
+                (4.0 * n.sqrt() / epsilon).log2().max(1.0) * n.powi(3)
+            }
+            WalkLength::Fixed(l) => {
+                assert!(l >= 2 && l.is_power_of_two(), "Fixed length must be a power of two ≥ 2");
+                return l;
+            }
+            WalkLength::ScaledCubic { factor } => {
+                assert!(factor > 0.0, "factor must be positive");
+                factor * (n as f64).powi(3)
+            }
+        };
+        assert!(raw.is_finite() && raw < 2.0f64.powi(62), "walk length overflows");
+        ((raw.max(2.0)).ceil() as u64).next_power_of_two()
+    }
+}
+
+/// Monte Carlo (Theorem 1) vs. Las Vegas (Appendix §5.1) semantics when a
+/// phase's `ℓ`-length walk fails to visit `ρ` distinct vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Output an arbitrary spanning tree and flag the failure (happens
+    /// with probability ≤ ε by the choice of `ℓ`).
+    MonteCarlo,
+    /// Double `ℓ`, sample a fresh endpoint from the current end, and
+    /// keep walking until the budget is met.
+    LasVegas,
+}
+
+/// How the leader places the collected midpoints (§2.1.3 vs. §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// §2.1.3: collect the *multiset* of midpoints and re-sample their
+    /// positions via a weighted perfect matching (exact permanent sampler
+    /// below [`cct_matching::MAX_EXACT_SLOTS`] slots, Metropolis swap
+    /// chain above it).
+    Matching,
+    /// Appendix §5.3: collect each start–end pair's own multiset and
+    /// place it via a uniform within-pair permutation (error-free).
+    PerPairShuffle,
+    /// Infinite-bandwidth reference: use the midpoint sequences `Π_{p,q}`
+    /// directly. Exists to test Lemmas 3–4 (experiment E8); charges the
+    /// bandwidth a real network could not afford.
+    Oracle,
+}
+
+/// Which distributed matrix-multiplication engine the phases use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineChoice {
+    /// The `O(n^α)` algebraic-algorithm cost oracle (paper's setting).
+    FastOracle {
+        /// Exponent (default [`cct_sim::ALPHA`] = 0.157).
+        alpha: f64,
+    },
+    /// The real `O(n^{1/3})` semiring implementation (slower but fully
+    /// simulated data movement).
+    Semiring,
+    /// One round per multiply (protocol-logic tests).
+    UnitCost,
+}
+
+/// How Schur/shortcut matrices are computed numerically (round charges
+/// always follow the paper's iterated-squaring count — see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchurComputation {
+    /// Exact fundamental-matrix solve (default; fast and numerically
+    /// clean — validated against squaring in `cct-schur`).
+    ExactSolve,
+    /// The paper's iterated squaring of the absorbing chain, run for
+    /// real, stopping at transient mass `tol`.
+    IteratedSquaring {
+        /// Convergence tolerance on the residual transient mass.
+        tol: f64,
+    },
+}
+
+/// Numeric precision of the transition-matrix pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Precision {
+    /// Plain `f64` (default; §2.5 precision effects off).
+    Float64,
+    /// Fixed-point truncation after every squaring, per Lemma 7.
+    Fixed(FixedPoint),
+}
+
+/// Full sampler configuration. Construct with [`SamplerConfig::new`] /
+/// [`SamplerConfig::exact_variant`] and adjust with the builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use cct_core::{Placement, SamplerConfig, WalkLength};
+///
+/// let config = SamplerConfig::new()
+///     .walk_length(WalkLength::Fixed(1 << 12))
+///     .placement(Placement::Matching);
+/// assert_eq!(config.resolve_rho(64), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplerConfig {
+    /// Distinct-vertex budget per phase; `None` = `⌊√n⌋` (Theorem 1).
+    pub rho: Option<usize>,
+    /// Exact-variant flag: `ρ = ⌊n^{1/3}⌋` when `rho` is `None`.
+    pub cube_root_rho: bool,
+    /// Walk-length policy.
+    pub walk_length: WalkLength,
+    /// Failure semantics.
+    pub variant: Variant,
+    /// Midpoint placement strategy.
+    pub placement: Placement,
+    /// Matrix-multiplication engine.
+    pub engine: EngineChoice,
+    /// Schur/shortcut numeric route.
+    pub schur: SchurComputation,
+    /// Precision model.
+    pub precision: Precision,
+    /// Local-compute threads for matrix work.
+    pub threads: usize,
+    /// Swap-chain steps per slot for large matching instances.
+    pub swap_steps_per_slot: usize,
+    /// Hard cap on materialized partial-walk entries (safety net; the
+    /// degenerate bipartite cases fall back to local simulation first).
+    pub max_grid_len: usize,
+}
+
+impl SamplerConfig {
+    /// Theorem 1 defaults.
+    pub fn new() -> Self {
+        SamplerConfig {
+            rho: None,
+            cube_root_rho: false,
+            walk_length: WalkLength::Paper { epsilon: 1e-2 },
+            variant: Variant::MonteCarlo,
+            placement: Placement::Matching,
+            engine: EngineChoice::FastOracle { alpha: ALPHA },
+            schur: SchurComputation::ExactSolve,
+            precision: Precision::Float64,
+            threads: 1,
+            swap_steps_per_slot: 64,
+            max_grid_len: 8_000_000,
+        }
+    }
+
+    /// Appendix §5 defaults: exact sampling (`ρ = ⌊n^{1/3}⌋`, Las Vegas
+    /// restarts, error-free per-pair placement).
+    pub fn exact_variant() -> Self {
+        SamplerConfig {
+            cube_root_rho: true,
+            variant: Variant::LasVegas,
+            placement: Placement::PerPairShuffle,
+            ..SamplerConfig::new()
+        }
+    }
+
+    /// Overrides the per-phase distinct-vertex budget.
+    pub fn rho(mut self, rho: usize) -> Self {
+        assert!(rho >= 2, "rho must be at least 2");
+        self.rho = Some(rho);
+        self
+    }
+
+    /// Sets the walk-length policy.
+    pub fn walk_length(mut self, w: WalkLength) -> Self {
+        self.walk_length = w;
+        self
+    }
+
+    /// Sets the failure semantics.
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the placement strategy.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Sets the matmul engine.
+    pub fn engine(mut self, e: EngineChoice) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Sets the Schur computation route.
+    pub fn schur(mut self, s: SchurComputation) -> Self {
+        self.schur = s;
+        self
+    }
+
+    /// Sets the precision model.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Sets local-compute threads.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// The phase budget for an `n`-vertex graph: the override, else
+    /// `⌊n^{1/3}⌋` (exact variant) or `⌊√n⌋`, floored at 2.
+    pub fn resolve_rho(&self, n: usize) -> usize {
+        let base = match self.rho {
+            Some(r) => r,
+            None if self.cube_root_rho => (n as f64).cbrt().floor() as usize,
+            None => (n as f64).sqrt().floor() as usize,
+        };
+        base.max(2)
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_length_paper_scales_cubically() {
+        let w = WalkLength::Paper { epsilon: 0.01 };
+        let l64 = w.resolve(64);
+        let l128 = w.resolve(128);
+        assert!(l64.is_power_of_two() && l128.is_power_of_two());
+        assert!(l64 >= 64u64.pow(3));
+        // Doubling n multiplies ℓ by ~8 (power-of-two rounding allows 4–16).
+        assert!(l128 / l64 >= 4 && l128 / l64 <= 32);
+    }
+
+    #[test]
+    fn walk_length_fixed_passthrough() {
+        assert_eq!(WalkLength::Fixed(1024).resolve(99), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn walk_length_fixed_rejects_non_power() {
+        let _ = WalkLength::Fixed(1000).resolve(10);
+    }
+
+    #[test]
+    fn rho_resolution() {
+        let c = SamplerConfig::new();
+        assert_eq!(c.resolve_rho(64), 8);
+        assert_eq!(c.resolve_rho(100), 10);
+        assert_eq!(c.resolve_rho(3), 2); // floor at 2
+        let e = SamplerConfig::exact_variant();
+        assert_eq!(e.resolve_rho(64), 4);
+        assert_eq!(e.resolve_rho(1000), 10);
+        let o = SamplerConfig::new().rho(5);
+        assert_eq!(o.resolve_rho(1000), 5);
+    }
+
+    #[test]
+    fn exact_variant_presets() {
+        let e = SamplerConfig::exact_variant();
+        assert_eq!(e.variant, Variant::LasVegas);
+        assert_eq!(e.placement, Placement::PerPairShuffle);
+        assert!(e.cube_root_rho);
+    }
+
+    #[test]
+    fn scaled_cubic_resolves() {
+        let w = WalkLength::ScaledCubic { factor: 2.0 };
+        let l = w.resolve(8);
+        assert!(l >= 1024 && l.is_power_of_two());
+    }
+}

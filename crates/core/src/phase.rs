@@ -1,0 +1,834 @@
+//! One phase of the distributed sampler (Outline 3): the top-down
+//! truncated walk on the phase graph, built level by level with
+//! distributed midpoint generation (Algorithm 2), distributed binary
+//! search for the truncation point (Algorithm 3), and matching-based
+//! midpoint placement (§2.1.3 / Lemma 3).
+//!
+//! Vertices are handled in **global** id space throughout: the phase
+//! transition matrix is the `n × n` padded block matrix
+//! `diag(Schur(G,S) transition, I)`, whose powers restrict to the Schur
+//! block, so grid entries, midpoints, and first-visit bookkeeping never
+//! need local reindexing.
+
+use crate::config::{Placement, SamplerConfig, Variant};
+use crate::report::PhaseMethod;
+use cct_linalg::{sample_index, Matrix};
+use cct_matching::{
+    sample_per_group_shuffle, Assignment, ExactPermanentSampler, MatchingInstance,
+    SwapChainSampler, MAX_EXACT_SLOTS,
+};
+use cct_schur::VertexSubset;
+use cct_sim::{Clique, CostCategory, MatMulEngine};
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// Error surfaced by the phase machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseError {
+    /// A conditional distribution had no support — inconsistent power
+    /// table (can only happen with extreme fixed-point truncation).
+    DegenerateDistribution,
+    /// The materialized partial walk exceeded the configured cap (the
+    /// caller falls back to leader-local simulation).
+    GridCapExceeded,
+}
+
+impl std::fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhaseError::DegenerateDistribution => {
+                write!(f, "midpoint distribution lost all support (precision too low)")
+            }
+            PhaseError::GridCapExceeded => write!(f, "partial walk exceeded the grid cap"),
+        }
+    }
+}
+
+impl std::error::Error for PhaseError {}
+
+/// What a phase walk produced.
+#[derive(Debug, Clone)]
+pub(crate) struct PhaseWalkResult {
+    /// `(v, prev)` for each newly visited vertex, chronological, global
+    /// ids. `prev` is the walk vertex immediately before `v`'s first
+    /// visit (Algorithm 4's `W[i−1]`).
+    pub first_visits: Vec<(usize, usize)>,
+    /// Final vertex of the phase walk.
+    pub last: usize,
+    /// Steps taken.
+    pub tau: u64,
+    /// Distinct vertices in the phase walk.
+    pub distinct: usize,
+    /// Whether the `ρ` budget was met.
+    pub reached: bool,
+    /// Las Vegas extensions used.
+    pub extensions: u32,
+    /// Final target length after extensions.
+    pub ell_final: u64,
+    /// Words a verbatim `Π` shipment would have cost the leader (E12).
+    pub pi_words: u64,
+    /// Words actually received for placement.
+    pub placement_words: u64,
+    /// Which machinery generated the walk.
+    pub method: PhaseMethod,
+}
+
+impl PhaseWalkResult {
+    fn from_walk(
+        walk: &[usize],
+        rho: usize,
+        extensions: u32,
+        ell_final: u64,
+        pi_words: u64,
+        placement_words: u64,
+        method: PhaseMethod,
+    ) -> Self {
+        let mut seen = HashSet::new();
+        let mut first_visits = Vec::new();
+        seen.insert(walk[0]);
+        for w in walk.windows(2) {
+            if seen.insert(w[1]) {
+                first_visits.push((w[1], w[0]));
+            }
+        }
+        PhaseWalkResult {
+            first_visits,
+            last: *walk.last().expect("non-empty walk"),
+            tau: (walk.len() - 1) as u64,
+            distinct: seen.len(),
+            reached: seen.len() >= rho,
+            extensions,
+            ell_final,
+            pi_words,
+            placement_words,
+            method,
+        }
+    }
+}
+
+/// Leader-local walk generation after collecting the `|S| × |S|`
+/// transition matrix — used when `|S| ≤ ρ` (final phases; the matrix fits
+/// in the same `O(1)`-round budget as the paper's submatrix collection)
+/// and as the fallback for degenerate bipartite phase graphs.
+pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
+    clique: &mut Clique,
+    t0: &Matrix,
+    s: &VertexSubset,
+    start: usize,
+    rho: usize,
+    ell: u64,
+    variant: Variant,
+    rng: &mut R,
+) -> Result<PhaseWalkResult, PhaseError> {
+    let n = clique.n();
+    // Leader collects the S-block of the transition matrix.
+    let words = (s.len() * s.len()) as u64;
+    clique
+        .ledger_mut()
+        .charge(CostCategory::Gather, Clique::rounds_for_load(n, words));
+    clique.ledger_mut().add_words(CostCategory::Gather, words);
+
+    let mut walk = vec![start];
+    let mut seen = HashSet::new();
+    seen.insert(start);
+    let mut cur = start;
+    let mut extensions = 0u32;
+    let mut budget = ell;
+    while seen.len() < rho {
+        if walk.len() as u64 > budget {
+            match variant {
+                Variant::MonteCarlo => break,
+                Variant::LasVegas => {
+                    budget = budget.saturating_mul(2);
+                    extensions += 1;
+                }
+            }
+        }
+        let next =
+            sample_index(rng, t0.row(cur)).ok_or(PhaseError::DegenerateDistribution)?;
+        walk.push(next);
+        seen.insert(next);
+        cur = next;
+    }
+    Ok(PhaseWalkResult::from_walk(
+        &walk,
+        rho,
+        extensions,
+        budget,
+        0,
+        words,
+        PhaseMethod::DirectLocal,
+    ))
+}
+
+/// Returns `true` if the phase graph restricted to `S` is bipartite with
+/// the start vertex's side smaller than `rho` — the degenerate case where
+/// the even-granularity levels of the top-down filling can never reach
+/// the distinct-vertex budget and the partial walk would balloon.
+pub(crate) fn is_degenerate_bipartite(
+    t0: &Matrix,
+    s: &VertexSubset,
+    start: usize,
+    rho: usize,
+) -> bool {
+    let n = t0.rows();
+    let mut color = vec![u8::MAX; n];
+    color[start] = 0;
+    let mut stack = vec![start];
+    let mut side0 = 1usize;
+    while let Some(u) = stack.pop() {
+        for v in 0..n {
+            if !s.contains(v) || (t0[(u, v)] <= 1e-15 && t0[(v, u)] <= 1e-15) {
+                continue;
+            }
+            if color[v] == u8::MAX {
+                color[v] = 1 - color[u];
+                if color[v] == 0 {
+                    side0 += 1;
+                }
+                stack.push(v);
+            } else if color[v] == color[u] {
+                return false; // odd cycle: not bipartite
+            }
+        }
+    }
+    side0 < rho
+}
+
+/// The full distributed top-down truncated walk (Outline 3, steps 4–5),
+/// including Las Vegas extensions. `powers[k]` must hold the padded
+/// `T^{2^k}` for `k = 0 ..= log₂ ell`; the table is extended (through the
+/// engine, charging rounds) when Las Vegas doubles `ℓ`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_down_phase<R: Rng + ?Sized>(
+    clique: &mut Clique,
+    engine: &dyn MatMulEngine,
+    powers: &mut Vec<Matrix>,
+    s: &VertexSubset,
+    start: usize,
+    rho: usize,
+    ell0: u64,
+    config: &SamplerConfig,
+    rng: &mut R,
+) -> Result<PhaseWalkResult, PhaseError> {
+    let mut preseen: HashSet<usize> = HashSet::new();
+    let mut walk: Vec<usize> = Vec::new();
+    let mut seg_start = start;
+    let mut ell = ell0;
+    let mut extensions = 0u32;
+    let mut pi_words = 0u64;
+    let mut placement_words = 0u64;
+    loop {
+        let seg = run_segment(
+            clique,
+            powers,
+            s,
+            seg_start,
+            rho,
+            ell,
+            &preseen,
+            config,
+            rng,
+            &mut pi_words,
+            &mut placement_words,
+        )?;
+        if walk.is_empty() {
+            walk.extend_from_slice(&seg);
+        } else {
+            debug_assert_eq!(walk.last(), seg.first());
+            walk.extend_from_slice(&seg[1..]);
+        }
+        preseen.extend(walk.iter().copied());
+        if preseen.len() >= rho {
+            break;
+        }
+        match config.variant {
+            Variant::MonteCarlo => break,
+            Variant::LasVegas => {
+                // Appendix §5.1: double ℓ, sample a fresh endpoint from
+                // the current end, continue the walk.
+                seg_start = *walk.last().expect("non-empty");
+                ell = ell.saturating_mul(2);
+                extensions += 1;
+                // Extend the power table by one squaring (charged).
+                let last = powers.last().expect("non-empty table");
+                let sq = engine.multiply(clique, last, last);
+                powers.push(match config.precision {
+                    crate::config::Precision::Fixed(fp) => fp.truncate_matrix(&sq),
+                    crate::config::Precision::Float64 => sq,
+                });
+            }
+        }
+    }
+    Ok(PhaseWalkResult::from_walk(
+        &walk,
+        rho,
+        extensions,
+        ell,
+        pi_words,
+        placement_words,
+        PhaseMethod::TopDown,
+    ))
+}
+
+/// Runs one target-length-`ell` segment of the top-down truncated walk,
+/// returning the contiguous walk vertices (global ids).
+#[allow(clippy::too_many_arguments)]
+fn run_segment<R: Rng + ?Sized>(
+    clique: &mut Clique,
+    powers: &[Matrix],
+    s: &VertexSubset,
+    start: usize,
+    rho: usize,
+    ell: u64,
+    preseen: &HashSet<usize>,
+    config: &SamplerConfig,
+    rng: &mut R,
+    pi_words: &mut u64,
+    placement_words: &mut u64,
+) -> Result<Vec<usize>, PhaseError> {
+    assert!(ell >= 2 && ell.is_power_of_two(), "ell must be a power of two ≥ 2");
+    let levels = ell.trailing_zeros() as usize;
+    assert!(powers.len() > levels, "power table too short");
+    let n = clique.n();
+
+    // Step 4 of Outline 3: the leader samples W[ℓ] from T^ℓ[start, ·].
+    let endpoint = sample_index(rng, powers[levels].row(start))
+        .ok_or(PhaseError::DegenerateDistribution)?;
+    let mut grid: Vec<usize> = vec![start, endpoint];
+
+    for level in 1..=levels {
+        if grid.len() * 2 > config.max_grid_len {
+            return Err(PhaseError::GridCapExceeded);
+        }
+        let th = &powers[levels - level]; // T^{δ/2}, δ = ell / 2^{level-1}
+
+        // ── Algorithm 2: midpoint requests and generation. The leader
+        // counts pair occurrences, designates machines M_{p,q} (at most
+        // ρ² ≤ n distinct pairs since the partial walk has ≤ ρ distinct
+        // vertices), and each M_{p,q} samples its sequence Π_{p,q} from
+        // the distribution (T^{δ/2}[p,j]·T^{δ/2}[j,q])_j it acquires from
+        // the row/column owners.
+        let mut pair_ids: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut pair_of: Vec<usize> = Vec::with_capacity(grid.len() - 1);
+        for w in grid.windows(2) {
+            let key = (w[0], w[1]);
+            let next_id = pair_ids.len();
+            let id = *pair_ids.entry(key).or_insert(next_id);
+            pair_of.push(id);
+        }
+        let pairs: Vec<(usize, usize)> = {
+            let mut v: Vec<((usize, usize), usize)> =
+                pair_ids.iter().map(|(&k, &id)| (k, id)).collect();
+            v.sort_by_key(|&(_, id)| id);
+            v.into_iter().map(|(k, _)| k).collect()
+        };
+        let num_pairs = pairs.len();
+        // Leader scatters (p, q, c_{p,q}) requests: ≤ n words out of the
+        // leader, one in per machine — 1 round by Lenzen routing.
+        clique.ledger_mut().charge(
+            CostCategory::Midpoints,
+            Clique::rounds_for_load(n, 3 * num_pairs as u64),
+        );
+        clique
+            .ledger_mut()
+            .add_words(CostCategory::Midpoints, 3 * num_pairs as u64);
+        // Each machine j sends T^{δ/2}[p,j]·T^{δ/2}[j,q] to M_{p,q} for
+        // every pair: each machine sends ≤ num_pairs ≤ n words and each
+        // M_{p,q} receives n — one round of Lenzen routing.
+        clique.ledger_mut().charge(
+            CostCategory::Midpoints,
+            Clique::rounds_for_load(n, (num_pairs.max(n)) as u64),
+        );
+        clique
+            .ledger_mut()
+            .add_words(CostCategory::Midpoints, (num_pairs * n) as u64);
+
+        // Generation: Π_{p,q} per pair, in pair-id order (machine-local
+        // sampling; the shared RNG is fine because draws are independent).
+        let mut pair_counts = vec![0usize; num_pairs];
+        for &id in &pair_of {
+            pair_counts[id] += 1;
+        }
+        let mut sequences: Vec<Vec<usize>> = Vec::with_capacity(num_pairs);
+        for (id, &(p, q)) in pairs.iter().enumerate() {
+            let weights: Vec<f64> = s
+                .list()
+                .iter()
+                .map(|&j| th[(p, j)] * th[(j, q)])
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if !(total > 0.0) {
+                return Err(PhaseError::DegenerateDistribution);
+            }
+            let mut seq = Vec::with_capacity(pair_counts[id]);
+            for _ in 0..pair_counts[id] {
+                let k = sample_index(rng, &weights).expect("positive total");
+                seq.push(s.list()[k]);
+            }
+            sequences.push(seq);
+        }
+        // Chronological midpoint values ("true" walk W⁺).
+        let mut occ_so_far = vec![0usize; num_pairs];
+        let mids: Vec<usize> = pair_of
+            .iter()
+            .map(|&id| {
+                let v = sequences[id][occ_so_far[id]];
+                occ_so_far[id] += 1;
+                v
+            })
+            .collect();
+        *pi_words += mids.len() as u64;
+
+        // ── Algorithm 3: distributed binary search for the truncation
+        // point over the merged index space (even = old entries, odd =
+        // new midpoints).
+        let merged_len = grid.len() + mids.len();
+        let merged = |k: usize| -> usize {
+            if k % 2 == 0 {
+                grid[k / 2]
+            } else {
+                mids[(k - 1) / 2]
+            }
+        };
+        let check = |t: usize| -> bool {
+            // Dist: distinct vertices of preseen ∪ merged[0..=t]; the
+            // prefix is truncatable iff Dist < ρ, or Dist == ρ with the
+            // final vertex being the ρ-th distinct vertex's first
+            // occurrence.
+            let mut seen: HashSet<usize> = preseen.clone();
+            let mut last_count = 0usize;
+            let last = merged(t);
+            for k in 0..=t {
+                let v = merged(k);
+                seen.insert(v);
+                if v == last {
+                    last_count += 1;
+                }
+                if seen.len() > rho {
+                    return false;
+                }
+            }
+            seen.len() < rho || (!preseen.contains(&last) && last_count == 1)
+        };
+        // check(0) always holds (Dist ≤ |preseen| + 1 ≤ ρ since the phase
+        // continues only while the budget is unmet).
+        let mut lo = 0usize;
+        let mut hi = merged_len - 1;
+        let mut checks = 0u64;
+        if check(hi) {
+            lo = hi;
+            checks += 1;
+        } else {
+            checks += 1;
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if check(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+                checks += 1;
+            }
+        }
+        let t_star = lo;
+        // Each CheckTruncationPoint costs O(1) rounds: leader scatters
+        // c_{p,q}(ℓ′) (1), pair machines send per-vertex counts (1),
+        // vertex machines aggregate to the leader (1), plus the W⁺[ℓ′]
+        // lookup (1).
+        clique.ledger_mut().charge(CostCategory::BinarySearch, 4 * checks);
+        clique.ledger_mut().add_words(
+            CostCategory::BinarySearch,
+            checks * (num_pairs as u64 * (n as u64 + 1) + n as u64),
+        );
+
+        // ── Midpoint placement (§2.1.3 / §5.3 / oracle reference).
+        let n_mids = (t_star + 1) / 2; // odd indices ≤ t_star
+        let new_grid_len = t_star + 1;
+        let placed: Vec<usize> = if n_mids == 0 {
+            Vec::new()
+        } else {
+            place_midpoints(
+                clique,
+                th,
+                &grid,
+                &mids[..n_mids],
+                &pair_of[..n_mids],
+                &pairs,
+                config,
+                placement_words,
+                rng,
+            )?
+        };
+        let mut next_grid = Vec::with_capacity(new_grid_len);
+        for k in 0..new_grid_len {
+            if k % 2 == 0 {
+                next_grid.push(grid[k / 2]);
+            } else {
+                next_grid.push(placed[(k - 1) / 2]);
+            }
+        }
+        grid = next_grid;
+    }
+    Ok(grid)
+}
+
+/// Places the truncated prefix's midpoints according to the configured
+/// strategy, returning the values for the odd merged indices in
+/// chronological order. The chronologically final midpoint is always
+/// placed exactly (Lemma 4's requirement).
+#[allow(clippy::too_many_arguments)]
+fn place_midpoints<R: Rng + ?Sized>(
+    clique: &mut Clique,
+    th: &Matrix,
+    grid: &[usize],
+    mids: &[usize],
+    pair_of: &[usize],
+    pairs: &[(usize, usize)],
+    config: &SamplerConfig,
+    placement_words: &mut u64,
+    rng: &mut R,
+) -> Result<Vec<usize>, PhaseError> {
+    let n_mids = mids.len();
+    let n = clique.n();
+    debug_assert!(n_mids >= 1);
+    let final_value = mids[n_mids - 1];
+    match config.placement {
+        Placement::Oracle => {
+            // Infinite-bandwidth reference: the leader receives every
+            // Π_{p,q} verbatim (cost recorded, not affordable in the real
+            // model).
+            let words = n_mids as u64;
+            *placement_words += words;
+            clique
+                .ledger_mut()
+                .charge(CostCategory::Matching, Clique::rounds_for_load(n, words));
+            clique.ledger_mut().add_words(CostCategory::Matching, words);
+            Ok(mids.to_vec())
+        }
+        Placement::PerPairShuffle => {
+            // Appendix §5.3: the leader receives each pair's own multiset
+            // (the final midpoint separately) and shuffles within pairs.
+            let rest = &mids[..n_mids - 1];
+            let rest_pairs = &pair_of[..n_mids - 1];
+            let num_groups = pairs.len();
+            let mut group_slots: Vec<Vec<usize>> = vec![Vec::new(); num_groups];
+            for (&v, &g) in rest.iter().zip(rest_pairs) {
+                group_slots[g].push(v);
+            }
+            let words: u64 = group_slots
+                .iter()
+                .map(|g| g.iter().collect::<HashSet<_>>().len() as u64)
+                .sum::<u64>()
+                + 1;
+            *placement_words += words;
+            clique
+                .ledger_mut()
+                .charge(CostCategory::Matching, Clique::rounds_for_load(n, words));
+            clique.ledger_mut().add_words(CostCategory::Matching, words);
+            let shuffled = sample_per_group_shuffle(group_slots, rng);
+            Ok(reassemble(rest_pairs, shuffled, final_value))
+        }
+        Placement::Matching => {
+            // §2.1.3: multiset + final midpoint to the leader; weighted
+            // perfect matching between M∖{m_f} and the remaining
+            // positions.
+            let rest = &mids[..n_mids - 1];
+            let rest_pairs = &pair_of[..n_mids - 1];
+            if rest.is_empty() {
+                *placement_words += 1;
+                clique.ledger_mut().charge(CostCategory::Matching, 1);
+                return Ok(vec![final_value]);
+            }
+            // Distinct values and multiplicities.
+            let mut value_ids: BTreeMap<usize, usize> = BTreeMap::new();
+            for &v in rest {
+                let next = value_ids.len();
+                value_ids.entry(v).or_insert(next);
+            }
+            let values: Vec<usize> = {
+                let mut v: Vec<(usize, usize)> =
+                    value_ids.iter().map(|(&k, &id)| (k, id)).collect();
+                v.sort_by_key(|&(_, id)| id);
+                v.into_iter().map(|(k, _)| k).collect()
+            };
+            let mut counts = vec![0usize; values.len()];
+            for &v in rest {
+                counts[value_ids[&v]] += 1;
+            }
+            // Groups in use (pairs with at least one non-final slot).
+            let mut group_ids: BTreeMap<usize, usize> = BTreeMap::new();
+            for &g in rest_pairs {
+                let next = group_ids.len();
+                group_ids.entry(g).or_insert(next);
+            }
+            let groups: Vec<usize> = {
+                let mut v: Vec<(usize, usize)> =
+                    group_ids.iter().map(|(&k, &id)| (k, id)).collect();
+                v.sort_by_key(|&(_, id)| id);
+                v.into_iter().map(|(k, _)| k).collect()
+            };
+            let mut group_sizes = vec![0usize; groups.len()];
+            for &g in rest_pairs {
+                group_sizes[group_ids[&g]] += 1;
+            }
+            let weights: Vec<Vec<f64>> = values
+                .iter()
+                .map(|&v| {
+                    groups
+                        .iter()
+                        .map(|&g| {
+                            let (p, q) = pairs[g];
+                            th[(p, v)] * th[(v, q)]
+                        })
+                        .collect()
+                })
+                .collect();
+            let inst = MatchingInstance::new(counts, group_sizes, weights)
+                .expect("counts and slots agree by construction");
+            // Bandwidth: the midpoint *multiset* (≤ 2ρ words — this is
+            // the compression §2.1.3 buys over shipping Π verbatim),
+            // plus the √n × √n submatrix of T^{δ/2} on the relevant
+            // vertices (O(n) words → O(1) rounds; charged but not part
+            // of the Π-compression comparison, experiment E12).
+            let multiset_words = (values.len() * 2 + 1) as u64;
+            let svert: HashSet<usize> = grid.iter().chain(rest.iter()).copied().collect();
+            let submatrix_words = (svert.len() * svert.len()) as u64;
+            *placement_words += multiset_words;
+            let words = multiset_words + submatrix_words;
+            clique
+                .ledger_mut()
+                .charge(CostCategory::Matching, Clique::rounds_for_load(n, words) + 2);
+            clique.ledger_mut().add_words(CostCategory::Matching, words);
+            // Sample the assignment: exact below the permanent limit,
+            // Metropolis swap chain (warm-started from the true
+            // arrangement) above it.
+            let assignment = if inst.total_slots() <= MAX_EXACT_SLOTS {
+                ExactPermanentSampler
+                    .sample(&inst, rng)
+                    .expect("true arrangement witnesses feasibility")
+            } else {
+                let mut hint_slots: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+                for (&v, &g) in rest.iter().zip(rest_pairs) {
+                    hint_slots[group_ids[&g]].push(value_ids[&v]);
+                }
+                let hint = Assignment { per_group: hint_slots };
+                SwapChainSampler { steps_per_slot: config.swap_steps_per_slot }
+                    .sample(&inst, Some(hint), rng)
+                    .expect("hinted start is feasible")
+            };
+            // Map value ids back to vertices and reassemble
+            // chronologically.
+            let shuffled = Assignment {
+                per_group: assignment
+                    .per_group
+                    .into_iter()
+                    .map(|slots| slots.into_iter().map(|id| values[id]).collect())
+                    .collect(),
+            };
+            // Reassembly keys by *local* group ids.
+            let local_pairs: Vec<usize> =
+                rest_pairs.iter().map(|&g| group_ids[&g]).collect();
+            Ok(reassemble(&local_pairs, shuffled, final_value))
+        }
+    }
+}
+
+/// Distributes per-group slot values back to chronological midpoint
+/// positions (group slots are consumed in chronological order) and
+/// appends the exactly-placed final midpoint.
+fn reassemble(rest_groups: &[usize], assignment: Assignment, final_value: usize) -> Vec<usize> {
+    let mut cursors = vec![0usize; assignment.per_group.len()];
+    let mut out = Vec::with_capacity(rest_groups.len() + 1);
+    for &g in rest_groups {
+        out.push(assignment.per_group[g][cursors[g]]);
+        cursors[g] += 1;
+    }
+    out.push(final_value);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_graph::generators;
+    use cct_sim::UnitCostEngine;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn padded_powers(t0: &Matrix, levels: usize) -> Vec<Matrix> {
+        cct_linalg::powers_of_two(t0, levels + 1, 1)
+    }
+
+    #[test]
+    fn top_down_phase_reaches_budget_on_clique() {
+        let g = generators::complete(8);
+        let s = VertexSubset::full(8);
+        let t0 = g.transition_matrix();
+        let ell = 256u64;
+        let mut powers = padded_powers(&t0, ell.trailing_zeros() as usize);
+        let mut clique = Clique::new(8);
+        let config = SamplerConfig::new();
+        let mut r = rng(1);
+        let res = top_down_phase(
+            &mut clique,
+            &UnitCostEngine::default(),
+            &mut powers,
+            &s,
+            0,
+            4,
+            ell,
+            &config,
+            &mut r,
+        )
+        .unwrap();
+        assert!(res.reached);
+        assert_eq!(res.distinct, 4);
+        assert_eq!(res.first_visits.len(), 3);
+        assert_eq!(res.method, PhaseMethod::TopDown);
+        assert!(res.tau >= 3);
+        // Rounds were charged in the expected categories.
+        assert!(clique.ledger().rounds(CostCategory::BinarySearch) > 0);
+        assert!(clique.ledger().rounds(CostCategory::Midpoints) > 0);
+    }
+
+    #[test]
+    fn direct_local_phase_reaches_budget() {
+        let g = generators::complete(6);
+        let s = VertexSubset::full(6);
+        let t0 = g.transition_matrix();
+        let mut clique = Clique::new(6);
+        let mut r = rng(2);
+        let res = direct_local_phase(
+            &mut clique,
+            &t0,
+            &s,
+            0,
+            6,
+            1 << 20,
+            Variant::LasVegas,
+            &mut r,
+        )
+        .unwrap();
+        assert!(res.reached);
+        assert_eq!(res.distinct, 6);
+        assert_eq!(res.first_visits.len(), 5);
+        assert_eq!(res.method, PhaseMethod::DirectLocal);
+        assert!(clique.ledger().rounds(CostCategory::Gather) > 0);
+    }
+
+    #[test]
+    fn monte_carlo_failure_flagged_when_ell_too_small() {
+        // A 2-step budget cannot visit 8 distinct vertices of a path.
+        let g = generators::path(8);
+        let s = VertexSubset::full(8);
+        let t0 = g.transition_matrix();
+        let mut clique = Clique::new(8);
+        let mut r = rng(3);
+        let res = direct_local_phase(
+            &mut clique,
+            &t0,
+            &s,
+            0,
+            8,
+            2,
+            Variant::MonteCarlo,
+            &mut r,
+        )
+        .unwrap();
+        assert!(!res.reached);
+    }
+
+    #[test]
+    fn degenerate_bipartite_detection() {
+        // Path graph: bipartite. From an end vertex, the start side of P4
+        // is {0, 2}: degenerate iff rho > 2.
+        let g = generators::path(4);
+        let s = VertexSubset::full(4);
+        let t0 = g.transition_matrix();
+        assert!(!is_degenerate_bipartite(&t0, &s, 0, 2));
+        assert!(is_degenerate_bipartite(&t0, &s, 0, 3));
+        // Triangle: not bipartite, never degenerate.
+        let g = generators::complete(3);
+        let t0 = g.transition_matrix();
+        let s = VertexSubset::full(3);
+        assert!(!is_degenerate_bipartite(&t0, &s, 0, 3));
+    }
+
+    #[test]
+    fn two_vertex_schur_is_degenerate() {
+        // |S| = 2: a single edge, bipartite with side(start) = 1 < ρ = 2.
+        let t0 = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let s = VertexSubset::full(2);
+        assert!(is_degenerate_bipartite(&t0, &s, 0, 2));
+    }
+
+    #[test]
+    fn top_down_first_visits_are_walk_consistent() {
+        let g = generators::petersen();
+        let s = VertexSubset::full(10);
+        let t0 = g.transition_matrix();
+        let ell = 1024u64;
+        let mut powers = padded_powers(&t0, ell.trailing_zeros() as usize);
+        let config = SamplerConfig::new();
+        let mut r = rng(4);
+        for _ in 0..10 {
+            let mut clique = Clique::new(10);
+            let res = top_down_phase(
+                &mut clique,
+                &UnitCostEngine::default(),
+                &mut powers,
+                &s,
+                0,
+                3,
+                ell,
+                &config,
+                &mut r,
+            )
+            .unwrap();
+            assert!(res.reached);
+            // Every (v, prev) must be an edge of the phase graph (S = V →
+            // the walk is on G itself).
+            for &(v, prev) in &res.first_visits {
+                assert!(g.has_edge(prev, v), "({prev}, {v}) not an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn las_vegas_extends_until_budget() {
+        // ℓ = 2 is far too short to see 5 distinct vertices of a path;
+        // Las Vegas must extend.
+        let g = generators::path(6);
+        let s = VertexSubset::full(6);
+        let t0 = g.transition_matrix();
+        let mut powers = padded_powers(&t0, 1);
+        let config = SamplerConfig {
+            variant: Variant::LasVegas,
+            ..SamplerConfig::new()
+        };
+        let mut clique = Clique::new(6);
+        let mut r = rng(5);
+        let res = top_down_phase(
+            &mut clique,
+            &UnitCostEngine::default(),
+            &mut powers,
+            &s,
+            0,
+            5, // rho
+            2, // ell — hopelessly short; extensions required
+            &config,
+            &mut r,
+        )
+        .unwrap();
+        assert!(res.reached);
+        assert!(res.extensions >= 1, "expected Las Vegas extensions");
+        assert!(res.ell_final > 2);
+        assert_eq!(res.distinct, 5);
+        // The power table was extended once per doubling.
+        assert_eq!(powers.len(), 2 + res.extensions as usize);
+    }
+}

@@ -1,0 +1,151 @@
+//! Round and traffic reports produced by the sampler.
+
+use cct_graph::SpanningTree;
+use cct_sim::RoundLedger;
+use std::fmt;
+
+/// How a phase's walk was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseMethod {
+    /// The full distributed top-down machinery (Outline 3).
+    TopDown,
+    /// Leader-local simulation after collecting the `|S| × |S|` Schur
+    /// transition matrix — used for final phases with `|S| ≤ ρ` (where
+    /// the matrix fits in `O(1)` rounds of bandwidth, matching the
+    /// paper's submatrix-collection step) and as the safety fallback for
+    /// degenerate bipartite phase graphs.
+    DirectLocal,
+}
+
+impl fmt::Display for PhaseMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseMethod::TopDown => write!(f, "top-down"),
+            PhaseMethod::DirectLocal => write!(f, "direct-local"),
+        }
+    }
+}
+
+/// Per-phase measurements.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// `|S|` at the start of the phase.
+    pub s_size: usize,
+    /// Distinct-vertex budget of the phase.
+    pub rho: usize,
+    /// How the walk was generated.
+    pub method: PhaseMethod,
+    /// Target walk length `ℓ` used (after Las Vegas doubling, the final
+    /// value).
+    pub ell: u64,
+    /// Realized stopping time `τ` (steps in the phase walk).
+    pub tau: u64,
+    /// Newly visited vertices in this phase.
+    pub new_vertices: usize,
+    /// Las Vegas walk extensions performed.
+    pub extensions: u32,
+    /// Rounds charged during this phase, by category.
+    pub rounds: RoundLedger,
+    /// Words the leader *would* have received shipping every midpoint
+    /// sequence `Π_{p,q}` verbatim (the bandwidth the multiset
+    /// compression avoids — experiment E12).
+    pub pi_words: u64,
+    /// Words the leader actually received for midpoint placement
+    /// (multisets / per-pair multisets).
+    pub placement_words: u64,
+}
+
+/// The result of one full sampling run.
+#[derive(Debug, Clone)]
+pub struct SampleReport {
+    /// The sampled spanning tree.
+    pub tree: SpanningTree,
+    /// Total rounds, merged across phases and setup.
+    pub rounds: RoundLedger,
+    /// Per-phase details.
+    pub phases: Vec<PhaseReport>,
+    /// `true` if the Monte Carlo variant failed to meet a phase budget
+    /// and an arbitrary tree was emitted (probability ≤ ε).
+    pub monte_carlo_failure: bool,
+}
+
+impl SampleReport {
+    /// Total rounds across all categories.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds.total_rounds()
+    }
+
+    /// Number of phases executed.
+    pub fn num_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Sum of realized walk lengths.
+    pub fn total_walk_steps(&self) -> u64 {
+        self.phases.iter().map(|p| p.tau).sum()
+    }
+}
+
+impl fmt::Display for SampleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SampleReport: n = {}, {} phases, {} rounds{}",
+            self.tree.n(),
+            self.phases.len(),
+            self.rounds.total_rounds(),
+            if self.monte_carlo_failure { " (MONTE CARLO FAILURE)" } else { "" }
+        )?;
+        writeln!(f, "  breakdown: {}", self.rounds)?;
+        for (i, p) in self.phases.iter().enumerate() {
+            writeln!(
+                f,
+                "  phase {i}: |S| = {}, ρ = {}, {} , τ = {}, new = {}, rounds = {}",
+                p.s_size,
+                p.rho,
+                p.method,
+                p.tau,
+                p.new_vertices,
+                p.rounds.total_rounds()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_sim::CostCategory;
+
+    #[test]
+    fn report_aggregates() {
+        let tree = SpanningTree::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let mut rounds = RoundLedger::new();
+        rounds.charge(CostCategory::MatMul, 10);
+        let phase = PhaseReport {
+            s_size: 3,
+            rho: 2,
+            method: PhaseMethod::TopDown,
+            ell: 64,
+            tau: 5,
+            new_vertices: 2,
+            extensions: 0,
+            rounds: rounds.clone(),
+            pi_words: 100,
+            placement_words: 10,
+        };
+        let report = SampleReport {
+            tree,
+            rounds,
+            phases: vec![phase.clone(), phase],
+            monte_carlo_failure: false,
+        };
+        assert_eq!(report.total_rounds(), 10);
+        assert_eq!(report.num_phases(), 2);
+        assert_eq!(report.total_walk_steps(), 10);
+        let s = format!("{report}");
+        assert!(s.contains("phase 0"));
+        assert!(s.contains("top-down"));
+    }
+}

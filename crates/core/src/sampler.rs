@@ -1,0 +1,531 @@
+//! The phase orchestrator: Theorem 1's `Õ(n^{1/2+α})`-round sampler and
+//! the Appendix's exact `Õ(n^{2/3+α})` variant.
+//!
+//! Each phase (§2.2): build `S = {unvisited} ∪ {v_f}`, compute the
+//! shortcut matrix `Q` and the Schur transition (Corollaries 2–3,
+//! charged at the paper's iterated-squaring multiplication counts), run
+//! the top-down truncated walk on `Schur(G, S)` (Outline 3), and sample
+//! every newly visited vertex's first-visit edge in `G` via Algorithm 4.
+//! The union of first-visit edges across phases is the Aldous–Broder
+//! spanning tree.
+
+use crate::config::{EngineChoice, Precision, SamplerConfig, SchurComputation, Variant, WalkLength};
+use crate::phase::{
+    direct_local_phase, is_degenerate_bipartite, top_down_phase, PhaseError, PhaseWalkResult,
+};
+use crate::report::{PhaseReport, SampleReport};
+use cct_graph::{Graph, SpanningTree};
+use cct_linalg::Matrix;
+use cct_schur::{
+    sample_first_visit_edge, schur_transition_from_shortcut, shortcut_by_squaring,
+    shortcut_exact, VertexSubset,
+};
+use cct_sim::{
+    distributed_powers, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
+    SemiringEngine, UnitCostEngine,
+};
+use rand::Rng;
+
+/// Error returned by [`CliqueTreeSampler::sample`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleTreeError {
+    /// The graph has no vertices.
+    EmptyGraph,
+    /// The graph is disconnected — no spanning tree exists.
+    Disconnected,
+    /// A phase failed irrecoverably (degenerate precision).
+    Phase(PhaseError),
+}
+
+impl std::fmt::Display for SampleTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleTreeError::EmptyGraph => write!(f, "graph has no vertices"),
+            SampleTreeError::Disconnected => write!(f, "graph is disconnected"),
+            SampleTreeError::Phase(e) => write!(f, "phase failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleTreeError {}
+
+impl From<PhaseError> for SampleTreeError {
+    fn from(e: PhaseError) -> Self {
+        SampleTreeError::Phase(e)
+    }
+}
+
+/// The Congested Clique spanning-tree sampler (the paper's primary
+/// contribution).
+///
+/// # Examples
+///
+/// ```
+/// use cct_core::{CliqueTreeSampler, SamplerConfig, WalkLength};
+/// use cct_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(8);
+/// let sampler = CliqueTreeSampler::new(
+///     SamplerConfig::new().walk_length(WalkLength::Fixed(1 << 12)),
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let report = sampler.sample(&g, &mut rng)?;
+/// assert_eq!(report.tree.edges().len(), 7);
+/// assert!(!report.monte_carlo_failure);
+/// # Ok::<(), cct_core::SampleTreeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CliqueTreeSampler {
+    config: SamplerConfig,
+}
+
+impl CliqueTreeSampler {
+    /// Creates a sampler with the given configuration.
+    pub fn new(config: SamplerConfig) -> Self {
+        CliqueTreeSampler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Samples a spanning tree of `g`, returning the tree together with
+    /// the full round/traffic report.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleTreeError::Disconnected`] / [`SampleTreeError::EmptyGraph`]
+    /// for invalid inputs; [`SampleTreeError::Phase`] if fixed-point
+    /// precision was configured too low to keep the distributions alive.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        rng: &mut R,
+    ) -> Result<SampleReport, SampleTreeError> {
+        let n = g.n();
+        if n == 0 {
+            return Err(SampleTreeError::EmptyGraph);
+        }
+        if !g.is_connected() {
+            return Err(SampleTreeError::Disconnected);
+        }
+        if n == 1 {
+            return Ok(SampleReport {
+                tree: SpanningTree::new(1, Vec::new()).expect("trivial"),
+                rounds: RoundLedger::new(),
+                phases: Vec::new(),
+                monte_carlo_failure: false,
+            });
+        }
+
+        let config = &self.config;
+        let engine: Box<dyn MatMulEngine> = match config.engine {
+            EngineChoice::FastOracle { alpha } => {
+                let wpe = match config.precision {
+                    Precision::Fixed(fp) => fp.words_per_entry(n),
+                    Precision::Float64 => 1,
+                };
+                Box::new(FastOracleEngine::new(alpha, wpe, config.threads))
+            }
+            EngineChoice::Semiring => Box::new(SemiringEngine::new(config.threads)),
+            EngineChoice::UnitCost => Box::new(UnitCostEngine { threads: config.threads }),
+        };
+        let fp = match config.precision {
+            Precision::Fixed(fp) => Some(fp),
+            Precision::Float64 => None,
+        };
+        let rho = config.resolve_rho(n);
+        // Footnote 1: with integer weights ≤ W the cover time is
+        // O(W·|V|·|E|), so the paper's ℓ budget scales by W (this is the
+        // very reason the weights must be polynomially bounded).
+        let ell0 = match config.walk_length {
+            WalkLength::Paper { .. } => {
+                let w = g.max_weight().max(1.0).round() as u64;
+                (config.walk_length.resolve(n).saturating_mul(w)).next_power_of_two()
+            }
+            _ => config.walk_length.resolve(n),
+        };
+        let rounds_per_mult = engine.rounds_for_multiply(n);
+
+        let mut clique = Clique::new(n);
+        let p = g.transition_matrix();
+        let mut visited = vec![false; n];
+        visited[0] = true; // W[0] = s: the leader's vertex (§2.1, Alg. 1)
+        let mut vf = 0usize;
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+        let mut phases: Vec<PhaseReport> = Vec::new();
+        let mut total = RoundLedger::new();
+        let mut failure = false;
+
+        while visited.iter().any(|&v| !v) {
+            let s_vertices: Vec<usize> = (0..n)
+                .filter(|&v| !visited[v])
+                .chain(std::iter::once(vf))
+                .collect();
+            let s = VertexSubset::new(n, &s_vertices);
+            let rho_phase = rho.min(s.len());
+
+            // ── Derivative graphs for this phase (§2.4). Phase 1 uses G
+            // itself: Schur(G, V) = G and the shortcut matrix is the
+            // identity (a walk's pre-S vertex is its previous vertex).
+            let (t0, q) = if s.len() == n {
+                (p.clone(), Matrix::identity(n))
+            } else {
+                let q = match config.schur {
+                    SchurComputation::ExactSolve => shortcut_exact(g, &s),
+                    SchurComputation::IteratedSquaring { tol } => {
+                        shortcut_by_squaring(g, &s, tol, 64).0
+                    }
+                };
+                // Corollary 2's chain is 2n × 2n: charge the paper's
+                // iterated-squaring count at 4× the n × n multiply cost.
+                let squarings = charged_schur_squarings(n);
+                clique
+                    .ledger_mut()
+                    .charge(CostCategory::MatMul, squarings * 4 * rounds_per_mult);
+                let trans_local = schur_transition_from_shortcut(g, &s, &q);
+                // Corollary 3: one more product (Q·R) plus local
+                // normalization.
+                clique.ledger_mut().charge(CostCategory::MatMul, rounds_per_mult);
+                (pad_to_global(&trans_local, &s, n), q)
+            };
+
+            // ── Walk generation: leader-local for final phases
+            // (|S| ≤ ρ, where the whole S-matrix fits in the O(1)-round
+            // submatrix budget) and for degenerate bipartite phase
+            // graphs; the full top-down machinery otherwise.
+            let use_direct =
+                s.len() <= rho || is_degenerate_bipartite(&t0, &s, vf, rho_phase);
+            let walk_res: PhaseWalkResult = if use_direct {
+                direct_local_phase(
+                    &mut clique,
+                    &t0,
+                    &s,
+                    vf,
+                    rho_phase,
+                    ell0,
+                    config.variant,
+                    rng,
+                )?
+            } else {
+                let levels = ell0.trailing_zeros() as usize;
+                let mut powers =
+                    distributed_powers(&mut clique, engine.as_ref(), &t0, levels + 1, fp);
+                match top_down_phase(
+                    &mut clique,
+                    engine.as_ref(),
+                    &mut powers,
+                    &s,
+                    vf,
+                    rho_phase,
+                    ell0,
+                    config,
+                    rng,
+                ) {
+                    Ok(r) => r,
+                    Err(PhaseError::GridCapExceeded) => direct_local_phase(
+                        &mut clique,
+                        &t0,
+                        &s,
+                        vf,
+                        rho_phase,
+                        ell0,
+                        config.variant,
+                        rng,
+                    )?,
+                    Err(e) => return Err(e.into()),
+                }
+            };
+
+            // ── Algorithm 4: sample first-visit edges in G for every
+            // newly visited vertex. O(1) rounds: the leader scatters each
+            // v's predecessor, machine v polls its neighbors for
+            // Q[prev,u]/deg_S(u), and the sampled edges are gathered.
+            let mut fv_words = 2 * walk_res.first_visits.len() as u64;
+            for &(v, _) in &walk_res.first_visits {
+                fv_words += 2 * g.num_neighbors(v) as u64;
+            }
+            clique.ledger_mut().charge(CostCategory::FirstVisit, 3);
+            clique.ledger_mut().add_words(CostCategory::FirstVisit, fv_words);
+            for &(v, prev) in &walk_res.first_visits {
+                debug_assert!(!visited[v], "vertex {v} visited twice");
+                let (u, vv) = sample_first_visit_edge(g, &s, &q, prev, v, rng)
+                    .ok_or(SampleTreeError::Phase(PhaseError::DegenerateDistribution))?;
+                debug_assert_eq!(vv, v);
+                edges.push((u, vv));
+                visited[v] = true;
+            }
+            vf = walk_res.last;
+            debug_assert_eq!(
+                walk_res.distinct,
+                walk_res.first_visits.len() + 1,
+                "every distinct non-start vertex must get a first-visit edge"
+            );
+
+            let phase_ledger = clique.take_ledger();
+            total.merge(&phase_ledger);
+            phases.push(PhaseReport {
+                s_size: s.len(),
+                rho: rho_phase,
+                method: walk_res.method,
+                ell: walk_res.ell_final,
+                tau: walk_res.tau,
+                new_vertices: walk_res.first_visits.len(),
+                extensions: walk_res.extensions,
+                rounds: phase_ledger,
+                pi_words: walk_res.pi_words,
+                placement_words: walk_res.placement_words,
+            });
+
+            if !walk_res.reached {
+                debug_assert_eq!(config.variant, Variant::MonteCarlo);
+                failure = true;
+                break;
+            }
+        }
+
+        let tree = if failure {
+            // Theorem 1's Monte Carlo semantics: emit an arbitrary
+            // spanning tree (flagged) when a phase misses its budget.
+            bfs_tree(g)
+        } else {
+            SpanningTree::new(n, edges).expect("first-visit edges of a covering walk span")
+        };
+        Ok(SampleReport { tree, rounds: total, phases, monte_carlo_failure: failure })
+    }
+}
+
+/// The iterated-squaring count charged for computing `Q` (Corollary 2):
+/// `k = O(n³ log 1/δ)` steps of the absorbing chain need `⌈log₂ k⌉`
+/// squarings ≈ `3 log₂ n + 6`.
+fn charged_schur_squarings(n: usize) -> u64 {
+    (3.0 * (n as f64).log2() + 6.0).ceil() as u64
+}
+
+/// Embeds the `|S| × |S|` local transition matrix into global `n × n`
+/// space as `diag(T, I)`: powers restrict to the `S` block, so the walk
+/// machinery can stay in global vertex ids.
+fn pad_to_global(local: &Matrix, s: &VertexSubset, n: usize) -> Matrix {
+    let mut out = Matrix::identity(n);
+    for (i, &u) in s.list().iter().enumerate() {
+        out[(u, u)] = 0.0;
+        for (j, &v) in s.list().iter().enumerate() {
+            out[(u, v)] = local[(i, j)];
+        }
+    }
+    out
+}
+
+/// An arbitrary (BFS) spanning tree — the Monte Carlo failure output.
+fn bfs_tree(g: &Graph) -> SpanningTree {
+    let n = g.n();
+    let mut parent = vec![usize::MAX; n];
+    parent[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut edges = Vec::with_capacity(n - 1);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in g.neighbors(u) {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                edges.push((u, v));
+                queue.push_back(v);
+            }
+        }
+    }
+    SpanningTree::new(n, edges).expect("connected graph has a BFS tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Placement, WalkLength};
+    use crate::report::PhaseMethod;
+    use cct_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn quick_config() -> SamplerConfig {
+        SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost)
+    }
+
+    #[test]
+    fn samples_valid_trees_on_suite() {
+        let mut r = rng(100);
+        for g in [
+            generators::complete(9),
+            generators::petersen(),
+            generators::grid(3, 3),
+            generators::lollipop(5, 4),
+            generators::cycle(8),
+            generators::k_dense_irregular(9),
+            generators::wheel(9),
+        ] {
+            let sampler = CliqueTreeSampler::new(quick_config());
+            let report = sampler.sample(&g, &mut r).unwrap();
+            assert!(!report.monte_carlo_failure, "failure on n = {}", g.n());
+            assert_eq!(report.tree.n(), g.n());
+            for &(u, v) in report.tree.edges() {
+                assert!(g.has_edge(u, v), "foreign edge ({u},{v})");
+            }
+            assert!(report.total_rounds() > 0);
+            assert!(!report.phases.is_empty());
+        }
+    }
+
+    #[test]
+    fn phases_visit_rho_new_vertices() {
+        let g = generators::complete(16);
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let mut r = rng(101);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        // ρ = 4: every non-final top-down phase contributes 3 new
+        // vertices (ρ − 1, since v_f is already visited).
+        for p in &report.phases[..report.phases.len() - 1] {
+            assert_eq!(p.rho, 4);
+            assert_eq!(p.new_vertices, 3, "phase: {p:?}");
+        }
+        // 15 vertices need first-visit edges in total.
+        let total_new: usize = report.phases.iter().map(|p| p.new_vertices).sum();
+        assert_eq!(total_new, 15);
+    }
+
+    #[test]
+    fn weighted_graphs_supported() {
+        let mut r = rng(102);
+        let g = cct_graph::generators::with_random_integer_weights(
+            &generators::complete(7),
+            5,
+            &mut r,
+        )
+        .unwrap();
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert!(!report.monte_carlo_failure);
+        assert_eq!(report.tree.edges().len(), 6);
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let mut r = rng(103);
+        assert_eq!(
+            sampler.sample(&g, &mut r).unwrap_err(),
+            SampleTreeError::Disconnected
+        );
+    }
+
+    #[test]
+    fn single_vertex_trivial() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let mut r = rng(104);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert!(report.tree.edges().is_empty());
+        assert_eq!(report.num_phases(), 0);
+    }
+
+    #[test]
+    fn two_vertex_graph() {
+        let g = generators::path(2);
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let mut r = rng(105);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert_eq!(report.tree.edges(), &[(0, 1)]);
+        // |S| = 2 is the degenerate bipartite case → direct-local.
+        assert_eq!(report.phases[0].method, PhaseMethod::DirectLocal);
+    }
+
+    #[test]
+    fn monte_carlo_failure_yields_arbitrary_tree() {
+        // ℓ = 4 steps cannot cover a 16-path: the failure path must
+        // produce a valid (BFS) tree with the flag set.
+        let g = generators::path(16);
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::Fixed(4))
+            .engine(EngineChoice::UnitCost);
+        let sampler = CliqueTreeSampler::new(config);
+        let mut r = rng(106);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert!(report.monte_carlo_failure);
+        assert_eq!(report.tree.edges().len(), 15);
+    }
+
+    #[test]
+    fn las_vegas_never_fails() {
+        // ℓ = 4 steps cannot visit ρ = 6 distinct vertices, so every
+        // top-down phase must extend (Appendix §5.1).
+        let g = generators::complete(12);
+        let config = SamplerConfig::new()
+            .rho(6)
+            .walk_length(WalkLength::Fixed(4))
+            .variant(Variant::LasVegas)
+            .engine(EngineChoice::UnitCost);
+        let sampler = CliqueTreeSampler::new(config);
+        let mut r = rng(107);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert!(!report.monte_carlo_failure);
+        assert!(report.phases.iter().any(|p| p.extensions > 0));
+        assert_eq!(report.tree.edges().len(), 11);
+    }
+
+    #[test]
+    fn all_placements_produce_valid_trees() {
+        let g = generators::complete(12);
+        let mut r = rng(108);
+        for placement in [Placement::Matching, Placement::PerPairShuffle, Placement::Oracle] {
+            let sampler = CliqueTreeSampler::new(quick_config().placement(placement));
+            let report = sampler.sample(&g, &mut r).unwrap();
+            assert!(!report.monte_carlo_failure, "{placement:?}");
+            assert_eq!(report.tree.edges().len(), 11, "{placement:?}");
+        }
+    }
+
+    #[test]
+    fn exact_variant_runs() {
+        let g = generators::complete(10);
+        let config = SamplerConfig::exact_variant()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost);
+        let sampler = CliqueTreeSampler::new(config);
+        let mut r = rng(109);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        assert!(!report.monte_carlo_failure);
+        assert_eq!(report.tree.edges().len(), 9);
+    }
+
+    #[test]
+    fn fast_oracle_rounds_exceed_unit_cost() {
+        let g = generators::complete(16);
+        let mut r1 = rng(110);
+        let mut r2 = rng(110);
+        let unit = CliqueTreeSampler::new(quick_config())
+            .sample(&g, &mut r1)
+            .unwrap();
+        let oracle = CliqueTreeSampler::new(
+            quick_config().engine(EngineChoice::FastOracle { alpha: cct_sim::ALPHA }),
+        )
+        .sample(&g, &mut r2)
+        .unwrap();
+        assert!(oracle.total_rounds() > unit.total_rounds());
+        // Same seed, same tree: the engine changes only the ledger.
+        assert_eq!(unit.tree, oracle.tree);
+    }
+
+    #[test]
+    fn report_phase_count_matches_sqrt_n_scaling() {
+        let g = generators::complete(36);
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let mut r = rng(111);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        // ρ = 6 → ~35/5 = 7 phases.
+        assert!(report.num_phases() >= 5 && report.num_phases() <= 10, "{}", report.num_phases());
+    }
+}

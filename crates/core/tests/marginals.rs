@@ -1,0 +1,70 @@
+//! Kirchhoff-marginal validation: the probability that edge `e` appears
+//! in a uniform spanning tree equals `w(e) · R_eff(e)`. This checks the
+//! distributed sampler's *marginals* on graphs too large to enumerate —
+//! an independent angle from the chi-square tests on full distributions.
+
+use cct_core::{CliqueTreeSampler, EngineChoice, SamplerConfig, WalkLength};
+use cct_graph::{generators, spanning_tree_edge_marginals, Graph};
+use rand::SeedableRng;
+
+fn check_marginals(g: &Graph, trials: usize, seed: u64, label: &str) {
+    let marginals = spanning_tree_edge_marginals(g);
+    let config = SamplerConfig::new()
+        .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+        .engine(EngineChoice::UnitCost);
+    let sampler = CliqueTreeSampler::new(config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; marginals.len()];
+    for _ in 0..trials {
+        let tree = sampler.sample(g, &mut rng).expect("sample").tree;
+        for (i, &(u, v, _)) in marginals.iter().enumerate() {
+            if tree.contains_edge(u, v) {
+                counts[i] += 1;
+            }
+        }
+    }
+    for (i, &(u, v, p)) in marginals.iter().enumerate() {
+        let emp = counts[i] as f64 / trials as f64;
+        let sigma = (p.clamp(1e-9, 1.0) * (1.0 - p).max(0.0) / trials as f64).sqrt();
+        assert!(
+            (emp - p).abs() < 5.0 * sigma + 0.01,
+            "{label}: edge ({u},{v}): empirical {emp:.4} vs Kirchhoff {p:.4}"
+        );
+    }
+}
+
+#[test]
+fn petersen_marginals() {
+    // Edge-transitive: every marginal is exactly (n−1)/m = 9/15 = 0.6.
+    let g = generators::petersen();
+    let marginals = spanning_tree_edge_marginals(&g);
+    for &(_, _, p) in &marginals {
+        assert!((p - 0.6).abs() < 1e-9);
+    }
+    check_marginals(&g, 4000, 42, "petersen");
+}
+
+#[test]
+fn lollipop_marginals() {
+    // Wildly non-uniform marginals: tail edges are bridges (p = 1),
+    // clique edges are interchangeable but far below 1.
+    let g = generators::lollipop(5, 3);
+    let marginals = spanning_tree_edge_marginals(&g);
+    let bridges: Vec<_> = marginals.iter().filter(|&&(_, _, p)| (p - 1.0).abs() < 1e-9).collect();
+    assert_eq!(bridges.len(), 3, "three tail edges are bridges");
+    check_marginals(&g, 4000, 43, "lollipop");
+}
+
+#[test]
+fn weighted_graph_marginals() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let base = generators::erdos_renyi_connected(9, 0.5, &mut rng);
+    let g = generators::with_random_integer_weights(&base, 6, &mut rng).unwrap();
+    check_marginals(&g, 4000, 44, "weighted-ER");
+}
+
+#[test]
+fn dense_irregular_marginals() {
+    // The paper's K_{n−√n,√n} example.
+    check_marginals(&generators::k_dense_irregular(12), 4000, 45, "K_dense");
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the distributed sampler: every configuration
+//! on every connected graph yields a valid spanning tree with a
+//! consistent report.
+
+use cct_core::{
+    CliqueTreeSampler, EngineChoice, Placement, SamplerConfig, Variant, WalkLength,
+};
+use cct_graph::generators;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn any_placement() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Matching),
+        Just(Placement::PerPairShuffle),
+        Just(Placement::Oracle),
+    ]
+}
+
+fn any_variant() -> impl Strategy<Value = Variant> {
+    prop_oneof![Just(Variant::MonteCarlo), Just(Variant::LasVegas)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sampler_always_yields_valid_trees(
+        n in 3usize..=16,
+        graph_seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+        placement in any_placement(),
+        variant in any_variant(),
+        rho in 2usize..=5,
+    ) {
+        let mut gr = rand::rngs::StdRng::seed_from_u64(graph_seed);
+        let g = generators::erdos_renyi_connected(n, 0.5, &mut gr);
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost)
+            .placement(placement)
+            .variant(variant)
+            .rho(rho.min(n.saturating_sub(1)).max(2));
+        let sampler = CliqueTreeSampler::new(config);
+        let mut r = rand::rngs::StdRng::seed_from_u64(sample_seed);
+        let report = sampler.sample(&g, &mut r).unwrap();
+        prop_assert!(!report.monte_carlo_failure);
+        prop_assert_eq!(report.tree.n(), n);
+        for &(u, v) in report.tree.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+        // Report invariants.
+        let phase_rounds: u64 = report.phases.iter().map(|p| p.rounds.total_rounds()).sum();
+        prop_assert_eq!(phase_rounds, report.total_rounds());
+        let new_total: usize = report.phases.iter().map(|p| p.new_vertices).sum();
+        prop_assert_eq!(new_total, n - 1);
+        for p in &report.phases {
+            prop_assert!(p.s_size >= 2);
+            prop_assert!(p.rho >= 2);
+            prop_assert!(p.new_vertices >= 1);
+            prop_assert!(p.tau >= p.new_vertices as u64);
+        }
+    }
+
+    #[test]
+    fn weighted_graphs_always_work(
+        n in 3usize..=12,
+        seed in any::<u64>(),
+        max_w in 2u64..=16,
+    ) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = generators::erdos_renyi_connected(n, 0.6, &mut r);
+        let g = generators::with_random_integer_weights(&base, max_w, &mut r).unwrap();
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 8.0 })
+            .engine(EngineChoice::UnitCost);
+        let report = CliqueTreeSampler::new(config).sample(&g, &mut r).unwrap();
+        prop_assert!(!report.monte_carlo_failure);
+        prop_assert_eq!(report.tree.edges().len(), n - 1);
+    }
+
+    #[test]
+    fn determinism_per_seed(n in 4usize..=12, seed in any::<u64>()) {
+        let mut gr = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 0.5, &mut gr);
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost);
+        let sampler = CliqueTreeSampler::new(config);
+        let a = sampler
+            .sample(&g, &mut rand::rngs::StdRng::seed_from_u64(seed ^ 1))
+            .unwrap();
+        let b = sampler
+            .sample(&g, &mut rand::rngs::StdRng::seed_from_u64(seed ^ 1))
+            .unwrap();
+        prop_assert_eq!(a.total_rounds(), b.total_rounds());
+        prop_assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn trees_and_stars_have_unique_tree(n in 3usize..=14, seed in any::<u64>()) {
+        // Graphs that ARE trees have exactly one spanning tree: the
+        // sampler must return it.
+        let g = if seed % 2 == 0 {
+            generators::path(n)
+        } else {
+            generators::star(n)
+        };
+        let expect: Vec<(usize, usize)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 8.0 })
+            .engine(EngineChoice::UnitCost)
+            .variant(Variant::LasVegas);
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let report = CliqueTreeSampler::new(config).sample(&g, &mut r).unwrap();
+        prop_assert_eq!(report.tree.edges(), &expect[..]);
+    }
+}

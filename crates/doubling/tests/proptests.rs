@@ -1,0 +1,73 @@
+//! Property-based tests for the doubling walks: validity, determinism,
+//! and Lemma 10's load bound across random inputs.
+
+use cct_doubling::{doubling_walks, lemma10_bound, Balancing, TWiseHash};
+use cct_graph::generators;
+use cct_sim::Clique;
+use cct_walks::is_valid_walk;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn walks_valid_on_random_graphs(
+        n in 4usize..=24,
+        tau in 1u64..=64,
+        seed in any::<u64>(),
+        balanced in any::<bool>(),
+    ) {
+        let mut gr = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 0.5, &mut gr);
+        let mut clique = Clique::new(n);
+        let balancing = if balanced { Balancing::Balanced { c: 1 } } else { Balancing::Naive };
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabc);
+        let (walks, stats) = doubling_walks(&mut clique, &g, tau, balancing, &mut r);
+        let expect_len = tau.next_power_of_two() as usize + 1;
+        for (v, w) in walks.iter().enumerate() {
+            prop_assert_eq!(w[0], v);
+            prop_assert_eq!(w.len(), expect_len);
+            prop_assert!(is_valid_walk(&g, w));
+        }
+        prop_assert_eq!(stats.k_values.len(), tau.next_power_of_two().trailing_zeros() as usize);
+    }
+
+    #[test]
+    fn lemma10_bound_on_random_graphs(n in 8usize..=48, seed in any::<u64>()) {
+        let mut gr = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 0.4, &mut gr);
+        let mut clique = Clique::new(n);
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdef);
+        let (_, stats) =
+            doubling_walks(&mut clique, &g, n as u64, Balancing::Balanced { c: 1 }, &mut r);
+        for (&max_tuples, &k) in stats.max_tuples_recv.iter().zip(&stats.k_values) {
+            prop_assert!(max_tuples <= lemma10_bound(n, k, 1));
+        }
+    }
+
+    #[test]
+    fn hash_range_and_determinism(seed in any::<u64>(), t in 1usize..=64, range in 1usize..=512) {
+        let h1 = TWiseHash::from_seed(seed, t, range);
+        let h2 = TWiseHash::from_seed(seed, t, range);
+        for v in 0..20 {
+            for i in 0..10 {
+                let x = h1.hash(v, i);
+                prop_assert!(x < range);
+                prop_assert_eq!(x, h2.hash(v, i));
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_deterministic_per_seed(n in 4usize..=12, seed in any::<u64>()) {
+        let mut gr = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 0.6, &mut gr);
+        let run = |s: u64| {
+            let mut clique = Clique::new(n);
+            let mut r = rand::rngs::StdRng::seed_from_u64(s);
+            doubling_walks(&mut clique, &g, 8, Balancing::Balanced { c: 1 }, &mut r).0
+        };
+        prop_assert_eq!(run(seed ^ 7), run(seed ^ 7));
+    }
+}

@@ -1,0 +1,285 @@
+//! Spanning-tree counting and exhaustive enumeration — the Matrix–Tree
+//! theorem (§1's historical motivation) and the ground truths for every
+//! uniformity experiment.
+
+use crate::{DisjointSet, Graph, SpanningTree};
+use cct_linalg::{det, det_exact, ExactOverflowError};
+
+/// Weighted spanning-tree count via the Matrix–Tree theorem: the
+/// determinant of the Laplacian with row/column 0 deleted. For weighted
+/// graphs this is `Σ_T Π_{e∈T} w(e)`, the normalizing constant of the
+/// weighted uniform distribution.
+///
+/// Returns `0.0` for disconnected graphs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::{generators, spanning_tree_count};
+///
+/// // Cayley's formula: K5 has 5^3 = 125 spanning trees.
+/// assert!((spanning_tree_count(&generators::complete(5)) - 125.0).abs() < 1e-6);
+/// ```
+pub fn spanning_tree_count(g: &Graph) -> f64 {
+    assert!(g.n() > 0, "need at least one vertex");
+    if g.n() == 1 {
+        return 1.0;
+    }
+    let l = g.laplacian();
+    let keep: Vec<usize> = (1..g.n()).collect();
+    det(&l.submatrix(&keep, &keep))
+}
+
+/// Exact integer spanning-tree count (requires integer weights).
+///
+/// # Errors
+///
+/// Returns [`ExactOverflowError`] if the count exceeds `i128`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the graph has non-integer weights.
+pub fn spanning_tree_count_exact(g: &Graph) -> Result<i128, ExactOverflowError> {
+    assert!(g.n() > 0, "need at least one vertex");
+    assert!(
+        g.has_integer_weights() || g.m() == 0,
+        "exact count requires integer weights"
+    );
+    if g.n() == 1 {
+        return Ok(1);
+    }
+    let n = g.n();
+    let mut l = vec![vec![0i128; n]; n];
+    for &(u, v, w) in g.edges() {
+        let w = w.round() as i128;
+        l[u][u] += w;
+        l[v][v] += w;
+        l[u][v] -= w;
+        l[v][u] -= w;
+    }
+    let minor: Vec<Vec<i128>> = (1..n).map(|i| (1..n).map(|j| l[i][j]).collect()).collect();
+    det_exact(&minor)
+}
+
+/// Enumerates every spanning tree of a small graph by exhaustive search
+/// over `(n−1)`-edge subsets.
+///
+/// Intended for the statistical ground truths (graphs with at most a few
+/// thousand trees); cost is `C(m, n−1)` union–find checks.
+///
+/// # Panics
+///
+/// Panics if `C(m, n−1)` exceeds 20 million (refuse rather than hang).
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::{enumerate_spanning_trees, generators};
+///
+/// let trees = enumerate_spanning_trees(&generators::cycle(4));
+/// assert_eq!(trees.len(), 4); // remove any one of the 4 edges
+/// ```
+pub fn enumerate_spanning_trees(g: &Graph) -> Vec<SpanningTree> {
+    let n = g.n();
+    if n <= 1 {
+        return vec![SpanningTree::new(n, Vec::new()).expect("trivial tree")];
+    }
+    let k = n - 1;
+    let m = g.m();
+    if m < k {
+        return Vec::new();
+    }
+    let combos = binomial(m, k);
+    assert!(
+        combos <= 20_000_000.0,
+        "C({m}, {k}) = {combos} subsets is too many to enumerate"
+    );
+    let edges = g.edges();
+    let mut out = Vec::new();
+    // Iterate k-subsets of 0..m in lexicographic order.
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        let mut dsu = DisjointSet::new(n);
+        let mut ok = true;
+        for &i in &idx {
+            let (u, v, _) = edges[i];
+            if !dsu.union(u, v) {
+                ok = false;
+                break;
+            }
+        }
+        if ok && dsu.components() == 1 {
+            let tree_edges: Vec<(usize, usize)> =
+                idx.iter().map(|&i| (edges[i].0, edges[i].1)).collect();
+            out.push(SpanningTree::new(n, tree_edges).expect("verified spanning"));
+        }
+        // Advance to the next k-subset.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            if idx[pos] != m - k + pos {
+                break;
+            }
+        }
+        idx[pos] += 1;
+        for j in pos + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// The exact weighted-uniform distribution over spanning trees of a small
+/// graph: pairs `(tree, probability)` with probabilities summing to 1.
+///
+/// For unweighted graphs this is the uniform distribution the paper's
+/// Theorem 1 targets.
+///
+/// # Panics
+///
+/// Panics if the graph has no spanning tree (disconnected) or is too large
+/// to enumerate.
+pub fn spanning_tree_distribution(g: &Graph) -> Vec<(SpanningTree, f64)> {
+    let trees = enumerate_spanning_trees(g);
+    assert!(!trees.is_empty(), "graph has no spanning tree");
+    let weights: Vec<f64> = trees.iter().map(|t| t.weight_in(g)).collect();
+    let total: f64 = weights.iter().sum();
+    trees
+        .into_iter()
+        .zip(weights)
+        .map(|(t, w)| (t, w / total))
+        .collect()
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::*;
+
+    #[test]
+    fn cayley_formula() {
+        for n in 2..=7usize {
+            let expect = (n as f64).powi(n as i32 - 2);
+            assert!(
+                (spanning_tree_count(&complete(n)) - expect).abs() < 1e-6 * expect,
+                "K_{n}"
+            );
+            assert_eq!(
+                spanning_tree_count_exact(&complete(n)).unwrap(),
+                (n as i128).pow(n as u32 - 2)
+            );
+        }
+    }
+
+    #[test]
+    fn trees_have_one_tree() {
+        assert_eq!(spanning_tree_count_exact(&path(6)).unwrap(), 1);
+        assert_eq!(spanning_tree_count_exact(&star(6)).unwrap(), 1);
+    }
+
+    #[test]
+    fn cycle_has_n_trees() {
+        for n in 3..=8usize {
+            assert_eq!(spanning_tree_count_exact(&cycle(n)).unwrap(), n as i128);
+        }
+    }
+
+    #[test]
+    fn disconnected_has_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(spanning_tree_count(&g).abs() < 1e-9);
+        assert_eq!(spanning_tree_count_exact(&g).unwrap(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_formula() {
+        // τ(K_{a,b}) = a^{b−1} · b^{a−1}.
+        for (a, b) in [(2usize, 3usize), (3, 3), (2, 4)] {
+            let expect = (a as i128).pow(b as u32 - 1) * (b as i128).pow(a as u32 - 1);
+            assert_eq!(
+                spanning_tree_count_exact(&complete_bipartite(a, b)).unwrap(),
+                expect,
+                "K_{a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_count_is_weight_sum() {
+        // Triangle with weights 1, 2, 3: trees are the 3 edge pairs with
+        // weights 1·2 + 1·3 + 2·3 = 11.
+        let g =
+            Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        assert!((spanning_tree_count(&g) - 11.0).abs() < 1e-9);
+        assert_eq!(spanning_tree_count_exact(&g).unwrap(), 11);
+    }
+
+    #[test]
+    fn enumeration_matches_matrix_tree() {
+        for g in [
+            complete(5),
+            cycle(6),
+            wheel(5),
+            petersen(),
+            grid(2, 3),
+            complete_bipartite(2, 3),
+        ] {
+            let trees = enumerate_spanning_trees(&g);
+            let exact = spanning_tree_count_exact(&g).unwrap();
+            assert_eq!(trees.len() as i128, exact);
+            // All enumerated trees are distinct.
+            let mut unique = trees.clone();
+            unique.sort();
+            unique.dedup();
+            assert_eq!(unique.len(), trees.len());
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one_and_respects_weights() {
+        let g =
+            Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let dist = spanning_tree_distribution(&g);
+        assert_eq!(dist.len(), 3);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Tree {12, 02} has weight 6 of 11 total.
+        let heavy = dist
+            .iter()
+            .find(|(t, _)| t.contains_edge(1, 2) && t.contains_edge(0, 2))
+            .unwrap();
+        assert!((heavy.1 - 6.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(spanning_tree_count(&g), 1.0);
+        assert_eq!(enumerate_spanning_trees(&g).len(), 1);
+    }
+
+    #[test]
+    fn matrix_tree_float_vs_exact_on_random() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(10, 0.5, &mut rng);
+        let f = spanning_tree_count(&g);
+        let e = spanning_tree_count_exact(&g).unwrap() as f64;
+        assert!((f - e).abs() < 1e-6 * e.max(1.0));
+    }
+}

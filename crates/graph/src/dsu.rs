@@ -1,0 +1,119 @@
+//! Disjoint-set union (union–find) with path halving and union by size.
+//!
+//! Used to validate spanning trees (acyclicity + connectivity) and to test
+//! graph connectivity cheaply.
+
+/// A disjoint-set forest over `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::DisjointSet;
+///
+/// let mut dsu = DisjointSet::new(4);
+/// assert!(dsu.union(0, 1));
+/// assert!(dsu.union(2, 3));
+/// assert!(!dsu.union(1, 0)); // already joined
+/// assert_eq!(dsu.components(), 2);
+/// assert!(dsu.connected(0, 1));
+/// assert!(!dsu.connected(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl DisjointSet {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Returns the representative of `x`'s set (path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`.
+    ///
+    /// Returns `true` if they were previously in different sets.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_disjoint() {
+        let mut d = DisjointSet::new(5);
+        assert_eq!(d.components(), 5);
+        for i in 0..5 {
+            assert_eq!(d.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut d = DisjointSet::new(4);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(d.union(2, 3));
+        assert_eq!(d.components(), 1);
+        assert!(!d.union(3, 0));
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut d = DisjointSet::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert!(d.connected(0, 99));
+        assert_eq!(d.components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut d = DisjointSet::new(2);
+        let _ = d.find(2);
+    }
+}

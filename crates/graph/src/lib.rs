@@ -1,0 +1,46 @@
+//! # cct-graph
+//!
+//! Graphs, generators, spanning-tree types, and exact tree counting for
+//! the `cct` workspace.
+//!
+//! This crate is the combinatorial substrate of the Congested Clique
+//! spanning-tree sampler (Pemmaraju–Roy–Sobel, PODC 2025):
+//!
+//! * [`Graph`] — simple undirected graphs with positive weights, their
+//!   transition matrices (§1.1) and Laplacians (§1.7);
+//! * [`generators`] — the graph families the paper reasons about
+//!   (expanders, `G(n,p)`, `K_{n−√n,√n}`, lollipops, …);
+//! * [`SpanningTree`] — validated trees with canonical encodings;
+//! * [`spanning_tree_count`] / [`enumerate_spanning_trees`] — Matrix–Tree
+//!   ground truths for every uniformity experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use cct_graph::{generators, spanning_tree_count_exact};
+//!
+//! let g = generators::complete(4);
+//! // Cayley: 4^{4−2} = 16.
+//! assert_eq!(spanning_tree_count_exact(&g)?, 16);
+//! # Ok::<(), cct_linalg::ExactOverflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod count;
+mod dsu;
+pub mod generators;
+#[allow(clippy::module_inception)]
+mod graph;
+mod resistance;
+mod tree;
+
+pub use count::{
+    enumerate_spanning_trees, spanning_tree_count, spanning_tree_count_exact,
+    spanning_tree_distribution,
+};
+pub use dsu::DisjointSet;
+pub use graph::{Graph, GraphError};
+pub use resistance::{effective_resistance, spanning_tree_edge_marginals};
+pub use tree::{SpanningTree, TreeError};

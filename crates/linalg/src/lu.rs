@@ -1,0 +1,271 @@
+//! LU decomposition with partial pivoting: determinants, linear solves,
+//! and inverses.
+//!
+//! Used for the exact (reference) computations in the repository: the
+//! Matrix–Tree determinant, the fundamental-matrix form `(I−T)^{-1}A` of
+//! the shortcut graph (Definition 3), and the Laplacian-elimination form of
+//! the Schur complement (Definition 1). The distributed pipeline never
+//! inverts anything — it uses iterated squaring (Corollaries 2–3) — but
+//! tests compare against these exact routines.
+
+use crate::Matrix;
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use cct_linalg::{Lu, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![0.0, 2.0], vec![3.0, 4.0]]);
+/// let lu = Lu::new(&a).expect("non-singular");
+/// assert!((lu.det() - (-6.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row index in slot `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or −1.0).
+    sign: f64,
+}
+
+/// Error returned when a matrix is singular to working precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl std::fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300`
+    /// in absolute value is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Result<Lu, SingularMatrixError> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut piv = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                if lu[(i, k)].abs() > best {
+                    best = lu[(i, k)].abs();
+                    piv = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(SingularMatrixError);
+            }
+            if piv != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(piv, j)];
+                    lu[(piv, j)] = tmp;
+                }
+                perm.swap(k, piv);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let sub = factor * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized (square) matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// The determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward substitution on permuted b (L has unit diagonal).
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                let sub = self.lu[(i, k)] * y[k];
+                y[i] -= sub;
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows()` differs from the matrix dimension.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "rhs row count mismatch");
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j));
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        out
+    }
+
+    /// The inverse of the factorized matrix.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.lu.rows()))
+    }
+}
+
+/// Determinant of a square matrix (LU with partial pivoting).
+///
+/// Returns `0.0` for singular matrices.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use cct_linalg::{det, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]);
+/// assert_eq!(det(&a), 6.0);
+/// ```
+pub fn det(a: &Matrix) -> f64 {
+    match Lu::new(a) {
+        Ok(lu) => lu.det(),
+        Err(SingularMatrixError) => 0.0,
+    }
+}
+
+/// Inverse of a square matrix.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] if the matrix is singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn inverse(a: &Matrix) -> Result<Matrix, SingularMatrixError> {
+    Ok(Lu::new(a)?.inverse())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_known_values() {
+        assert_eq!(det(&Matrix::identity(5)), 1.0);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((det(&a) + 2.0).abs() < 1e-12);
+        let b = Matrix::from_rows(&[
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 3.0, 1.0],
+        ]);
+        // det = 2(1*1-0*3) - 0 + 1(1*3-1*0) = 2 + 3 = 5
+        assert!((det(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_singular_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(det(&a), 0.0);
+    }
+
+    #[test]
+    fn det_permutation_sign() {
+        // A permutation matrix swapping two rows has determinant −1.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((det(&a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a[(i, j)] * x_true[j]).sum())
+            .collect();
+        let x = Lu::new(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_fn(6, 6, |i, j| {
+            if i == j {
+                4.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let inv = inverse(&a).unwrap();
+        let prod = &a * &inv;
+        assert!(prod.max_abs_diff(&Matrix::identity(6)) < 1e-10);
+    }
+
+    #[test]
+    fn inverse_of_singular_errors() {
+        let a = Matrix::zeros(3, 3);
+        assert_eq!(inverse(&a).unwrap_err(), SingularMatrixError);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Leading zero pivot exercises the row-swap path.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 0.0]]);
+        let x = Lu::new(&a).unwrap().solve(&[3.0, 4.0]);
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for `cct-linalg` invariants.
+
+use cct_linalg::{
+    det, det_exact, is_row_stochastic, is_row_substochastic, normalize_rows, permanent,
+    permanent_naive, powers_of_two, powers_rounded, subtractive_error, total_variation,
+    FixedPoint, Lu, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a square matrix with entries in [0, 1).
+fn square_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..1.0, n * n)
+            .prop_map(move |data| Matrix::from_fn(n, n, |i, j| data[i * n + j]))
+    })
+}
+
+/// Strategy: a row-stochastic matrix (positive entries, normalized rows).
+fn stochastic_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.01f64..1.0, n * n).prop_map(move |data| {
+            let mut m = Matrix::from_fn(n, n, |i, j| data[i * n + j]);
+            normalize_rows(&mut m);
+            m
+        })
+    })
+}
+
+/// Strategy: a small integer matrix for exact determinant checks.
+fn int_matrix(max_n: usize) -> impl Strategy<Value = Vec<Vec<i128>>> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-5i128..=5, n * n)
+            .prop_map(move |data| (0..n).map(|i| data[i * n..(i + 1) * n].to_vec()).collect())
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in square_matrix(6), bs in proptest::collection::vec(0.0f64..1.0, 72)) {
+        let n = a.rows();
+        let b = Matrix::from_fn(n, n, |i, j| bs[(i * n + j) % bs.len()]);
+        let c = Matrix::from_fn(n, n, |i, j| bs[(i * 3 + j * 7) % bs.len()]);
+        let left = (&(&a * &b)) * &c;
+        let right = &a * &(&b * &c);
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_of_product(a in square_matrix(6)) {
+        let b = a.scale(0.5);
+        let lhs = (&a * &b).transpose();
+        let rhs = &b.transpose() * &a.transpose();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn det_is_multiplicative(a in square_matrix(5)) {
+        let b = Matrix::from_fn(a.rows(), a.rows(), |i, j| if i == j { 2.0 } else if (i + j) % 2 == 0 { 0.5 } else { 0.0 });
+        let lhs = det(&(&a * &b));
+        let rhs = det(&a) * det(&b);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(a in square_matrix(6)) {
+        // Diagonally dominate to guarantee non-singularity.
+        let n = a.rows();
+        let dd = Matrix::from_fn(n, n, |i, j| a[(i, j)] + if i == j { n as f64 + 1.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x = Lu::new(&dd).unwrap().solve(&b);
+        for i in 0..n {
+            let recovered: f64 = (0..n).map(|j| dd[(i, j)] * x[j]).sum();
+            prop_assert!((recovered - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_det_matches_float(m in int_matrix(5)) {
+        let n = m.len();
+        let exact = det_exact(&m).unwrap() as f64;
+        let float = det(&Matrix::from_fn(n, n, |i, j| m[i][j] as f64));
+        prop_assert!((exact - float).abs() < 1e-6 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn stochastic_powers_stay_stochastic(p in stochastic_matrix(6)) {
+        for m in powers_of_two(&p, 5, 1) {
+            prop_assert!(is_row_stochastic(&m, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rounded_powers_are_substochastic_underestimates(p in stochastic_matrix(5)) {
+        let fp = FixedPoint::new(24);
+        let exact = powers_of_two(&p, 4, 1);
+        let rounded = powers_rounded(&p, 4, fp, 1);
+        // subtractive_error asserts the under-approximation property internally.
+        let (worst, _) = subtractive_error(&exact, &rounded);
+        prop_assert!(worst < 1e-3);
+        for r in &rounded {
+            prop_assert!(is_row_substochastic(r, 1e-12));
+        }
+    }
+
+    #[test]
+    fn permanent_matches_naive(a in square_matrix(5)) {
+        let p = permanent(&a);
+        let nv = permanent_naive(&a);
+        prop_assert!((p - nv).abs() < 1e-8 * nv.abs().max(1.0));
+    }
+
+    #[test]
+    fn permanent_row_expansion(a in square_matrix(5)) {
+        let n = a.rows();
+        if n >= 2 {
+            let total: f64 = (0..n)
+                .map(|j| a[(0, j)] * cct_linalg::permanent_minor(&a, 0, j))
+                .sum();
+            prop_assert!((total - permanent(&a)).abs() < 1e-8 * permanent(&a).abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn tv_distance_is_metric_like(p in proptest::collection::vec(0.001f64..1.0, 2..12)) {
+        let q: Vec<f64> = p.iter().rev().copied().collect();
+        let d_pq = total_variation(&p, &q);
+        let d_qp = total_variation(&q, &p);
+        prop_assert!((d_pq - d_qp).abs() < 1e-12);
+        prop_assert!(d_pq >= 0.0 && d_pq <= 1.0 + 1e-12);
+        prop_assert!(total_variation(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn truncate_subtractive(x in 0.0f64..1000.0, bits in 1u32..=52) {
+        let fp = FixedPoint::new(bits);
+        let t = fp.truncate(x);
+        prop_assert!(t <= x);
+        prop_assert!(x - t < fp.delta());
+    }
+}

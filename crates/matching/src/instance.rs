@@ -1,0 +1,458 @@
+//! The grouped weighted perfect-matching instance of Lemma 3.
+//!
+//! The paper's machine `M` must place a multiset `M'` of midpoints into
+//! midpoint positions of the partial walk, where the weight of placing
+//! midpoint `x` into a position with start–end pair `(p, q)` is
+//! `P^{δ/2}[p,x] · P^{δ/2}[x,q]` — it depends only on the *value* of `x`
+//! and the *group* `(p, q)` of the position. A perfect matching of the
+//! complete bipartite graph `B = K_{|M'|,|P'|}` therefore collapses to:
+//! which value goes into which slot of which group.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A grouped matching instance: `a` distinct midpoint values with
+/// multiplicities, `b` position groups with sizes, and an `a × b` weight
+/// table.
+///
+/// # Examples
+///
+/// ```
+/// use cct_matching::MatchingInstance;
+///
+/// // Two values (2 copies of value 0, 1 of value 1), two groups of sizes
+/// // 2 and 1, uniform weights.
+/// let inst = MatchingInstance::new(
+///     vec![2, 1],
+///     vec![2, 1],
+///     vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+/// )?;
+/// assert_eq!(inst.total_slots(), 3);
+/// # Ok::<(), cct_matching::InstanceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchingInstance {
+    value_counts: Vec<usize>,
+    group_sizes: Vec<usize>,
+    /// `weights[j][g]`: weight of assigning value `j` to a slot of group
+    /// `g`.
+    weights: Vec<Vec<f64>>,
+}
+
+/// Error returned for an inconsistent instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// `Σ value_counts != Σ group_sizes`.
+    SlotMismatch {
+        /// Total midpoint copies.
+        values: usize,
+        /// Total position slots.
+        slots: usize,
+    },
+    /// The weight table shape does not match the counts.
+    ShapeMismatch,
+    /// A weight is negative or non-finite.
+    BadWeight(f64),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::SlotMismatch { values, slots } => {
+                write!(f, "{values} midpoint copies cannot fill {slots} slots")
+            }
+            InstanceError::ShapeMismatch => write!(f, "weight table shape mismatch"),
+            InstanceError::BadWeight(w) => write!(f, "weight {w} is negative or non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// An assignment of values to group slots: `per_group[g][slot] = value`.
+///
+/// Slots within a group correspond to the group's positions in
+/// chronological order (within a group all slots are exchangeable in
+/// weight, so the sampler shuffles them uniformly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    /// Value index placed in each slot of each group.
+    pub per_group: Vec<Vec<usize>>,
+}
+
+impl MatchingInstance {
+    /// Builds an instance; validates shapes and weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if total copies and slots disagree,
+    /// the weight table has the wrong shape, or a weight is negative /
+    /// non-finite.
+    pub fn new(
+        value_counts: Vec<usize>,
+        group_sizes: Vec<usize>,
+        weights: Vec<Vec<f64>>,
+    ) -> Result<Self, InstanceError> {
+        let values: usize = value_counts.iter().sum();
+        let slots: usize = group_sizes.iter().sum();
+        if values != slots {
+            return Err(InstanceError::SlotMismatch { values, slots });
+        }
+        if weights.len() != value_counts.len()
+            || weights.iter().any(|row| row.len() != group_sizes.len())
+        {
+            return Err(InstanceError::ShapeMismatch);
+        }
+        for row in &weights {
+            for &w in row {
+                if !(w >= 0.0 && w.is_finite()) {
+                    return Err(InstanceError::BadWeight(w));
+                }
+            }
+        }
+        Ok(MatchingInstance { value_counts, group_sizes, weights })
+    }
+
+    /// Number of distinct midpoint values.
+    pub fn num_values(&self) -> usize {
+        self.value_counts.len()
+    }
+
+    /// Number of position groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_sizes.len()
+    }
+
+    /// Multiplicity of each value.
+    pub fn value_counts(&self) -> &[usize] {
+        &self.value_counts
+    }
+
+    /// Size of each group.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Weight of assigning value `j` to a slot of group `g`.
+    pub fn weight(&self, value: usize, group: usize) -> f64 {
+        self.weights[value][group]
+    }
+
+    /// Total number of slots (= total midpoint copies).
+    pub fn total_slots(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// The weight of an assignment: `Π_slots w(value, group)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment shape mismatches the instance.
+    pub fn assignment_weight(&self, a: &Assignment) -> f64 {
+        assert_eq!(a.per_group.len(), self.num_groups(), "group count mismatch");
+        let mut acc = 1.0;
+        for (g, slots) in a.per_group.iter().enumerate() {
+            assert_eq!(slots.len(), self.group_sizes[g], "group {g} size mismatch");
+            for &v in slots {
+                acc *= self.weights[v][g];
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if every slot of the assignment has a strictly
+    /// positive weight — equivalent to `assignment_weight > 0` but
+    /// immune to the floating-point underflow a product of thousands of
+    /// small probabilities suffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment shape mismatches the instance.
+    pub fn is_positive(&self, a: &Assignment) -> bool {
+        assert_eq!(a.per_group.len(), self.num_groups(), "group count mismatch");
+        a.per_group
+            .iter()
+            .enumerate()
+            .all(|(g, slots)| slots.iter().all(|&v| self.weights[v][g] > 0.0))
+    }
+
+    /// Checks that an assignment uses exactly the instance's multiset.
+    pub fn is_consistent(&self, a: &Assignment) -> bool {
+        if a.per_group.len() != self.num_groups() {
+            return false;
+        }
+        let mut used = vec![0usize; self.num_values()];
+        for (g, slots) in a.per_group.iter().enumerate() {
+            if slots.len() != self.group_sizes[g] {
+                return false;
+            }
+            for &v in slots {
+                if v >= self.num_values() {
+                    return false;
+                }
+                used[v] += 1;
+            }
+        }
+        used == self.value_counts
+    }
+
+    /// The contingency table of an assignment: `table[j][g]` = copies of
+    /// value `j` placed in group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment shape mismatches.
+    pub fn contingency(&self, a: &Assignment) -> Vec<Vec<usize>> {
+        assert_eq!(a.per_group.len(), self.num_groups(), "group count mismatch");
+        let mut table = vec![vec![0usize; self.num_groups()]; self.num_values()];
+        for (g, slots) in a.per_group.iter().enumerate() {
+            for &v in slots {
+                table[v][g] += 1;
+            }
+        }
+        table
+    }
+
+    /// Expands to the full `N × N` biadjacency matrix of Lemma 3's
+    /// bipartite graph `B` (rows: midpoint copies, columns: slots).
+    ///
+    /// The permanent of this matrix is `Π_j m_j! · Σ_assignments weight`
+    /// (labeled copies overcount each distinct assignment by `Π_j m_j!`).
+    pub fn expand_to_matrix(&self) -> cct_linalg::Matrix {
+        let total = self.total_slots();
+        let mut row_of = Vec::with_capacity(total);
+        for (j, &m) in self.value_counts.iter().enumerate() {
+            row_of.extend(std::iter::repeat(j).take(m));
+        }
+        let mut col_of = Vec::with_capacity(total);
+        for (g, &s) in self.group_sizes.iter().enumerate() {
+            col_of.extend(std::iter::repeat(g).take(s));
+        }
+        cct_linalg::Matrix::from_fn(total, total, |r, c| self.weights[row_of[r]][col_of[c]])
+    }
+
+    /// Enumerates every consistent assignment with its *unnormalized*
+    /// probability (weight). Test/ground-truth helper; exponential in the
+    /// instance size.
+    ///
+    /// Assignments whose weight is zero are included (with weight 0) so
+    /// callers can distinguish "impossible" from "absent".
+    pub fn enumerate_assignments(&self) -> Vec<(Assignment, f64)> {
+        let mut remaining = self.value_counts.clone();
+        let mut per_group: Vec<Vec<usize>> = self.group_sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        let mut out = Vec::new();
+        self.enumerate_rec(0, &mut remaining, &mut per_group, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        g: usize,
+        remaining: &mut [usize],
+        per_group: &mut Vec<Vec<usize>>,
+        out: &mut Vec<(Assignment, f64)>,
+    ) {
+        if g == self.num_groups() {
+            let a = Assignment { per_group: per_group.clone() };
+            let w = self.assignment_weight(&a);
+            out.push((a, w));
+            return;
+        }
+        if per_group[g].len() == self.group_sizes[g] {
+            self.enumerate_rec(g + 1, remaining, per_group, out);
+            return;
+        }
+        // Non-decreasing value order within a group avoids enumerating
+        // within-group permutations of the same assignment... except we DO
+        // want slot-level assignments (slots are real walk positions).
+        // Enumerate all value choices per slot.
+        for j in 0..self.num_values() {
+            if remaining[j] == 0 {
+                continue;
+            }
+            remaining[j] -= 1;
+            per_group[g].push(j);
+            self.enumerate_rec(g, remaining, per_group, out);
+            per_group[g].pop();
+            remaining[j] += 1;
+        }
+    }
+
+    /// Finds *some* positive-weight consistent assignment by backtracking
+    /// (most-constrained-slot-first). Returns `None` if none exists or
+    /// the node budget is exhausted.
+    pub fn find_positive_assignment(&self, node_budget: usize) -> Option<Assignment> {
+        let mut remaining = self.value_counts.clone();
+        let mut per_group: Vec<Vec<usize>> =
+            self.group_sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        let mut budget = node_budget;
+        if self.positive_rec(0, &mut remaining, &mut per_group, &mut budget) {
+            Some(Assignment { per_group })
+        } else {
+            None
+        }
+    }
+
+    fn positive_rec(
+        &self,
+        g: usize,
+        remaining: &mut [usize],
+        per_group: &mut Vec<Vec<usize>>,
+        budget: &mut usize,
+    ) -> bool {
+        if g == self.num_groups() {
+            return true;
+        }
+        if per_group[g].len() == self.group_sizes[g] {
+            return self.positive_rec(g + 1, remaining, per_group, budget);
+        }
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        // Try heavier values first: greedy tends to succeed immediately.
+        let mut order: Vec<usize> = (0..self.num_values())
+            .filter(|&j| remaining[j] > 0 && self.weights[j][g] > 0.0)
+            .collect();
+        order.sort_by(|&x, &y| {
+            self.weights[y][g]
+                .partial_cmp(&self.weights[x][g])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for j in order {
+            remaining[j] -= 1;
+            per_group[g].push(j);
+            if self.positive_rec(g, remaining, per_group, budget) {
+                return true;
+            }
+            per_group[g].pop();
+            remaining[j] += 1;
+        }
+        false
+    }
+}
+
+impl Assignment {
+    /// Uniformly permutes the slots within each group (exchangeability:
+    /// within a group, all slots have identical weight).
+    pub fn shuffle_within_groups<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for slots in &mut self.per_group {
+            slots.shuffle(rng);
+        }
+    }
+
+    /// Total number of slots.
+    pub fn total_slots(&self) -> usize {
+        self.per_group.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MatchingInstance {
+        MatchingInstance::new(
+            vec![2, 1],
+            vec![2, 1],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert_eq!(
+            MatchingInstance::new(vec![1], vec![2], vec![vec![1.0]]),
+            Err(InstanceError::SlotMismatch { values: 1, slots: 2 })
+        );
+        assert_eq!(
+            MatchingInstance::new(vec![1], vec![1], vec![]),
+            Err(InstanceError::ShapeMismatch)
+        );
+        assert_eq!(
+            MatchingInstance::new(vec![1], vec![1], vec![vec![-1.0]]),
+            Err(InstanceError::BadWeight(-1.0))
+        );
+    }
+
+    #[test]
+    fn weight_and_consistency() {
+        let inst = small();
+        let a = Assignment { per_group: vec![vec![0, 1], vec![0]] };
+        assert!(inst.is_consistent(&a));
+        // w = w[0][0] * w[1][0] * w[0][1] = 1 * 3 * 2 = 6
+        assert_eq!(inst.assignment_weight(&a), 6.0);
+        let bad = Assignment { per_group: vec![vec![1, 1], vec![0]] };
+        assert!(!inst.is_consistent(&bad));
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let inst = small();
+        let a = Assignment { per_group: vec![vec![0, 0], vec![1]] };
+        assert_eq!(inst.contingency(&a), vec![vec![2, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn enumeration_counts_all_slot_assignments() {
+        let inst = small();
+        let all = inst.enumerate_assignments();
+        // Multiset {0,0,1} into slots (g0s0, g0s1, g1s0): 3 distinct
+        // arrangements: (0,0|1), (0,1|0), (1,0|0).
+        assert_eq!(all.len(), 3);
+        for (a, _) in &all {
+            assert!(inst.is_consistent(a));
+        }
+    }
+
+    #[test]
+    fn permanent_identity() {
+        // perm(expanded) = Π_j m_j! · Σ_assignments weight.
+        let inst = small();
+        let z: f64 = inst.enumerate_assignments().iter().map(|(_, w)| w).sum();
+        let perm = cct_linalg::permanent(&inst.expand_to_matrix());
+        let overcount = 2.0; // m_0! · m_1! = 2! · 1!
+        assert!((perm - overcount * z).abs() < 1e-9 * perm.abs().max(1.0));
+    }
+
+    #[test]
+    fn find_positive_assignment_respects_zeros() {
+        // Value 0 cannot go to group 1 → both copies of value 0 must be
+        // in group 0; value 1 in group 1.
+        let inst = MatchingInstance::new(
+            vec![2, 1],
+            vec![2, 1],
+            vec![vec![1.0, 0.0], vec![1.0, 1.0]],
+        )
+        .unwrap();
+        let a = inst.find_positive_assignment(10_000).unwrap();
+        assert!(inst.is_consistent(&a));
+        assert!(inst.assignment_weight(&a) > 0.0);
+        assert_eq!(a.per_group[0], vec![0, 0]);
+        assert_eq!(a.per_group[1], vec![1]);
+    }
+
+    #[test]
+    fn find_positive_assignment_none_when_infeasible() {
+        let inst = MatchingInstance::new(
+            vec![1, 1],
+            vec![2],
+            vec![vec![0.0], vec![1.0]],
+        )
+        .unwrap();
+        assert!(inst.find_positive_assignment(10_000).is_none());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let inst = small();
+        let mut a = Assignment { per_group: vec![vec![0, 1], vec![0]] };
+        for _ in 0..10 {
+            a.shuffle_within_groups(&mut rng);
+            assert!(inst.is_consistent(&a));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the matching samplers: consistency,
+//! positivity, and the permanent identity on random instances.
+
+use cct_matching::{
+    sample_per_group_shuffle, Assignment, ExactPermanentSampler, MatchingInstance,
+    SwapChainSampler,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Strategy: a small random instance with strictly positive weights.
+fn small_instance() -> impl Strategy<Value = MatchingInstance> {
+    (1usize..=3, 1usize..=3, any::<u64>()).prop_map(|(a, b, seed)| {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let value_counts: Vec<usize> = (0..a).map(|_| rng.gen_range(1..=3)).collect();
+        let total: usize = value_counts.iter().sum();
+        // Split `total` into b group sizes.
+        let mut group_sizes = vec![0usize; b];
+        for _ in 0..total {
+            let g = rng.gen_range(0..b);
+            group_sizes[g] += 1;
+        }
+        let weights: Vec<Vec<f64>> = (0..a)
+            .map(|_| (0..b).map(|_| 0.1 + rng.gen::<f64>()).collect())
+            .collect();
+        MatchingInstance::new(value_counts, group_sizes, weights).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn exact_sampler_outputs_consistent(inst in small_instance(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = ExactPermanentSampler.sample(&inst, &mut rng).unwrap();
+        prop_assert!(inst.is_consistent(&a));
+        prop_assert!(inst.is_positive(&a));
+    }
+
+    #[test]
+    fn swap_chain_outputs_consistent(inst in small_instance(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sampler = SwapChainSampler { steps_per_slot: 16 };
+        let a = sampler.sample(&inst, None, &mut rng).unwrap();
+        prop_assert!(inst.is_consistent(&a));
+        prop_assert!(inst.is_positive(&a));
+    }
+
+    #[test]
+    fn permanent_identity_holds(inst in small_instance()) {
+        // perm(expanded B) = Π_j m_j! · Σ_assignments weight (Lemma 3's
+        // "all permutations have the same number of matchings").
+        if inst.total_slots() <= 9 {
+            let z: f64 = inst.enumerate_assignments().iter().map(|(_, w)| w).sum();
+            let perm = cct_linalg::permanent(&inst.expand_to_matrix());
+            let overcount: f64 = inst
+                .value_counts()
+                .iter()
+                .map(|&m| (1..=m).map(|x| x as f64).product::<f64>())
+                .product();
+            prop_assert!((perm - overcount * z).abs() < 1e-6 * perm.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn contingency_margins_match(inst in small_instance(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = ExactPermanentSampler.sample(&inst, &mut rng).unwrap();
+        let table = inst.contingency(&a);
+        for (j, row) in table.iter().enumerate() {
+            prop_assert_eq!(row.iter().sum::<usize>(), inst.value_counts()[j]);
+        }
+        for g in 0..inst.num_groups() {
+            let col: usize = table.iter().map(|row| row[g]).sum();
+            prop_assert_eq!(col, inst.group_sizes()[g]);
+        }
+    }
+
+    #[test]
+    fn per_group_shuffle_preserves_multisets(
+        groups in proptest::collection::vec(proptest::collection::vec(0usize..5, 0..6), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shuffled: Assignment = sample_per_group_shuffle(groups.clone(), &mut rng);
+        prop_assert_eq!(shuffled.per_group.len(), groups.len());
+        for (orig, new) in groups.iter().zip(&shuffled.per_group) {
+            let mut a = orig.clone();
+            let mut b = new.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "multiset changed");
+        }
+    }
+}

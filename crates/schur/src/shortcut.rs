@@ -1,0 +1,293 @@
+//! The shortcut graph `ShortCut(G, S)` — Definition 3, Corollary 2.
+//!
+//! `Q[u, v]` is the probability that a walk started at `u` in `G` sits at
+//! `v` immediately before its first arrival (at time > 0) in `S`. The
+//! sampler uses `Q` to recover *first-visit edges in `G`* from a walk
+//! taken on the Schur complement (Algorithm 4).
+//!
+//! Two constructions are provided:
+//! * [`shortcut_exact`] — the fundamental-matrix solve
+//!   `Q = (I − T)^{-1} · A` (reference);
+//! * [`shortcut_by_squaring`] — the paper's distributed route
+//!   (Corollary 2): iterated squaring of the `2n × 2n` absorbing chain
+//!   `R`, which converges to `R^∞` with `Q[u,v] = R^∞[u', v'']`. Returns
+//!   the number of multiplications so the caller (`cct-core`) can charge
+//!   matrix-multiplication rounds.
+
+use crate::VertexSubset;
+use cct_graph::Graph;
+use cct_linalg::{Lu, Matrix};
+
+/// Exact shortcut transition matrix via the fundamental matrix:
+/// `Q = (I − T)^{-1} A`, where `T[u,v] = P[u,v]·[v ∉ S]` and
+/// `A = diag(Σ_{v∈S} P[u,v])`.
+///
+/// # Panics
+///
+/// Panics if `s` is empty, its universe differs from `g.n()`, or the
+/// system is singular (impossible for non-empty `S` in a connected `G`).
+pub fn shortcut_exact(g: &Graph, s: &VertexSubset) -> Matrix {
+    let n = g.n();
+    assert_eq!(s.universe(), n, "subset universe must match graph");
+    assert!(!s.is_empty(), "S must be non-empty");
+    let p = g.transition_matrix();
+    // T: transitions that stay outside S; a[u]: one-step absorption mass.
+    let mut i_minus_t = Matrix::identity(n);
+    let mut a = vec![0.0f64; n];
+    for u in 0..n {
+        for v in 0..n {
+            if p[(u, v)] == 0.0 {
+                continue;
+            }
+            if s.contains(v) {
+                a[u] += p[(u, v)];
+            } else {
+                i_minus_t[(u, v)] -= p[(u, v)];
+            }
+        }
+    }
+    let lu = Lu::new(&i_minus_t).expect("I - T is invertible when S is reachable");
+    let inv = lu.inverse();
+    Matrix::from_fn(n, n, |u, v| inv[(u, v)] * a[v])
+}
+
+/// The auxiliary absorbing chain of Corollary 2 on `L ∪ R` (two copies of
+/// `V`): `R[u', v'] = P[u,v]` for `v ∉ S`, `R[u', u''] = Σ_{v∈S} P[u,v]`,
+/// `R[u'', u''] = 1`. Indices: `u' = u`, `u'' = n + u`.
+pub fn absorbing_chain(g: &Graph, s: &VertexSubset) -> Matrix {
+    let n = g.n();
+    assert_eq!(s.universe(), n, "subset universe must match graph");
+    let p = g.transition_matrix();
+    let mut r = Matrix::zeros(2 * n, 2 * n);
+    for u in 0..n {
+        r[(n + u, n + u)] = 1.0;
+        for v in 0..n {
+            if p[(u, v)] == 0.0 {
+                continue;
+            }
+            if s.contains(v) {
+                r[(u, n + u)] += p[(u, v)];
+            } else {
+                r[(u, v)] += p[(u, v)];
+            }
+        }
+    }
+    r
+}
+
+/// Corollary 2: computes `Q` by iterated squaring of the absorbing chain
+/// until the transient mass drops below `tol` (or `max_squarings` is
+/// reached). Returns `(Q, squarings_used)` — the caller charges
+/// `squarings_used` matrix multiplications of a `2n × 2n` matrix.
+///
+/// The result under-approximates the true `Q` by at most the residual
+/// transient mass (a subtractive error, as §2.4 requires).
+///
+/// # Panics
+///
+/// Panics if `s` is empty or the universe mismatches.
+pub fn shortcut_by_squaring(
+    g: &Graph,
+    s: &VertexSubset,
+    tol: f64,
+    max_squarings: usize,
+) -> (Matrix, usize) {
+    let n = g.n();
+    let mut r = absorbing_chain(g, s);
+    let mut used = 0;
+    while used < max_squarings {
+        // Largest remaining transient mass: max over L-rows of the total
+        // probability still on L-columns.
+        let worst: f64 = (0..n)
+            .map(|u| (0..n).map(|v| r[(u, v)]).sum::<f64>())
+            .fold(0.0, f64::max);
+        if worst <= tol {
+            break;
+        }
+        r = r.matmul(&r);
+        used += 1;
+    }
+    let q = Matrix::from_fn(n, n, |u, v| r[(u, n + v)]);
+    (q, used)
+}
+
+/// Samples the first-visit edge `(u, v)` for a vertex `v ∈ S`, given that
+/// the walk's previous Schur-visit was `prev ∈ S` — Algorithm 4.
+///
+/// By Bayes' rule the predecessor `u` is drawn over `N_G(v)` with weight
+/// `Q[prev, u] · w(u,v) / wdeg_S(u)`, where `wdeg_S(u)` is `u`'s weighted
+/// degree into `S` (for unweighted graphs, `1/deg_S(u)` as in the paper).
+///
+/// Returns `None` only if the distribution degenerates (inconsistent
+/// inputs).
+///
+/// # Panics
+///
+/// Panics if `v` has no neighbors.
+pub fn sample_first_visit_edge<R: rand::Rng + ?Sized>(
+    g: &Graph,
+    s: &VertexSubset,
+    q: &Matrix,
+    prev: usize,
+    v: usize,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    let nbrs = g.neighbors(v);
+    assert!(!nbrs.is_empty(), "vertex {v} has no neighbors");
+    let weights: Vec<f64> = nbrs
+        .iter()
+        .map(|&(u, w_uv)| {
+            let wdeg_s: f64 = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&(x, _)| s.contains(x))
+                .map(|&(_, w)| w)
+                .sum();
+            if wdeg_s > 0.0 {
+                q[(prev, u)] * w_uv / wdeg_s
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    cct_linalg::sample_index(rng, &weights).map(|idx| (nbrs[idx].0, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_graph::generators;
+    use cct_walks::random_step;
+    use rand::SeedableRng;
+
+    /// The paper's Figure 2 graph: a star with centre C and leaves
+    /// A, B, D. Vertex ids: A=0, B=1, C=2, D=3; S = {A, B, D}.
+    fn figure2() -> (Graph, VertexSubset) {
+        let g = Graph::from_edges(4, &[(0, 2), (1, 2), (3, 2)]).unwrap();
+        let s = VertexSubset::new(4, &[0, 1, 3]);
+        (g, s)
+    }
+
+    #[test]
+    fn figure2_shortcut_always_points_to_c() {
+        let (g, s) = figure2();
+        let q = shortcut_exact(&g, &s);
+        // "In the shortcut graph every vertex always transitions to C."
+        for u in 0..4 {
+            assert!((q[(u, 2)] - 1.0).abs() < 1e-12, "Q[{u}, C] = {}", q[(u, 2)]);
+            for v in [0usize, 1, 3] {
+                assert!(q[(u, v)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn squaring_matches_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for g in [
+            generators::complete(6),
+            generators::lollipop(4, 3),
+            generators::grid(2, 4),
+            generators::erdos_renyi_connected(9, 0.45, &mut rng),
+        ] {
+            let s = VertexSubset::new(g.n(), &[0, 1, 2]);
+            let exact = shortcut_exact(&g, &s);
+            let (approx, used) = shortcut_by_squaring(&g, &s, 1e-12, 64);
+            assert!(used > 0);
+            assert!(
+                exact.max_abs_diff(&approx) < 1e-9,
+                "n = {}: diff {}",
+                g.n(),
+                exact.max_abs_diff(&approx)
+            );
+            // Subtractive: the squared chain never overshoots.
+            for u in 0..g.n() {
+                for v in 0..g.n() {
+                    assert!(approx[(u, v)] <= exact[(u, v)] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_rows_are_distributions() {
+        let g = generators::petersen();
+        let s = VertexSubset::new(10, &[0, 4, 7]);
+        let q = shortcut_exact(&g, &s);
+        for u in 0..10 {
+            let sum: f64 = (0..10).map(|v| q[(u, v)]).sum();
+            assert!((sum - 1.0).abs() < 1e-10, "row {u} sums to {sum}");
+            assert!((0..10).all(|v| q[(u, v)] >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn q_matches_monte_carlo() {
+        // Empirically estimate Pr[x_{j-1} = v] and compare with Q.
+        let g = generators::lollipop(4, 2); // vertices 0..5
+        let s = VertexSubset::new(6, &[0, 5]);
+        let q = shortcut_exact(&g, &s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let start = 2usize;
+        let trials = 60_000;
+        let mut counts = vec![0usize; 6];
+        for _ in 0..trials {
+            let mut prev;
+            let mut cur = start;
+            loop {
+                let next = random_step(&g, cur, &mut rng);
+                prev = cur;
+                cur = next;
+                if s.contains(cur) {
+                    break;
+                }
+            }
+            counts[prev] += 1;
+        }
+        for v in 0..6 {
+            let emp = counts[v] as f64 / trials as f64;
+            let sigma = (q[(start, v)].max(1e-9) * (1.0 - q[(start, v)]) / trials as f64).sqrt();
+            assert!(
+                (emp - q[(start, v)]).abs() < 5.0 * sigma + 0.005,
+                "v = {v}: empirical {emp} vs Q {}",
+                q[(start, v)]
+            );
+        }
+    }
+
+    #[test]
+    fn s_equals_v_makes_q_identity_like() {
+        // With S = V, the first S-visit is the first step, so Q[u, v] is 1
+        // iff v = u (the walk is at u just before its first step).
+        let g = generators::complete(5);
+        let s = VertexSubset::full(5);
+        let q = shortcut_exact(&g, &s);
+        assert!(q.max_abs_diff(&Matrix::identity(5)) < 1e-12);
+    }
+
+    #[test]
+    fn first_visit_edge_sampling_figure2() {
+        // On the star, every first-visit edge must be (C, v).
+        let (g, s) = figure2();
+        let q = shortcut_exact(&g, &s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let e = sample_first_visit_edge(&g, &s, &q, 0, 1, &mut rng).unwrap();
+            assert_eq!(e, (2, 1));
+        }
+    }
+
+    #[test]
+    fn first_visit_edge_weights_match_bayes_on_clique() {
+        // On K4 with S = V, prev = v's predecessor directly: Q = I, so the
+        // only positive-weight neighbor of v is prev itself.
+        let g = generators::complete(4);
+        let s = VertexSubset::full(4);
+        let q = shortcut_exact(&g, &s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let e = sample_first_visit_edge(&g, &s, &q, 3, 1, &mut rng).unwrap();
+            assert_eq!(e, (3, 1));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Vertex subsets with O(1) membership and index lookup.
+//!
+//! The phase machinery constantly works with `S = {unvisited} ∪ {v_f}`
+//! (§2.2) and needs to hop between a vertex's global id in `G` and its
+//! row index in the `|S| × |S|` Schur transition matrix.
+
+/// A subset of `0..n` with constant-time membership tests and
+/// global↔local index maps.
+///
+/// # Examples
+///
+/// ```
+/// use cct_schur::VertexSubset;
+///
+/// let s = VertexSubset::new(5, &[4, 1, 3]);
+/// assert_eq!(s.list(), &[1, 3, 4]); // sorted
+/// assert!(s.contains(3));
+/// assert!(!s.contains(0));
+/// assert_eq!(s.local_index(3), Some(1));
+/// assert_eq!(s.global(2), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexSubset {
+    n: usize,
+    list: Vec<usize>,
+    member: Vec<bool>,
+    local: Vec<usize>,
+}
+
+impl VertexSubset {
+    /// Builds a subset of `0..n` from (unsorted, possibly duplicated)
+    /// vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex is `>= n`.
+    pub fn new(n: usize, vertices: &[usize]) -> Self {
+        let mut member = vec![false; n];
+        for &v in vertices {
+            assert!(v < n, "vertex {v} out of range for n = {n}");
+            member[v] = true;
+        }
+        let list: Vec<usize> = (0..n).filter(|&v| member[v]).collect();
+        let mut local = vec![usize::MAX; n];
+        for (i, &v) in list.iter().enumerate() {
+            local[v] = i;
+        }
+        VertexSubset { n, list, member, local }
+    }
+
+    /// The full set `0..n`.
+    pub fn full(n: usize) -> Self {
+        let all: Vec<usize> = (0..n).collect();
+        VertexSubset::new(n, &all)
+    }
+
+    /// The complement within `0..n`.
+    pub fn complement(&self) -> VertexSubset {
+        let rest: Vec<usize> = (0..self.n).filter(|&v| !self.member[v]).collect();
+        VertexSubset::new(self.n, &rest)
+    }
+
+    /// Ground-set size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Sorted member list.
+    pub fn list(&self) -> &[usize] {
+        &self.list
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// `true` if the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: usize) -> bool {
+        v < self.n && self.member[v]
+    }
+
+    /// The local (row) index of member `v`, or `None` if absent.
+    pub fn local_index(&self, v: usize) -> Option<usize> {
+        if self.contains(v) {
+            Some(self.local[v])
+        } else {
+            None
+        }
+    }
+
+    /// The global vertex id of local index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn global(&self, i: usize) -> usize {
+        self.list[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        let s = VertexSubset::new(6, &[5, 0, 2]);
+        for (i, &v) in s.list().iter().enumerate() {
+            assert_eq!(s.local_index(v), Some(i));
+            assert_eq!(s.global(i), v);
+        }
+        assert_eq!(s.local_index(1), None);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let s = VertexSubset::new(4, &[1, 1, 1]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.list(), &[1]);
+    }
+
+    #[test]
+    fn complement_partitions() {
+        let s = VertexSubset::new(5, &[0, 2]);
+        let c = s.complement();
+        assert_eq!(c.list(), &[1, 3, 4]);
+        assert_eq!(s.len() + c.len(), 5);
+        for v in 0..5 {
+            assert!(s.contains(v) ^ c.contains(v));
+        }
+    }
+
+    #[test]
+    fn full_set() {
+        let s = VertexSubset::full(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.complement().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = VertexSubset::new(2, &[2]);
+    }
+}

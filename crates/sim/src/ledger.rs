@@ -1,0 +1,225 @@
+//! Round and bandwidth accounting for the simulated Congested Clique.
+//!
+//! The time complexity of a Congested Clique algorithm is its number of
+//! synchronous rounds (§1.6). Every communication primitive in this crate
+//! charges rounds to a [`RoundLedger`] under a labeled [`CostCategory`],
+//! so experiments can report not just totals but *where* the rounds go
+//! (matrix multiplication vs. binary search vs. routing, matching the
+//! per-component analysis of Lemmas 5 and 11).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a batch of rounds was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum CostCategory {
+    /// Distributed matrix multiplication (Algorithm 1 / §2.4).
+    MatMul,
+    /// General point-to-point routing (Lenzen \[56\]).
+    Routing,
+    /// One-to-all broadcasts.
+    Broadcast,
+    /// Many-to-one gathers at the leader.
+    Gather,
+    /// The distributed binary search for the truncation point (Alg. 3).
+    BinarySearch,
+    /// Midpoint request/generation traffic (Alg. 2).
+    Midpoints,
+    /// Multiset collection + submatrix shipping for matching placement.
+    Matching,
+    /// First-visit edge sampling (Alg. 4).
+    FirstVisit,
+    /// Doubling-walk merging traffic (§3).
+    Doubling,
+    /// Anything else (setup, bookkeeping).
+    Misc,
+}
+
+impl CostCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [CostCategory; 10] = [
+        CostCategory::MatMul,
+        CostCategory::Routing,
+        CostCategory::Broadcast,
+        CostCategory::Gather,
+        CostCategory::BinarySearch,
+        CostCategory::Midpoints,
+        CostCategory::Matching,
+        CostCategory::FirstVisit,
+        CostCategory::Doubling,
+        CostCategory::Misc,
+    ];
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CostCategory::MatMul => "matmul",
+            CostCategory::Routing => "routing",
+            CostCategory::Broadcast => "broadcast",
+            CostCategory::Gather => "gather",
+            CostCategory::BinarySearch => "binary-search",
+            CostCategory::Midpoints => "midpoints",
+            CostCategory::Matching => "matching",
+            CostCategory::FirstVisit => "first-visit",
+            CostCategory::Doubling => "doubling",
+            CostCategory::Misc => "misc",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Accumulated rounds and words, split by [`CostCategory`].
+///
+/// # Examples
+///
+/// ```
+/// use cct_sim::{CostCategory, RoundLedger};
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.charge(CostCategory::MatMul, 5);
+/// ledger.charge(CostCategory::Routing, 2);
+/// ledger.add_words(CostCategory::Routing, 1000);
+/// assert_eq!(ledger.total_rounds(), 7);
+/// assert_eq!(ledger.rounds(CostCategory::MatMul), 5);
+/// assert_eq!(ledger.total_words(), 1000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundLedger {
+    rounds: BTreeMap<CostCategory, u64>,
+    words: BTreeMap<CostCategory, u64>,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Charges `rounds` rounds under `category`.
+    pub fn charge(&mut self, category: CostCategory, rounds: u64) {
+        *self.rounds.entry(category).or_insert(0) += rounds;
+    }
+
+    /// Records `words` machine-words of traffic under `category` (does not
+    /// by itself advance time).
+    pub fn add_words(&mut self, category: CostCategory, words: u64) {
+        *self.words.entry(category).or_insert(0) += words;
+    }
+
+    /// Rounds charged under one category.
+    pub fn rounds(&self, category: CostCategory) -> u64 {
+        self.rounds.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Words recorded under one category.
+    pub fn words(&self, category: CostCategory) -> u64 {
+        self.words.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Total rounds across all categories.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds.values().sum()
+    }
+
+    /// Total words across all categories.
+    pub fn total_words(&self) -> u64 {
+        self.words.values().sum()
+    }
+
+    /// Non-zero `(category, rounds)` entries, sorted by category.
+    pub fn breakdown(&self) -> Vec<(CostCategory, u64)> {
+        self.rounds
+            .iter()
+            .filter(|(_, &r)| r > 0)
+            .map(|(&c, &r)| (c, r))
+            .collect()
+    }
+
+    /// Adds every charge from `other` into `self`.
+    pub fn merge(&mut self, other: &RoundLedger) {
+        for (&c, &r) in &other.rounds {
+            self.charge(c, r);
+        }
+        for (&c, &w) in &other.words {
+            self.add_words(c, w);
+        }
+    }
+
+    /// Resets the ledger to empty and returns the previous contents.
+    pub fn take(&mut self) -> RoundLedger {
+        std::mem::take(self)
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rounds (", self.total_rounds())?;
+        for (i, (c, r)) in self.breakdown().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}: {r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = RoundLedger::new();
+        assert_eq!(l.total_rounds(), 0);
+        assert_eq!(l.total_words(), 0);
+        assert!(l.breakdown().is_empty());
+        assert_eq!(l.rounds(CostCategory::MatMul), 0);
+    }
+
+    #[test]
+    fn charges_accumulate_per_category() {
+        let mut l = RoundLedger::new();
+        l.charge(CostCategory::MatMul, 3);
+        l.charge(CostCategory::MatMul, 4);
+        l.charge(CostCategory::Gather, 1);
+        assert_eq!(l.rounds(CostCategory::MatMul), 7);
+        assert_eq!(l.total_rounds(), 8);
+        assert_eq!(l.breakdown().len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = RoundLedger::new();
+        a.charge(CostCategory::Routing, 2);
+        a.add_words(CostCategory::Routing, 10);
+        let mut b = RoundLedger::new();
+        b.charge(CostCategory::Routing, 3);
+        b.charge(CostCategory::Broadcast, 1);
+        b.add_words(CostCategory::Broadcast, 5);
+        a.merge(&b);
+        assert_eq!(a.rounds(CostCategory::Routing), 5);
+        assert_eq!(a.rounds(CostCategory::Broadcast), 1);
+        assert_eq!(a.total_words(), 15);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut l = RoundLedger::new();
+        l.charge(CostCategory::Misc, 9);
+        let taken = l.take();
+        assert_eq!(taken.total_rounds(), 9);
+        assert_eq!(l.total_rounds(), 0);
+    }
+
+    #[test]
+    fn display_mentions_categories() {
+        let mut l = RoundLedger::new();
+        l.charge(CostCategory::BinarySearch, 2);
+        let s = format!("{l}");
+        assert!(s.contains("binary-search"));
+        assert!(s.contains('2'));
+    }
+}

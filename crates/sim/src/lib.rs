@@ -1,0 +1,47 @@
+//! # cct-sim
+//!
+//! A simulator for the **Congested Clique** model of distributed
+//! computing (§1.6 of Pemmaraju–Roy–Sobel, PODC 2025).
+//!
+//! The model: `n` machines, one per vertex of the input graph; synchronous
+//! rounds; each round every machine may exchange `O(log n)`-bit messages
+//! with every other machine, and by Lenzen's routing theorem \[56\] a
+//! machine can send and receive `O(n)` words per round regardless of the
+//! destination pattern.
+//!
+//! The simulator runs all machines in one process. Machine-local state
+//! lives in the protocol code; *all* cross-machine data movement goes
+//! through [`Clique::route`] (or wrappers built on it), which both
+//! delivers the payloads and charges the measured round cost — the
+//! quantity every experiment reports — to a categorized [`RoundLedger`].
+//!
+//! Distributed matrix multiplication, the dominant per-phase cost of the
+//! paper's algorithm, is provided by pluggable [`MatMulEngine`]s: a real
+//! `O(n^{1/3})`-round [`SemiringEngine`] and the `O(n^α)` cost-model
+//! [`FastOracleEngine`] (see DESIGN.md on this substitution).
+//!
+//! # Examples
+//!
+//! ```
+//! use cct_sim::{Clique, CostCategory, Envelope};
+//!
+//! let mut clique = Clique::new(8);
+//! // All-to-one: everyone reports a word to the leader.
+//! let batches: Vec<Vec<u64>> = (0..8).map(|i| vec![i as u64]).collect();
+//! let received = clique.gather(CostCategory::Gather, clique.leader(), batches, 1);
+//! assert_eq!(received.len(), 8);
+//! assert_eq!(clique.ledger().total_rounds(), 1); // 8 words ≤ n per round
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+mod ledger;
+mod matmul;
+
+pub use clique::{Clique, Envelope};
+pub use ledger::{CostCategory, RoundLedger};
+pub use matmul::{
+    distributed_powers, FastOracleEngine, MatMulEngine, SemiringEngine, UnitCostEngine, ALPHA,
+};

@@ -1,0 +1,222 @@
+//! The Aldous–Broder algorithm \[1, 12\]: the first-visit edges of a
+//! covering random walk form a uniformly distributed spanning tree.
+//!
+//! This is the sequential reference sampler that the paper's distributed
+//! algorithm implements; every uniformity experiment compares against it.
+
+use crate::walk::random_step;
+use cct_graph::{Graph, SpanningTree};
+use rand::Rng;
+
+/// Error returned when tree sampling cannot proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// The graph is disconnected (no spanning tree exists).
+    Disconnected,
+    /// The step cap was exhausted before the walk covered the graph.
+    StepCapExhausted {
+        /// The cap that was hit.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::Disconnected => write!(f, "graph is disconnected"),
+            SampleError::StepCapExhausted { cap } => {
+                write!(f, "walk did not cover the graph within {cap} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Samples a uniform (weighted-uniform for weighted graphs) spanning tree
+/// by running a random walk from `start` until it covers the graph and
+/// keeping each vertex's first-visit edge.
+///
+/// # Errors
+///
+/// Returns [`SampleError::Disconnected`] for disconnected graphs.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `start >= n`.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::generators;
+/// use cct_walks::aldous_broder;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let tree = aldous_broder(&g, 0, &mut rng)?;
+/// assert_eq!(tree.edges().len(), 4);
+/// # Ok::<(), cct_walks::SampleError>(())
+/// ```
+pub fn aldous_broder<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    rng: &mut R,
+) -> Result<SpanningTree, SampleError> {
+    aldous_broder_capped(g, start, u64::MAX, rng)
+}
+
+/// [`aldous_broder`] with an explicit step cap (useful in tests on graphs
+/// with large cover time).
+///
+/// # Errors
+///
+/// Returns [`SampleError::Disconnected`] or
+/// [`SampleError::StepCapExhausted`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `start >= n`.
+pub fn aldous_broder_capped<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    cap: u64,
+    rng: &mut R,
+) -> Result<SpanningTree, SampleError> {
+    let n = g.n();
+    assert!(n > 0, "graph must be non-empty");
+    assert!(start < n, "start vertex out of range");
+    if !g.is_connected() {
+        return Err(SampleError::Disconnected);
+    }
+    if n == 1 {
+        return Ok(SpanningTree::new(1, Vec::new()).expect("trivial"));
+    }
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    let mut remaining = n - 1;
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut cur = start;
+    let mut steps = 0u64;
+    while remaining > 0 {
+        if steps >= cap {
+            return Err(SampleError::StepCapExhausted { cap });
+        }
+        let next = random_step(g, cur, rng);
+        if !visited[next] {
+            visited[next] = true;
+            remaining -= 1;
+            edges.push((cur, next));
+        }
+        cur = next;
+        steps += 1;
+    }
+    Ok(SpanningTree::new(n, edges).expect("first-visit edges span"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_graph::{generators, spanning_tree_distribution};
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_valid_trees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for g in [
+            generators::complete(6),
+            generators::cycle(7),
+            generators::petersen(),
+            generators::grid(3, 3),
+            generators::lollipop(4, 3),
+        ] {
+            for start in [0, g.n() - 1] {
+                let t = aldous_broder(&g, start, &mut rng).unwrap();
+                assert_eq!(t.n(), g.n());
+                for &(u, v) in t.edges() {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = cct_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert_eq!(
+            aldous_broder(&g, 0, &mut rng).unwrap_err(),
+            SampleError::Disconnected
+        );
+    }
+
+    #[test]
+    fn cap_respected() {
+        let g = generators::lollipop(6, 6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        // A cap of 1 step can never cover 12 vertices.
+        assert!(matches!(
+            aldous_broder_capped(&g, 0, 1, &mut rng),
+            Err(SampleError::StepCapExhausted { cap: 1 })
+        ));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = cct_graph::Graph::from_edges(1, &[]).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let t = aldous_broder(&g, 0, &mut rng).unwrap();
+        assert!(t.edges().is_empty());
+    }
+
+    #[test]
+    fn uniform_on_k4_chi_square() {
+        // K4 has 16 spanning trees; Aldous-Broder must hit each with
+        // probability 1/16. Conservative chi-square gate (p ≈ 1e-6).
+        let g = generators::complete(4);
+        let dist = spanning_tree_distribution(&g);
+        assert_eq!(dist.len(), 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let trials = 16_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let t = aldous_broder(&g, 0, &mut rng).unwrap();
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let stat = crate::stats::chi_square_stat(
+            &dist
+                .iter()
+                .map(|(t, p)| (counts.get(t).copied().unwrap_or(0), *p))
+                .collect::<Vec<_>>(),
+            trials,
+        );
+        let threshold = crate::stats::chi_square_critical(dist.len() - 1);
+        assert!(stat < threshold, "chi² = {stat:.1} ≥ {threshold:.1}");
+    }
+
+    #[test]
+    fn weighted_triangle_distribution() {
+        // Weights 1,2,3 → tree probabilities 2/11, 3/11, 6/11.
+        let g = cct_graph::Graph::from_weighted_edges(
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)],
+        )
+        .unwrap();
+        let dist = spanning_tree_distribution(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+        let trials = 22_000usize;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..trials {
+            let t = aldous_broder(&g, 0, &mut rng).unwrap();
+            *counts.entry(t).or_insert(0usize) += 1;
+        }
+        let stat = crate::stats::chi_square_stat(
+            &dist
+                .iter()
+                .map(|(t, p)| (counts.get(t).copied().unwrap_or(0), *p))
+                .collect::<Vec<_>>(),
+            trials,
+        );
+        assert!(stat < crate::stats::chi_square_critical(2));
+    }
+}

@@ -1,0 +1,182 @@
+//! Cover-time estimation.
+//!
+//! The paper's parameter choices hinge on cover-time facts: every
+//! unweighted graph has cover time `O(mn) ⊆ O(n³)` \[2\], expanders and
+//! `G(n, p ≥ log n/n)` have `O(n log n)` \[12, 13, 18\], and
+//! `Schur(G, S)`'s cover time never exceeds `G`'s. These estimators feed
+//! experiments E5 and E11 and Corollary 1's `Õ(τ/n)` round bound.
+
+use crate::walk::random_step;
+use cct_graph::Graph;
+use rand::Rng;
+
+/// One sampled cover time: steps until a walk from `start` has visited
+/// every vertex, capped at `cap`.
+///
+/// Returns `None` if the cap was reached first.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the walk reaches an isolated vertex.
+pub fn cover_time_once<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    let n = g.n();
+    assert!(n > 0, "graph must be non-empty");
+    let mut unvisited = n - 1;
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    let mut cur = start;
+    for t in 1..=cap {
+        if unvisited == 0 {
+            return Some(t - 1);
+        }
+        cur = random_step(g, cur, rng);
+        if !visited[cur] {
+            visited[cur] = true;
+            unvisited -= 1;
+        }
+    }
+    if unvisited == 0 {
+        Some(cap)
+    } else {
+        None
+    }
+}
+
+/// Summary statistics of sampled cover times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverTimeStats {
+    /// Mean over completed trials.
+    pub mean: f64,
+    /// Maximum over completed trials.
+    pub max: u64,
+    /// Number of trials that hit the cap before covering.
+    pub capped: usize,
+    /// Number of trials run.
+    pub trials: usize,
+}
+
+/// Estimates the cover time from `start` over `trials` independent walks.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, the graph is disconnected (cover time is
+/// infinite), or the graph is empty.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::generators;
+/// use cct_walks::estimate_cover_time;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let stats = estimate_cover_time(&g, 0, 50, 100_000, &mut rng);
+/// assert_eq!(stats.capped, 0);
+/// // Coupon collector: roughly n·H_n ≈ 22 steps; allow generous slack.
+/// assert!(stats.mean > 5.0 && stats.mean < 100.0);
+/// ```
+pub fn estimate_cover_time<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    trials: usize,
+    cap: u64,
+    rng: &mut R,
+) -> CoverTimeStats {
+    assert!(trials > 0, "need at least one trial");
+    assert!(g.is_connected(), "cover time is infinite on disconnected graphs");
+    let mut sum = 0.0;
+    let mut max = 0u64;
+    let mut capped = 0usize;
+    let mut completed = 0usize;
+    for _ in 0..trials {
+        match cover_time_once(g, start, cap, rng) {
+            Some(t) => {
+                sum += t as f64;
+                max = max.max(t);
+                completed += 1;
+            }
+            None => capped += 1,
+        }
+    }
+    CoverTimeStats {
+        mean: if completed > 0 { sum / completed as f64 } else { f64::INFINITY },
+        max,
+        capped,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_vertex_covers_instantly() {
+        let g = cct_graph::Graph::from_edges(1, &[]).unwrap();
+        let mut r = rng(1);
+        assert_eq!(cover_time_once(&g, 0, 10, &mut r), Some(0));
+    }
+
+    #[test]
+    fn two_path_covers_in_one_step() {
+        let g = generators::path(2);
+        let mut r = rng(2);
+        assert_eq!(cover_time_once(&g, 0, 10, &mut r), Some(1));
+    }
+
+    #[test]
+    fn cap_triggers_none() {
+        let g = generators::path(30);
+        let mut r = rng(3);
+        assert_eq!(cover_time_once(&g, 0, 5, &mut r), None);
+    }
+
+    #[test]
+    fn complete_graph_is_coupon_collector() {
+        // E[cover(K_n)] = (n-1)·H_{n-1} ≈ 29.3 for n = 12.
+        let g = generators::complete(12);
+        let mut r = rng(4);
+        let stats = estimate_cover_time(&g, 0, 400, 10_000, &mut r);
+        assert_eq!(stats.capped, 0);
+        let expect = 11.0 * (1..=11).map(|k| 1.0 / k as f64).sum::<f64>();
+        assert!(
+            (stats.mean - expect).abs() < 0.25 * expect,
+            "mean {} vs expected {expect}",
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn path_cover_time_is_quadratic_ish() {
+        // Cover time of P_n from an end is ~ n² / something; must exceed
+        // the coupon-collector bound of a clique of equal size by a lot.
+        let n = 16;
+        let mut r = rng(5);
+        let path_stats = estimate_cover_time(&generators::path(n), 0, 200, 1_000_000, &mut r);
+        let clique_stats = estimate_cover_time(&generators::complete(n), 0, 200, 1_000_000, &mut r);
+        assert!(path_stats.mean > 3.0 * clique_stats.mean);
+        // (n-1)^2 is the exact expected cover time of a path from one end.
+        let expect = ((n - 1) * (n - 1)) as f64;
+        assert!((path_stats.mean - expect).abs() < 0.25 * expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_panics() {
+        let g = cct_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut r = rng(6);
+        let _ = estimate_cover_time(&g, 0, 2, 100, &mut r);
+    }
+}

@@ -1,0 +1,441 @@
+//! The sequential top-down walk-filling algorithms: Outline 1 (§1.3) and
+//! the truncated variant of §2.1.2.
+//!
+//! These are the *specifications* that the distributed sampler in
+//! `cct-core` must match (Lemma 4 proves the distributed algorithm agrees
+//! with the sequential truncated algorithm). Keeping faithful sequential
+//! implementations lets the test suite check distributional equivalence.
+
+use cct_linalg::{sample_index, Matrix};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples a midpoint between `p` and `q` for a gap of length `2·half`
+/// using Formula 1: `Pr[m = j] ∝ P^half[p, j] · P^half[j, q]`.
+///
+/// `half_power` must be `P^half`. Returns `None` if the conditional
+/// distribution has no support (cannot happen for a genuine random-walk
+/// pair at the right distance).
+pub fn sample_midpoint<R: Rng + ?Sized>(
+    half_power: &Matrix,
+    p: usize,
+    q: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    let n = half_power.rows();
+    let weights: Vec<f64> = (0..n)
+        .map(|j| half_power[(p, j)] * half_power[(j, q)])
+        .collect();
+    sample_index(rng, &weights)
+}
+
+/// Outline 1: samples a complete random walk of length `ell` (a power of
+/// two) starting at `start`, by sampling the endpoint from `P^ell[start,·]`
+/// and recursively filling midpoints level by level.
+///
+/// `table[k]` must hold `P^{2^k}` for `k = 0 ..= log₂ ell`
+/// (see [`cct_linalg::powers_of_two`]).
+///
+/// # Panics
+///
+/// Panics if `ell` is not a positive power of two, the table is too
+/// short, or a midpoint distribution degenerates (which indicates an
+/// inconsistent table).
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::generators;
+/// use cct_linalg::powers_of_two;
+/// use cct_walks::{is_valid_walk, top_down_walk};
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(4);
+/// let table = powers_of_two(&g.transition_matrix(), 4, 1); // up to P^8
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let walk = top_down_walk(&table, 0, 8, &mut rng);
+/// assert_eq!(walk.len(), 9);
+/// assert!(is_valid_walk(&g, &walk));
+/// ```
+pub fn top_down_walk<R: Rng + ?Sized>(
+    table: &[Matrix],
+    start: usize,
+    ell: u64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(ell >= 1 && ell.is_power_of_two(), "ell must be a positive power of two");
+    let levels = ell.trailing_zeros() as usize;
+    assert!(
+        table.len() > levels,
+        "power table has {} entries, need {}",
+        table.len(),
+        levels + 1
+    );
+    let n = table[0].rows();
+    assert!(start < n, "start vertex out of range");
+    let mut w = vec![usize::MAX; (ell + 1) as usize];
+    w[0] = start;
+    w[ell as usize] =
+        sample_index(rng, table[levels].row(start)).expect("P^ell row must have support");
+    for i in 1..=levels {
+        let gap = (ell >> (i - 1)) as usize;
+        let half = gap / 2;
+        let half_power = &table[levels - i];
+        let mut pos = 0usize;
+        while pos < ell as usize {
+            let (p, q) = (w[pos], w[pos + gap]);
+            let m = sample_midpoint(half_power, p, q, rng)
+                .expect("midpoint distribution must have support");
+            w[pos + half] = m;
+            pos += gap;
+        }
+    }
+    w
+}
+
+/// A truncated top-down walk (§2.1.2): the walk ends at the stopping time
+/// `τ = min(ell, first visit to the ρ-th distinct vertex)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedWalk {
+    /// The contiguous walk `W[0..=τ]`.
+    pub vertices: Vec<usize>,
+    /// Whether the ρ-distinct-vertex budget was reached (`false` means the
+    /// full `ell`-length walk had fewer than ρ distinct vertices — the
+    /// low-probability failure event of Theorem 1's Monte Carlo variant).
+    pub reached_budget: bool,
+}
+
+impl TruncatedWalk {
+    /// The stopping time `τ` (number of steps).
+    pub fn tau(&self) -> u64 {
+        (self.vertices.len() - 1) as u64
+    }
+
+    /// Distinct vertices in the walk.
+    pub fn distinct(&self) -> usize {
+        self.vertices.iter().collect::<HashSet<_>>().len()
+    }
+}
+
+/// §2.1.2: the sequential truncated top-down filling algorithm.
+///
+/// Level by level, midpoints are filled **chronologically**; as soon as
+/// the partial walk's prefix contains `rho` distinct vertices, it is
+/// truncated at the first occurrence of the `rho`-th distinct vertex.
+/// Because every prefix of a partial walk is a contiguous grid at
+/// granularity `ell/2^i`, the partial walk is represented densely.
+///
+/// `table[k] = P^{2^k}` as in [`top_down_walk`].
+///
+/// # Panics
+///
+/// Panics if `ell` is not a positive power of two, `rho < 2`, the table
+/// is too short, or a midpoint distribution degenerates.
+pub fn truncated_top_down_walk<R: Rng + ?Sized>(
+    table: &[Matrix],
+    start: usize,
+    ell: u64,
+    rho: usize,
+    rng: &mut R,
+) -> TruncatedWalk {
+    assert!(ell >= 1 && ell.is_power_of_two(), "ell must be a positive power of two");
+    assert!(rho >= 2, "rho must be at least 2");
+    let levels = ell.trailing_zeros() as usize;
+    assert!(
+        table.len() > levels,
+        "power table has {} entries, need {}",
+        table.len(),
+        levels + 1
+    );
+    let n = table[0].rows();
+    assert!(start < n, "start vertex out of range");
+
+    // grid[j] is the vertex at walk index j · (ell / 2^i) after level i.
+    let endpoint =
+        sample_index(rng, table[levels].row(start)).expect("P^ell row must have support");
+    let mut grid: Vec<usize> = vec![start, endpoint];
+    // Truncate the initial partial walk W1 = (s, e) if it already reaches
+    // the budget (only possible when rho == 2 and e != s).
+    let mut reached = false;
+    if rho == 2 && endpoint != start {
+        // The 2nd distinct vertex first occurs at the endpoint; truncation
+        // cannot shorten anything yet (no interior points exist), but the
+        // budget is known to be reachable. Filling continues; interior
+        // midpoints may move the first occurrence earlier, handled below.
+    }
+
+    for i in 1..=levels {
+        let half_power = &table[levels - i];
+        let mut new_grid: Vec<usize> = Vec::with_capacity(grid.len() * 2);
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut truncated = false;
+        for j in 0..grid.len() {
+            // Old entry.
+            new_grid.push(grid[j]);
+            if seen.insert(grid[j]) && seen.len() == rho {
+                truncated = true;
+                break;
+            }
+            // Midpoint between old entries j and j+1.
+            if j + 1 < grid.len() {
+                let m = sample_midpoint(half_power, grid[j], grid[j + 1], rng)
+                    .expect("midpoint distribution must have support");
+                new_grid.push(m);
+                if seen.insert(m) && seen.len() == rho {
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        reached = truncated || reached;
+        if truncated {
+            // After a truncation the grid granularity is ell / 2^i and the
+            // walk ends exactly at the rho-th distinct vertex.
+            grid = new_grid;
+            // Later levels only refine *within* the truncated prefix: the
+            // loop continues with the shorter grid.
+            // (reached stays true; further truncations may shorten more.)
+            continue;
+        }
+        grid = new_grid;
+    }
+    // Re-derive `reached` from the final contiguous walk (handles the
+    // rho == 2 initial case and keeps the flag authoritative).
+    let distinct = grid.iter().collect::<HashSet<_>>().len();
+    TruncatedWalk { vertices: grid, reached_budget: distinct >= rho }
+}
+
+/// Reference implementation by direct simulation: walk step by step for at
+/// most `ell` steps, stopping at the first visit to the `rho`-th distinct
+/// vertex. Used to validate [`truncated_top_down_walk`] distributionally.
+///
+/// # Panics
+///
+/// Panics if `rho < 2` or the walk reaches an isolated vertex.
+pub fn direct_truncated_walk<R: Rng + ?Sized>(
+    g: &cct_graph::Graph,
+    start: usize,
+    ell: u64,
+    rho: usize,
+    rng: &mut R,
+) -> TruncatedWalk {
+    assert!(rho >= 2, "rho must be at least 2");
+    let mut vertices = vec![start];
+    let mut seen = HashSet::new();
+    seen.insert(start);
+    let mut cur = start;
+    let mut reached = seen.len() >= rho;
+    for _ in 0..ell {
+        if reached {
+            break;
+        }
+        cur = crate::walk::random_step(g, cur, rng);
+        vertices.push(cur);
+        if seen.insert(cur) && seen.len() >= rho {
+            reached = true;
+        }
+    }
+    TruncatedWalk { vertices, reached_budget: reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use crate::walk::is_valid_walk;
+    use cct_graph::{generators, Graph};
+    use cct_linalg::powers_of_two;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn top_down_walks_are_valid() {
+        for g in [generators::complete(5), generators::petersen(), generators::grid(2, 3)] {
+            let table = powers_of_two(&g.transition_matrix(), 6, 1);
+            let mut r = rng(31);
+            for _ in 0..20 {
+                let w = top_down_walk(&table, 0, 32, &mut r);
+                assert_eq!(w.len(), 33);
+                assert!(is_valid_walk(&g, &w), "invalid walk on n={}", g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn top_down_length_one() {
+        let g = generators::path(3);
+        let table = powers_of_two(&g.transition_matrix(), 1, 1);
+        let mut r = rng(32);
+        let w = top_down_walk(&table, 1, 1, &mut r);
+        assert_eq!(w.len(), 2);
+        assert!(g.has_edge(w[0], w[1]));
+    }
+
+    /// Exact distribution over complete length-`ell` walks by enumeration.
+    fn exact_walk_distribution(g: &Graph, start: usize, ell: usize) -> Vec<(Vec<usize>, f64)> {
+        let p = g.transition_matrix();
+        let mut out: Vec<(Vec<usize>, f64)> = Vec::new();
+        fn rec(
+            p: &cct_linalg::Matrix,
+            walk: &mut Vec<usize>,
+            prob: f64,
+            remaining: usize,
+            out: &mut Vec<(Vec<usize>, f64)>,
+        ) {
+            if remaining == 0 {
+                out.push((walk.clone(), prob));
+                return;
+            }
+            let u = *walk.last().unwrap();
+            for v in 0..p.rows() {
+                let pv = p[(u, v)];
+                if pv > 0.0 {
+                    walk.push(v);
+                    rec(p, walk, prob * pv, remaining - 1, out);
+                    walk.pop();
+                }
+            }
+        }
+        rec(&p, &mut vec![start], 1.0, ell, &mut out);
+        out
+    }
+
+    #[test]
+    fn top_down_matches_exact_walk_distribution() {
+        // Triangle plus pendant, ell = 4: small enough to enumerate.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let exact = exact_walk_distribution(&g, 0, 4);
+        let table = powers_of_two(&g.transition_matrix(), 3, 1);
+        let mut r = rng(33);
+        let trials = 40_000;
+        let counts =
+            stats::empirical_counts((0..trials).map(|_| top_down_walk(&table, 0, 4, &mut r)));
+        let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
+        assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
+    }
+
+    /// Exact distribution over truncated walks, by enumerating full walks
+    /// and applying the truncation rule.
+    fn exact_truncated_distribution(
+        g: &Graph,
+        start: usize,
+        ell: usize,
+        rho: usize,
+    ) -> Vec<(Vec<usize>, f64)> {
+        let full = exact_walk_distribution(g, start, ell);
+        let mut agg: HashMap<Vec<usize>, f64> = HashMap::new();
+        for (walk, prob) in full {
+            let mut seen = std::collections::HashSet::new();
+            let mut cut = walk.len();
+            for (t, &v) in walk.iter().enumerate() {
+                seen.insert(v);
+                if seen.len() >= rho {
+                    cut = t + 1;
+                    break;
+                }
+            }
+            *agg.entry(walk[..cut].to_vec()).or_insert(0.0) += prob;
+        }
+        agg.into_iter().collect()
+    }
+
+    #[test]
+    fn truncated_matches_exact_distribution_on_triangle() {
+        let g = generators::complete(3);
+        let (ell, rho) = (8u64, 3usize);
+        let exact = exact_truncated_distribution(&g, 0, ell as usize, rho);
+        let table = powers_of_two(&g.transition_matrix(), 4, 1);
+        let mut r = rng(34);
+        let trials = 40_000;
+        let counts = stats::empirical_counts(
+            (0..trials).map(|_| truncated_top_down_walk(&table, 0, ell, rho, &mut r).vertices),
+        );
+        let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
+        assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
+    }
+
+    #[test]
+    fn truncated_matches_direct_simulation_on_path() {
+        // Bipartite path P4 — exercises parity consistency.
+        let g = generators::path(4);
+        let (ell, rho) = (8u64, 3usize);
+        let exact = exact_truncated_distribution(&g, 0, ell as usize, rho);
+        let table = powers_of_two(&g.transition_matrix(), 4, 1);
+        let trials = 30_000;
+        let mut r = rng(35);
+        let top_counts = stats::empirical_counts(
+            (0..trials).map(|_| truncated_top_down_walk(&table, 0, ell, rho, &mut r).vertices),
+        );
+        let (stat, crit) = stats::goodness_of_fit(&top_counts, &exact, trials);
+        assert!(stat < crit, "top-down: chi² = {stat:.1} ≥ {crit:.1}");
+        // The direct simulator must match the same exact distribution.
+        let mut r = rng(36);
+        let dir_counts = stats::empirical_counts(
+            (0..trials).map(|_| direct_truncated_walk(&g, 0, ell, rho, &mut r).vertices),
+        );
+        let (stat, crit) = stats::goodness_of_fit(&dir_counts, &exact, trials);
+        assert!(stat < crit, "direct: chi² = {stat:.1} ≥ {crit:.1}");
+    }
+
+    #[test]
+    fn truncated_walk_ends_at_rho_th_distinct() {
+        let g = generators::complete(6);
+        let table = powers_of_two(&g.transition_matrix(), 6, 1);
+        let mut r = rng(37);
+        for _ in 0..50 {
+            let tw = truncated_top_down_walk(&table, 0, 32, 4, &mut r);
+            assert!(tw.reached_budget);
+            assert_eq!(tw.distinct(), 4);
+            assert!(is_valid_walk(&g, &tw.vertices));
+            // The final vertex appears exactly once (it is the 4th
+            // distinct vertex's first occurrence).
+            let last = *tw.vertices.last().unwrap();
+            assert_eq!(tw.vertices.iter().filter(|&&v| v == last).count(), 1);
+            // Every proper prefix has < 4 distinct vertices.
+            let prefix: std::collections::HashSet<_> =
+                tw.vertices[..tw.vertices.len() - 1].iter().collect();
+            assert_eq!(prefix.len(), 3);
+        }
+    }
+
+    #[test]
+    fn truncated_walk_budget_failure_flagged() {
+        // A 2-path can never visit 3 distinct vertices... it can (0,1,2).
+        // Use rho larger than n instead: budget is unreachable.
+        let g = generators::path(3);
+        let table = powers_of_two(&g.transition_matrix(), 3, 1);
+        let mut r = rng(38);
+        let tw = truncated_top_down_walk(&table, 0, 4, 4, &mut r);
+        assert!(!tw.reached_budget);
+        assert_eq!(tw.tau(), 4); // full length
+    }
+
+    #[test]
+    fn tau_statistics_match_direct(){
+        // Mean stopping time of the top-down truncated walk must match the
+        // direct simulation (cheap consistency check on a non-trivial
+        // graph).
+        let g = generators::lollipop(4, 2);
+        let table = powers_of_two(&g.transition_matrix(), 7, 1);
+        let (ell, rho) = (64u64, 4usize);
+        let trials = 4000;
+        let mut r = rng(39);
+        let mean_top: f64 = (0..trials)
+            .map(|_| truncated_top_down_walk(&table, 0, ell, rho, &mut r).tau() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let mean_dir: f64 = (0..trials)
+            .map(|_| direct_truncated_walk(&g, 0, ell, rho, &mut r).tau() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let tol = 6.0 * (mean_top.max(mean_dir) / (trials as f64).sqrt()).max(0.2);
+        assert!(
+            (mean_top - mean_dir).abs() < tol,
+            "mean τ: top-down {mean_top:.2} vs direct {mean_dir:.2} (tol {tol:.2})"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Elementary random-walk operations on weighted graphs (§1.1).
+//!
+//! A random walk leaves vertex `a` along edge `{a, b}` with probability
+//! `w(a,b) / deg(a)`; for unweighted graphs this is the uniform neighbor.
+
+use cct_graph::Graph;
+use cct_linalg::sample_index;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Takes one random-walk step from `u`.
+///
+/// # Panics
+///
+/// Panics if `u` has no neighbors (the walk cannot move).
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::generators;
+/// use cct_walks::random_step;
+/// use rand::SeedableRng;
+///
+/// let g = generators::path(3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(random_step(&g, 0, &mut rng), 1); // endpoint must go inward
+/// ```
+pub fn random_step<R: Rng + ?Sized>(g: &Graph, u: usize, rng: &mut R) -> usize {
+    let nbrs = g.neighbors(u);
+    assert!(!nbrs.is_empty(), "vertex {u} is isolated; the walk is stuck");
+    if nbrs.len() == 1 {
+        return nbrs[0].0;
+    }
+    let weights: Vec<f64> = nbrs.iter().map(|&(_, w)| w).collect();
+    let idx = sample_index(rng, &weights).expect("positive weights");
+    nbrs[idx].0
+}
+
+/// Takes a `len`-step random walk from `start`; returns the `len + 1`
+/// visited vertices (including `start`).
+///
+/// # Panics
+///
+/// Panics if the walk reaches an isolated vertex.
+pub fn random_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    len: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    let mut cur = start;
+    for _ in 0..len {
+        cur = random_step(g, cur, rng);
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Returns `true` if consecutive vertices of `walk` are adjacent in `g`
+/// (a walk of length 0 or an empty sequence is trivially valid).
+pub fn is_valid_walk(g: &Graph, walk: &[usize]) -> bool {
+    walk.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// The first-visit edges of a walk: for every vertex other than
+/// `walk\[0\]`, the edge used the first time the walk arrives there — the
+/// Aldous–Broder tree-edge rule \[1, 12\].
+///
+/// Returns `(vertex, (previous, vertex))` pairs in first-visit order.
+pub fn first_visit_edges(walk: &[usize]) -> Vec<(usize, (usize, usize))> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    if let Some(&s) = walk.first() {
+        seen.insert(s);
+    }
+    for w in walk.windows(2) {
+        let (prev, cur) = (w[0], w[1]);
+        if seen.insert(cur) {
+            out.push((cur, (prev, cur)));
+        }
+    }
+    out
+}
+
+/// Walks from `start` until `k` distinct vertices have been visited
+/// (counting `start`), up to `cap` steps.
+///
+/// Returns `Some(t)` where `t` is the step index of the first visit to the
+/// `k`-th distinct vertex, or `None` if `cap` steps did not suffice. This
+/// is the stopping time `T` of §2.1 specialized to `ρ = k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the walk reaches an isolated vertex.
+pub fn time_to_visit_k_distinct<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    k: usize,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    assert!(k >= 1, "k must be positive");
+    let mut seen = HashSet::new();
+    seen.insert(start);
+    if seen.len() >= k {
+        return Some(0);
+    }
+    let mut cur = start;
+    for t in 1..=cap {
+        cur = random_step(g, cur, rng);
+        seen.insert(cur);
+        if seen.len() >= k {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Number of distinct vertices visited by a `len`-step walk from `start`
+/// — the Barnes–Feige quantity of §1.4 Direction 4 (experiment E11).
+pub fn distinct_vertices_in_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    start: usize,
+    len: usize,
+    rng: &mut R,
+) -> usize {
+    let mut seen = HashSet::new();
+    seen.insert(start);
+    let mut cur = start;
+    for _ in 0..len {
+        cur = random_step(g, cur, rng);
+        seen.insert(cur);
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_graph::generators;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn walk_has_requested_length_and_is_valid() {
+        let g = generators::petersen();
+        let mut r = rng();
+        let w = random_walk(&g, 3, 50, &mut r);
+        assert_eq!(w.len(), 51);
+        assert_eq!(w[0], 3);
+        assert!(is_valid_walk(&g, &w));
+    }
+
+    #[test]
+    fn invalid_walk_detected() {
+        let g = generators::path(4);
+        assert!(is_valid_walk(&g, &[0, 1, 2, 3, 2]));
+        assert!(!is_valid_walk(&g, &[0, 2]));
+        assert!(is_valid_walk(&g, &[1]));
+        assert!(is_valid_walk(&g, &[]));
+    }
+
+    #[test]
+    fn weighted_steps_respect_weights() {
+        // Vertex 0 has edges to 1 (weight 9) and 2 (weight 1).
+        let g = cct_graph::Graph::from_weighted_edges(
+            3,
+            &[(0, 1, 9.0), (0, 2, 1.0), (1, 2, 1.0)],
+        )
+        .unwrap();
+        let mut r = rng();
+        let trials = 20_000;
+        let to_1 = (0..trials)
+            .filter(|_| random_step(&g, 0, &mut r) == 1)
+            .count();
+        let expect = 0.9 * trials as f64;
+        assert!(
+            (to_1 as f64 - expect).abs() < 4.0 * (trials as f64 * 0.09).sqrt(),
+            "got {to_1}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn first_visit_edges_form_tree_on_cover() {
+        let g = generators::complete(6);
+        let mut r = rng();
+        // A long walk covers K6 with overwhelming probability.
+        let w = random_walk(&g, 0, 500, &mut r);
+        let edges = first_visit_edges(&w);
+        assert_eq!(edges.len(), 5);
+        let tree_edges: Vec<(usize, usize)> = edges.iter().map(|&(_, e)| e).collect();
+        assert!(cct_graph::SpanningTree::new_in(&g, tree_edges).is_ok());
+    }
+
+    #[test]
+    fn first_visit_edges_ignore_revisits() {
+        // Walk 0→1→0→2 on the triangle: first-visit edges (0,1), (0,2).
+        let edges = first_visit_edges(&[0, 1, 0, 2]);
+        assert_eq!(edges, vec![(1, (0, 1)), (2, (0, 2))]);
+    }
+
+    #[test]
+    fn time_to_k_distinct_on_path() {
+        let g = generators::path(10);
+        let mut r = rng();
+        // k = 1 is immediate; k = 2 takes exactly one step.
+        assert_eq!(time_to_visit_k_distinct(&g, 0, 1, 10, &mut r), Some(0));
+        assert_eq!(time_to_visit_k_distinct(&g, 0, 2, 10, &mut r), Some(1));
+        // Covering all 10 vertices of a path from one end takes ≥ 9 steps.
+        let t = time_to_visit_k_distinct(&g, 0, 10, 100_000, &mut r).unwrap();
+        assert!(t >= 9);
+    }
+
+    #[test]
+    fn time_to_k_distinct_cap_respected() {
+        let g = generators::path(50);
+        let mut r = rng();
+        assert_eq!(time_to_visit_k_distinct(&g, 0, 50, 10, &mut r), None);
+    }
+
+    #[test]
+    fn distinct_count_bounds() {
+        let g = generators::cycle(8);
+        let mut r = rng();
+        let d = distinct_vertices_in_walk(&g, 0, 20, &mut r);
+        assert!(d >= 2 && d <= 8);
+        assert_eq!(distinct_vertices_in_walk(&g, 0, 0, &mut r), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_vertex_panics() {
+        let g = cct_graph::Graph::from_edges(2, &[]).unwrap();
+        let mut r = rng();
+        let _ = random_step(&g, 0, &mut r);
+    }
+}

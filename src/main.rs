@@ -1,0 +1,209 @@
+//! `cct` — command-line spanning-tree sampling on the simulated
+//! Congested Clique.
+//!
+//! ```sh
+//! cct thm1 --graph er:32:0.3 --seed 7
+//! cct doubling --graph kdense:25 --dot
+//! cct wilson --graph petersen --trials 3
+//! cct --help
+//! ```
+
+use cct::core::{direction4_sample, CliqueTreeSampler, SamplerConfig};
+use cct::graph::{generators, Graph, SpanningTree};
+use cct::prelude::*;
+use cct::sim::Clique;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+cct — sample spanning trees in the (simulated) Congested Clique
+
+USAGE:
+    cct <ALGORITHM> [OPTIONS]
+
+ALGORITHMS:
+    thm1           the paper's main sampler, Õ(n^{1/2+α}) rounds (default)
+    exact          the Appendix exact variant, Õ(n^{2/3+α}) rounds
+    doubling       Corollary 1: Aldous-Broder over doubling walks
+    direction4     the §1.4 'Direction 4' prototype (doubling per phase)
+    aldous-broder  sequential baseline
+    wilson         sequential loop-erased baseline
+    mst-strawman   random-weight MST (BIASED — §1.4's counterexample)
+
+OPTIONS:
+    --graph SPEC   input graph (default complete:16). SPECs:
+                   complete:N  cycle:N  path:N  star:N  wheel:N
+                   grid:RxC  torus:RxC  hypercube:D  binarytree:D
+                   petersen  barbell:K  lollipop:K:T  bipartite:AxB
+                   kdense:N  er:N:P  regular:N:D
+    --seed N       RNG seed (default 2025)
+    --trials N     sample N trees (default 1)
+    --dot          print the tree as Graphviz instead of an edge list
+    --help         this text
+";
+
+fn parse_graph(spec: &str, rng: &mut rand::rngs::StdRng) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number '{s}'"));
+    let pair = |s: &str| -> Result<(usize, usize), String> {
+        let (a, b) = s.split_once('x').ok_or(format!("expected RxC in '{s}'"))?;
+        Ok((num(a)?, num(b)?))
+    };
+    Ok(match (parts.first().copied().unwrap_or(""), parts.get(1), parts.get(2)) {
+        ("complete", Some(n), _) => generators::complete(num(n)?),
+        ("cycle", Some(n), _) => generators::cycle(num(n)?),
+        ("path", Some(n), _) => generators::path(num(n)?),
+        ("star", Some(n), _) => generators::star(num(n)?),
+        ("wheel", Some(n), _) => generators::wheel(num(n)?),
+        ("grid", Some(d), _) => {
+            let (r, c) = pair(d)?;
+            generators::grid(r, c)
+        }
+        ("torus", Some(d), _) => {
+            let (r, c) = pair(d)?;
+            generators::torus(r, c)
+        }
+        ("bipartite", Some(d), _) => {
+            let (a, b) = pair(d)?;
+            generators::complete_bipartite(a, b)
+        }
+        ("hypercube", Some(d), _) => generators::hypercube(num(d)? as u32),
+        ("binarytree", Some(d), _) => generators::binary_tree(num(d)? as u32),
+        ("petersen", _, _) => generators::petersen(),
+        ("barbell", Some(k), _) => generators::barbell(num(k)?),
+        ("lollipop", Some(k), Some(t)) => generators::lollipop(num(k)?, num(t)?),
+        ("kdense", Some(n), _) => generators::k_dense_irregular(num(n)?),
+        ("er", Some(n), Some(p)) => {
+            let p: f64 = p.parse().map_err(|_| format!("bad probability '{p}'"))?;
+            generators::erdos_renyi_connected(num(n)?, p, rng)
+        }
+        ("regular", Some(n), Some(d)) => generators::random_regular(num(n)?, num(d)?, rng),
+        _ => return Err(format!("unknown graph spec '{spec}' (see --help)")),
+    })
+}
+
+fn print_tree(tree: &SpanningTree, dot: bool) {
+    if dot {
+        println!("graph spanning_tree {{");
+        for &(u, v) in tree.edges() {
+            println!("  {u} -- {v};");
+        }
+        println!("}}");
+    } else {
+        let edges: Vec<String> = tree.edges().iter().map(|(u, v)| format!("{u}-{v}")).collect();
+        println!("tree: {}", edges.join(" "));
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let mut algorithm = "thm1".to_string();
+    let mut graph_spec = "complete:16".to_string();
+    let mut seed = 2025u64;
+    let mut trials = 1usize;
+    let mut dot = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--graph" => graph_spec = it.next().ok_or("--graph needs a value")?,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "bad seed")?
+            }
+            "--trials" => {
+                trials = it
+                    .next()
+                    .ok_or("--trials needs a value")?
+                    .parse()
+                    .map_err(|_| "bad trial count")?
+            }
+            "--dot" => dot = true,
+            other if !other.starts_with("--") => algorithm = other.to_string(),
+            other => return Err(format!("unknown option '{other}' (see --help)")),
+        }
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let g = parse_graph(&graph_spec, &mut rng)?;
+    eprintln!("graph: {} — n = {}, m = {}", graph_spec, g.n(), g.m());
+
+    for t in 0..trials {
+        if trials > 1 {
+            eprintln!("— trial {}", t + 1);
+        }
+        match algorithm.as_str() {
+            "thm1" | "exact" => {
+                let config = if algorithm == "exact" {
+                    SamplerConfig::exact_variant()
+                } else {
+                    SamplerConfig::new()
+                };
+                let sampler = CliqueTreeSampler::new(config.threads(4));
+                let report = sampler.sample(&g, &mut rng).map_err(|e| e.to_string())?;
+                print_tree(&report.tree, dot);
+                eprintln!(
+                    "rounds: {} over {} phases ({})",
+                    report.total_rounds(),
+                    report.num_phases(),
+                    report.rounds
+                );
+                if report.monte_carlo_failure {
+                    eprintln!("WARNING: Monte Carlo failure — arbitrary tree emitted");
+                }
+            }
+            "doubling" => {
+                let mut clique = Clique::new(g.n());
+                let (tree, segments) =
+                    sample_tree_via_doubling(&mut clique, &g, 2.0, 100_000, &mut rng);
+                print_tree(&tree, dot);
+                eprintln!(
+                    "rounds: {} over {segments} doubling segments",
+                    clique.ledger().total_rounds()
+                );
+            }
+            "direction4" => {
+                let report = direction4_sample(&g, 1.0, &mut rng).map_err(|e| e.to_string())?;
+                print_tree(&report.tree, dot);
+                eprintln!(
+                    "rounds: {} over {} phases; new vertices per phase: {:?}",
+                    report.rounds.total_rounds(),
+                    report.phases,
+                    report.new_per_phase
+                );
+            }
+            "aldous-broder" => {
+                let tree = aldous_broder(&g, 0, &mut rng).map_err(|e| e.to_string())?;
+                print_tree(&tree, dot);
+            }
+            "wilson" => {
+                let tree = wilson(&g, 0, &mut rng).map_err(|e| e.to_string())?;
+                print_tree(&tree, dot);
+            }
+            "mst-strawman" => {
+                let tree =
+                    cct::walks::random_weight_mst(&g, &mut rng).map_err(|e| e.to_string())?;
+                print_tree(&tree, dot);
+                eprintln!("NOTE: this sampler is intentionally biased (§1.4)");
+            }
+            other => return Err(format!("unknown algorithm '{other}' (see --help)")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
