@@ -3,8 +3,8 @@
 
 use cct_graph::generators;
 use cct_schur::{
-    schur_transition_exact, schur_transition_from_shortcut, shortcut_by_squaring,
-    shortcut_exact, VertexSubset,
+    schur_transition_exact, schur_transition_from_shortcut, shortcut_by_squaring, shortcut_exact,
+    VertexSubset,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;

@@ -8,8 +8,34 @@
 
 use cct_bench::experiments as ex;
 
+const HELP: &str = "\
+harness — regenerate the experiment tables (E1–E16, aux)
+
+USAGE:
+    harness [EXPERIMENT...] [OPTIONS]
+
+ARGUMENTS:
+    EXPERIMENT    experiments to run: e1 … e16, aux, or all (default all)
+
+OPTIONS:
+    --quick       reduced-size sweep for fast iteration
+    --help        this text
+";
+
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return 0;
+    }
+    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
+        eprintln!("error: unknown option '{bad}' (see --help)");
+        return 2;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args
         .iter()
@@ -18,7 +44,8 @@ fn main() {
         .collect();
     let run_all = selected.is_empty() || selected.contains(&"all");
 
-    let experiments: Vec<(&str, fn(bool))> = vec![
+    type Experiment = (&'static str, fn(bool));
+    let experiments: Vec<Experiment> = vec![
         ("e1", ex::e1),
         ("e2", ex::e2),
         ("e3", ex::e3),
@@ -38,6 +65,14 @@ fn main() {
         ("aux", ex::failure_probe),
     ];
 
+    if let Some(bad) = selected
+        .iter()
+        .find(|s| **s != "all" && !experiments.iter().any(|(name, _)| name == *s))
+    {
+        eprintln!("error: unknown experiment '{bad}' (see --help)");
+        return 2;
+    }
+
     println!(
         "cct experiment harness — {} mode",
         if quick { "quick" } else { "full" }
@@ -50,5 +85,9 @@ fn main() {
             println!("[{name} done in {:.1?}]", t.elapsed());
         }
     }
-    println!("\nall selected experiments finished in {:.1?}", started.elapsed());
+    println!(
+        "\nall selected experiments finished in {:.1?}",
+        started.elapsed()
+    );
+    0
 }

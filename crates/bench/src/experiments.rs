@@ -4,8 +4,7 @@
 
 use crate::util::{banner, loglog_slope, parallel_map};
 use cct_core::{
-    CliqueTreeSampler, EngineChoice, Placement, Precision, SampleReport, SamplerConfig,
-    WalkLength,
+    CliqueTreeSampler, EngineChoice, Placement, Precision, SampleReport, SamplerConfig, WalkLength,
 };
 use cct_doubling::{doubling_walks, lemma10_bound, sample_tree_via_doubling, Balancing};
 use cct_graph::{generators, spanning_tree_distribution, Graph, SpanningTree};
@@ -34,7 +33,10 @@ fn run_once(g: &Graph, config: SamplerConfig, seed: u64) -> SampleReport {
 
 /// E1 — Theorem 1: `Õ(n^{1/2+α})` rounds for the approximate sampler.
 pub fn e1(quick: bool) {
-    banner("E1", "Theorem 1 — main sampler rounds scale as Õ(n^{1/2+α}), α = 0.157");
+    banner(
+        "E1",
+        "Theorem 1 — main sampler rounds scale as Õ(n^{1/2+α}), α = 0.157",
+    );
     let ns: Vec<usize> = if quick {
         vec![32, 48, 64, 96]
     } else {
@@ -69,7 +71,10 @@ pub fn e1(quick: bool) {
         pts_phases.push((*n as f64, report.num_phases() as f64));
         pts_matmul.push((*n as f64, matmul as f64));
     }
-    println!("\nfitted exponents (claim: total = 0.5 + α = {:.3} up to polylog):", 0.5 + ALPHA);
+    println!(
+        "\nfitted exponents (claim: total = 0.5 + α = {:.3} up to polylog):",
+        0.5 + ALPHA
+    );
     println!("  total rounds   ~ n^{:.3}", loglog_slope(&pts_total));
     println!(
         "  phases         ~ n^{:.3}   (Theorem 1 structure: Θ(√n) phases)",
@@ -89,12 +94,17 @@ pub fn e1(quick: bool) {
                 .collect::<Vec<_>>()
         )
     );
-    println!("   which dominates n^α at laptop-scale n — the Õ(·) in the paper is doing real work)");
+    println!(
+        "   which dominates n^α at laptop-scale n — the Õ(·) in the paper is doing real work)"
+    );
 }
 
 /// E2 — Theorem 1: the sampled distribution is (close to) uniform.
 pub fn e2(quick: bool) {
-    banner("E2", "Theorem 1 — TVD to the uniform spanning-tree distribution");
+    banner(
+        "E2",
+        "Theorem 1 — TVD to the uniform spanning-tree distribution",
+    );
     let trials = if quick { 6_000 } else { 20_000 };
     let suite: Vec<(&str, Graph)> = vec![
         ("K4", generators::complete(4)),
@@ -138,9 +148,19 @@ pub fn e2(quick: bool) {
 /// E3 — Appendix §5: the exact variant runs in `Õ(n^{2/3+α})` rounds and
 /// stays uniform.
 pub fn e3(quick: bool) {
-    banner("E3", "Appendix — exact variant: Õ(n^{2/3+α}) rounds (ρ = n^{1/3}, Las Vegas)");
-    let ns: Vec<usize> = if quick { vec![32, 48, 64] } else { vec![32, 48, 64, 96, 128, 192] };
-    println!("{:>5} {:>7} {:>9} {:>12}", "n", "phases", "rounds", "r/n^0.824");
+    banner(
+        "E3",
+        "Appendix — exact variant: Õ(n^{2/3+α}) rounds (ρ = n^{1/3}, Las Vegas)",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![32, 48, 64]
+    } else {
+        vec![32, 48, 64, 96, 128, 192]
+    };
+    println!(
+        "{:>5} {:>7} {:>9} {:>12}",
+        "n", "phases", "rounds", "r/n^0.824"
+    );
     let rows = parallel_map(ns.clone(), 4, |n| {
         let g = er_graph(n, 800 + n as u64);
         let config = SamplerConfig::exact_variant()
@@ -183,7 +203,10 @@ pub fn e3(quick: bool) {
 
 /// E4 — Theorem 2: doubling-walk round complexity across both regimes.
 pub fn e4(quick: bool) {
-    banner("E4", "Theorem 2 — doubling: O(log τ) rounds below τ≈n/log n, O((τ/n)·log τ·log n) above");
+    banner(
+        "E4",
+        "Theorem 2 — doubling: O(log τ) rounds below τ≈n/log n, O((τ/n)·log τ·log n) above",
+    );
     let n = if quick { 64 } else { 128 };
     let g = generators::random_regular(n, 4, &mut rng(1000));
     let taus: Vec<u64> = vec![8, 32, 128, 512, 2048, 8192];
@@ -205,20 +228,32 @@ pub fn e4(quick: bool) {
         };
         println!("{tau:>6} {rounds:>8} {log_tau:>9.1} {formula:>14.1} {regime:>16}");
     }
-    println!("\n(short walks cost ~2 rounds per iteration = O(log τ); long walks pay ⌈kη/n⌉ per route)");
+    println!(
+        "\n(short walks cost ~2 rounds per iteration = O(log τ); long walks pay ⌈kη/n⌉ per route)"
+    );
 }
 
 /// E5 — Corollary 1: trees in `Õ(τ/n)` rounds for cover time `τ`.
 pub fn e5(quick: bool) {
-    banner("E5", "Corollary 1 — spanning trees via doubling on O(n log n)-cover-time graphs");
-    let ns: Vec<usize> = if quick { vec![32, 64] } else { vec![32, 64, 96] };
+    banner(
+        "E5",
+        "Corollary 1 — spanning trees via doubling on O(n log n)-cover-time graphs",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![32, 64]
+    } else {
+        vec![32, 64, 96]
+    };
     println!(
         "{:<30} {:>5} {:>10} {:>9} {:>9} {:>10}",
         "graph", "n", "cover≈", "rounds", "segments", "cover/n"
     );
     for n in ns {
         let mut families: Vec<(&str, Graph)> = vec![
-            ("random 4-regular", generators::random_regular(n, 4, &mut rng(1100 + n as u64))),
+            (
+                "random 4-regular",
+                generators::random_regular(n, 4, &mut rng(1100 + n as u64)),
+            ),
             ("G(n, 2 ln n/n)", er_graph(n, 1200 + n as u64)),
             ("K_{n-sqrt n, sqrt n}", generators::k_dense_irregular(n)),
         ];
@@ -231,8 +266,7 @@ pub fn e5(quick: bool) {
             let mut r = rng(1300 + n as u64);
             let cover = estimate_cover_time(&g, 0, 20, 200_000_000, &mut r);
             let mut clique = Clique::new(g.n());
-            let (_tree, segments) =
-                sample_tree_via_doubling(&mut clique, &g, 2.0, 40_000, &mut r);
+            let (_tree, segments) = sample_tree_via_doubling(&mut clique, &g, 2.0, 40_000, &mut r);
             println!(
                 "{name:<30} {n:>5} {:>10.0} {:>9} {segments:>9} {:>10.1}",
                 cover.mean,
@@ -246,7 +280,10 @@ pub fn e5(quick: bool) {
 
 /// E6 — Lemma 10: load balancing bounds; naive doubling melts hubs.
 pub fn e6(quick: bool) {
-    banner("E6", "Lemma 10 — max tuples/machine ≤ 16ck log n w.h.p.; naive scheme vs balanced");
+    banner(
+        "E6",
+        "Lemma 10 — max tuples/machine ≤ 16ck log n w.h.p.; naive scheme vs balanced",
+    );
     let n = if quick { 128 } else { 256 };
     let g = generators::star(n);
     let tau = n as u64;
@@ -279,7 +316,10 @@ pub fn e6(quick: bool) {
 
 /// E7 — Lemma 7: rounded matrix powers under-approximate within β.
 pub fn e7(_quick: bool) {
-    banner("E7", "Lemma 7 — fixed-point matrix powers: subtractive error ≤ β");
+    banner(
+        "E7",
+        "Lemma 7 — fixed-point matrix powers: subtractive error ≤ β",
+    );
     let g = er_graph(12, 1500);
     let p = g.transition_matrix();
     let levels = 8;
@@ -292,8 +332,7 @@ pub fn e7(_quick: bool) {
         let fp = FixedPoint::new(bits);
         let rounded = powers_rounded(&p, levels, fp, 1);
         let (worst, per) = subtractive_error(&exact, &rounded);
-        let bound =
-            2.0 * fp.delta() * ((g.n() as f64) + 1.0).powi(levels as i32 - 1);
+        let bound = 2.0 * fp.delta() * ((g.n() as f64) + 1.0).powi(levels as i32 - 1);
         let ok = per
             .iter()
             .enumerate()
@@ -321,7 +360,10 @@ pub fn e7(_quick: bool) {
 /// E8 — Lemmas 3–4: matching placement ≡ oracle placement ≡ per-pair
 /// shuffle, distributionally.
 pub fn e8(quick: bool) {
-    banner("E8", "Lemmas 3–4 — midpoint placement strategies give identical tree laws");
+    banner(
+        "E8",
+        "Lemmas 3–4 — midpoint placement strategies give identical tree laws",
+    );
     let trials = if quick { 6_000 } else { 20_000 };
     let g = generators::complete(5);
     let exact = spanning_tree_distribution(&g);
@@ -358,7 +400,10 @@ pub fn e8(quick: bool) {
 
 /// E9 — §1.8: the swap-chain matching sampler converges to the exact law.
 pub fn e9(quick: bool) {
-    banner("E9", "§1.8 — swap-chain (JSV substitution) TVD to the exact matching law vs steps");
+    banner(
+        "E9",
+        "§1.8 — swap-chain (JSV substitution) TVD to the exact matching law vs steps",
+    );
     // A deliberately skewed grouped instance.
     let inst = MatchingInstance::new(
         vec![2, 1, 1],
@@ -383,16 +428,24 @@ pub fn e9(quick: bool) {
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .map(|(a, _)| a)
         .unwrap();
-    println!("{:>14} {:>9} {:>10}   (chain started from the worst-weight assignment)", "steps/slot", "emp. TV", "chi^2");
+    println!(
+        "{:>14} {:>9} {:>10}   (chain started from the worst-weight assignment)",
+        "steps/slot", "emp. TV", "chi^2"
+    );
     for steps in [1usize, 2, 4, 8, 16, 32, 64] {
-        let sampler = SwapChainSampler { steps_per_slot: steps };
+        let sampler = SwapChainSampler {
+            steps_per_slot: steps,
+        };
         let mut r = rng(1700 + steps as u64);
         let counts = stats::empirical_counts(
             (0..trials).map(|_| sampler.sample(&inst, Some(cold.clone()), &mut r).unwrap()),
         );
         let tv = stats::empirical_tv(&counts, &exact, trials);
         let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
-        println!("{steps:>14} {tv:>9.4} {:>10}", if stat < crit { "PASS" } else { "biased" });
+        println!(
+            "{steps:>14} {tv:>9.4} {:>10}",
+            if stat < crit { "PASS" } else { "biased" }
+        );
     }
     // Reference: the exact permanent sampler at the same trial count.
     let mut r = rng(1799);
@@ -406,7 +459,10 @@ pub fn e9(quick: bool) {
 
 /// E10 — Figure 2: the worked Schur/shortcut example.
 pub fn e10(_quick: bool) {
-    banner("E10", "Figure 2 — Schur complement and shortcut graph of the 4-vertex star");
+    banner(
+        "E10",
+        "Figure 2 — Schur complement and shortcut graph of the 4-vertex star",
+    );
     let names = ["A", "B", "C", "D"];
     let g = Graph::from_edges(4, &[(0, 2), (1, 2), (3, 2)]).unwrap();
     let s = VertexSubset::new(4, &[0, 1, 3]);
@@ -435,8 +491,15 @@ pub fn e10(_quick: bool) {
 /// E11 — §1.4 Direction 4 (Barnes–Feige): a length-n walk visits
 /// `Ω(n^{1/3})` distinct vertices.
 pub fn e11(quick: bool) {
-    banner("E11", "Barnes–Feige — distinct vertices of a length-n walk ≥ Ω(n^{1/3})");
-    let ns: Vec<usize> = if quick { vec![64, 256, 1024] } else { vec![64, 256, 1024, 4096] };
+    banner(
+        "E11",
+        "Barnes–Feige — distinct vertices of a length-n walk ≥ Ω(n^{1/3})",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![64, 256, 1024]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
     let trials = 30;
     println!(
         "{:<22} {:>6} {:>12} {:>9} {:>9}",
@@ -447,7 +510,10 @@ pub fn e11(quick: bool) {
             ("path", generators::path(n)),
             ("cycle", generators::cycle(n)),
             ("lollipop", generators::lollipop(n / 2, n / 2)),
-            ("random 3-regular", generators::random_regular(n, 3, &mut rng(1800 + n as u64))),
+            (
+                "random 3-regular",
+                generators::random_regular(n, 3, &mut rng(1800 + n as u64)),
+            ),
         ];
         for (name, g) in families {
             let mut r = rng(1900 + n as u64);
@@ -471,17 +537,25 @@ pub fn e11(quick: bool) {
 
 /// E12 — §1.3 bottlenecks: the bandwidth the compression pipeline saves.
 pub fn e12(_quick: bool) {
-    banner("E12", "§1.3 — leader bandwidth: verbatim Π vs multiset+matching; doubling at ℓ=Θ̃(n³)");
+    banner(
+        "E12",
+        "§1.3 — leader bandwidth: verbatim Π vs multiset+matching; doubling at ℓ=Θ̃(n³)",
+    );
     // A slowly-mixing input (lollipop) makes the walk prefixes — and
     // hence the Π sequences — long; that is where the compression earns
     // its keep. (On expanders τ per phase is tiny and both columns are
     // small.)
     let n = 64usize;
     for (label, g) in [
-        ("lollipop(32,32) — slow mixing", generators::lollipop(n / 2, n / 2)),
+        (
+            "lollipop(32,32) — slow mixing",
+            generators::lollipop(n / 2, n / 2),
+        ),
         ("G(n, 2 ln n/n) — fast mixing", er_graph(n, 2000)),
     ] {
-        let config = SamplerConfig::new().engine(EngineChoice::UnitCost).threads(1);
+        let config = SamplerConfig::new()
+            .engine(EngineChoice::UnitCost)
+            .threads(1);
         let report = run_once(&g, config, 2001);
         let pi: u64 = report.phases.iter().map(|p| p.pi_words).sum();
         let placed: u64 = report.phases.iter().map(|p| p.placement_words).sum();
@@ -502,19 +576,26 @@ pub fn e12(_quick: bool) {
             placed,
             placed.div_ceil(n as u64)
         );
-        println!("  compression factor: {:.1}×", pi as f64 / placed.max(1) as f64);
+        println!(
+            "  compression factor: {:.1}×",
+            pi as f64 / placed.max(1) as f64
+        );
     }
     // Doubling's Direction-3 bottleneck at Aldous–Broder lengths.
     let ell = WalkLength::Paper { epsilon: 1e-2 }.resolve(n);
     println!("\nbottom-up doubling at ℓ = Θ̃(n³) = {ell} (Direction 3):");
-    println!("  each machine initially holds ℓ length-1 walks and must receive as many in iteration 1:");
+    println!(
+        "  each machine initially holds ℓ length-1 walks and must receive as many in iteration 1:"
+    );
     println!(
         "  per-machine words ≈ ℓ = {ell} → ⌈ℓ/n⌉ = {} rounds for ONE iteration",
         ell.div_ceil(n as u64)
     );
     let reference = run_once(
         &er_graph(n, 2000),
-        SamplerConfig::new().engine(EngineChoice::UnitCost).threads(1),
+        SamplerConfig::new()
+            .engine(EngineChoice::UnitCost)
+            .threads(1),
         2001,
     );
     println!(
@@ -525,7 +606,10 @@ pub fn e12(_quick: bool) {
 
 /// E13 — footnote 1: bounded positive integer weights.
 pub fn e13(quick: bool) {
-    banner("E13", "Footnote 1 — integer edge weights ≤ W: P(T) ∝ Π_{e∈T} w(e)");
+    banner(
+        "E13",
+        "Footnote 1 — integer edge weights ≤ W: P(T) ∝ Π_{e∈T} w(e)",
+    );
     let trials = if quick { 6_000 } else { 20_000 };
     let mut r = rng(2100);
     let g = generators::with_random_integer_weights(&generators::complete(4), 8, &mut r).unwrap();
@@ -538,7 +622,10 @@ pub fn e13(quick: bool) {
         stats::empirical_counts((0..trials).map(|_| sampler.sample(&g, &mut r).unwrap().tree));
     let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
     let tv = stats::empirical_tv(&counts, &exact, trials);
-    println!("weighted K4 (weights ≤ 8), {} trees, {trials} trials:", exact.len());
+    println!(
+        "weighted K4 (weights ≤ 8), {} trees, {trials} trials:",
+        exact.len()
+    );
     println!(
         "chi² = {stat:.2} (critical {crit:.2}), emp. TV = {tv:.4} → {}",
         if stat < crit { "PASS" } else { "FAIL" }
@@ -557,20 +644,29 @@ pub fn e13(quick: bool) {
 /// E14 — §1.4 Direction 4: the conceptually simpler prototype the paper
 /// sketches (one doubling walk per phase on the Schur complement).
 pub fn e14(quick: bool) {
-    banner("E14", "Direction 4 — doubling-walk-per-phase prototype (paper's future work)");
-    let ns: Vec<usize> = if quick { vec![32, 64] } else { vec![32, 64, 96, 128] };
+    banner(
+        "E14",
+        "Direction 4 — doubling-walk-per-phase prototype (paper's future work)",
+    );
+    let ns: Vec<usize> = if quick {
+        vec![32, 64]
+    } else {
+        vec![32, 64, 96, 128]
+    };
     println!(
         "{:>5} {:>8} {:>10} {:>14} {:>12} {:>12}",
         "n", "phases", "rounds", "new/phase≈", "n^(1/3)", "thm1 rounds"
     );
     for n in ns {
         let g = er_graph(n, 2300 + n as u64);
-        let report = cct_core::direction4_sample(&g, 1.0, &mut rng(2400 + n as u64))
-            .expect("connected");
+        let report =
+            cct_core::direction4_sample(&g, 1.0, &mut rng(2400 + n as u64)).expect("connected");
         let mean_new = (n - 1) as f64 / report.phases as f64;
         let thm1 = run_once(
             &g,
-            SamplerConfig::new().engine(EngineChoice::FastOracle { alpha: ALPHA }).threads(1),
+            SamplerConfig::new()
+                .engine(EngineChoice::FastOracle { alpha: ALPHA })
+                .threads(1),
             2500 + n as u64,
         );
         println!(
@@ -595,18 +691,26 @@ pub fn e14(quick: bool) {
         if stat < crit { "PASS" } else { "FAIL" }
     );
     println!("(per-phase harvest ≫ n^(1/3) on these well-mixing inputs — Barnes–Feige is a worst-case floor;");
-    println!(" the prototype is simpler but pays the Schur-construction matmuls per phase all the same)");
+    println!(
+        " the prototype is simpler but pays the Schur-construction matmuls per phase all the same)"
+    );
 }
 
 /// E15 — §1.4's strawman: random-weight MST is *not* uniform (negative
 /// control for the whole statistical methodology).
 pub fn e15(quick: bool) {
-    banner("E15", "§1.4 strawman — random-weight MST is biased; the chi-square gate catches it");
+    banner(
+        "E15",
+        "§1.4 strawman — random-weight MST is biased; the chi-square gate catches it",
+    );
     let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
     let uniform = spanning_tree_distribution(&g);
     let mst_law = cct_walks::random_mst_distribution(&g);
     let map: HashMap<_, _> = mst_law.into_iter().collect();
-    println!("diamond graph (C4 + chord), {} spanning trees:", uniform.len());
+    println!(
+        "diamond graph (C4 + chord), {} spanning trees:",
+        uniform.len()
+    );
     println!("{:<26} {:>10} {:>12}", "tree", "uniform", "random-MST");
     let mut tv = 0.0;
     for (t, pu) in &uniform {
@@ -615,7 +719,10 @@ pub fn e15(quick: bool) {
         let edges: Vec<String> = t.edges().iter().map(|(u, v)| format!("{u}{v}")).collect();
         println!("{:<26} {pu:>10.4} {pm:>12.4}", edges.join("-"));
     }
-    println!("exact TV distance: {:.4} (≫ 0 — the strawman is provably biased)", tv / 2.0);
+    println!(
+        "exact TV distance: {:.4} (≫ 0 — the strawman is provably biased)",
+        tv / 2.0
+    );
     let trials = if quick { 12_000 } else { 40_000 };
     let mut r = rng(2600);
     let counts = stats::empirical_counts(
@@ -624,14 +731,21 @@ pub fn e15(quick: bool) {
     let (stat, crit) = stats::goodness_of_fit(&counts, &uniform, trials);
     println!(
         "chi² vs uniform over {trials} samples: {stat:.1} (critical {crit:.1}) → {}",
-        if stat > crit { "REJECTED (as it must be)" } else { "NOT DETECTED (trials too low)" }
+        if stat > crit {
+            "REJECTED (as it must be)"
+        } else {
+            "NOT DETECTED (trials too low)"
+        }
     );
 }
 
 /// E16 — Kirchhoff marginals: P[e ∈ T] = w(e)·R_eff(e), checked for the
 /// distributed sampler on a graph too large to enumerate.
 pub fn e16(quick: bool) {
-    banner("E16", "Kirchhoff — sampler edge marginals equal w(e)·R_eff(e) (validation beyond enumeration)");
+    banner(
+        "E16",
+        "Kirchhoff — sampler edge marginals equal w(e)·R_eff(e) (validation beyond enumeration)",
+    );
     let g = generators::lollipop(6, 4);
     let marginals = cct_graph::spanning_tree_edge_marginals(&g);
     let trials = if quick { 2_000 } else { 6_000 };
@@ -650,7 +764,10 @@ pub fn e16(quick: bool) {
         }
     }
     println!("lollipop(6,4), {trials} samples:");
-    println!("{:>8} {:>12} {:>12} {:>8}", "edge", "w·R_eff", "empirical", "|Δ|/σ");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "edge", "w·R_eff", "empirical", "|Δ|/σ"
+    );
     let mut worst = 0.0f64;
     for (i, &(u, v, p)) in marginals.iter().enumerate() {
         let emp = counts[i] as f64 / trials as f64;
@@ -663,14 +780,21 @@ pub fn e16(quick: bool) {
     }
     println!(
         "worst |Δ|/σ = {worst:.2} → {}",
-        if worst < 5.0 { "PASS (within 5σ)" } else { "FAIL" }
+        if worst < 5.0 {
+            "PASS (within 5σ)"
+        } else {
+            "FAIL"
+        }
     );
 }
 
 /// Variant trio used by `harness all`: Monte Carlo failure-rate probe —
 /// complements E2 by measuring how often the ℓ-budget fails at small ℓ.
 pub fn failure_probe(quick: bool) {
-    banner("AUX", "Monte Carlo failure probability vs walk-length budget ℓ");
+    banner(
+        "AUX",
+        "Monte Carlo failure probability vs walk-length budget ℓ",
+    );
     let trials = if quick { 600 } else { 2_000 };
     let g = generators::lollipop(8, 8);
     println!("{:>8} {:>10} {:>12}", "ell", "failures", "rate");
@@ -683,7 +807,11 @@ pub fn failure_probe(quick: bool) {
         let failures = (0..trials)
             .filter(|_| sampler.sample(&g, &mut r).unwrap().monte_carlo_failure)
             .count();
-        println!("{:>8} {failures:>10} {:>12.4}", 1u64 << shift, failures as f64 / trials as f64);
+        println!(
+            "{:>8} {failures:>10} {:>12.4}",
+            1u64 << shift,
+            failures as f64 / trials as f64
+        );
     }
     println!("\n(the paper's ℓ = Θ̃(n³) pushes this to ≤ ε; the sweep shows the knee)");
 }

@@ -48,9 +48,9 @@ where
     let queue = std::sync::Mutex::new(work);
     let f = &f;
     let slot_refs = std::sync::Mutex::new(&mut slots);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let item = queue.lock().expect("queue lock").pop();
                 match item {
                     Some((idx, t)) => {
@@ -61,9 +61,11 @@ where
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -72,10 +74,12 @@ mod tests {
 
     #[test]
     fn slope_recovers_exponent() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (i * 10) as f64;
-            (x, 3.0 * x.powf(1.7))
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (i * 10) as f64;
+                (x, 3.0 * x.powf(1.7))
+            })
+            .collect();
         assert!((loglog_slope(&pts) - 1.7).abs() < 1e-9);
     }
 

@@ -44,7 +44,10 @@ impl WalkLength {
                 (4.0 * n.sqrt() / epsilon).log2().max(1.0) * n.powi(3)
             }
             WalkLength::Fixed(l) => {
-                assert!(l >= 2 && l.is_power_of_two(), "Fixed length must be a power of two ≥ 2");
+                assert!(
+                    l >= 2 && l.is_power_of_two(),
+                    "Fixed length must be a power of two ≥ 2"
+                );
                 return l;
             }
             WalkLength::ScaledCubic { factor } => {
@@ -52,7 +55,10 @@ impl WalkLength {
                 factor * (n as f64).powi(3)
             }
         };
-        assert!(raw.is_finite() && raw < 2.0f64.powi(62), "walk length overflows");
+        assert!(
+            raw.is_finite() && raw < 2.0f64.powi(62),
+            "walk length overflows"
+        );
         ((raw.max(2.0)).ceil() as u64).next_power_of_two()
     }
 }

@@ -102,7 +102,10 @@ pub fn direction4_sample<R: Rng + ?Sized>(
     let mut phases = 0usize;
     while remaining > 0 {
         phases += 1;
-        assert!(phases <= 64 * n, "phase cap exceeded — walk_factor too small?");
+        assert!(
+            phases <= 64 * n,
+            "phase cap exceeded — walk_factor too small?"
+        );
         let s_vertices: Vec<usize> = (0..n)
             .filter(|&v| !visited[v])
             .chain(std::iter::once(vf))
@@ -139,8 +142,13 @@ pub fn direction4_sample<R: Rng + ?Sized>(
         if phase_graph.n() == 1 {
             break; // nothing left to walk to (cannot happen: remaining > 0)
         }
-        let (walks, _) =
-            doubling_walks(&mut sub, &phase_graph, tau, Balancing::Balanced { c: 1 }, rng);
+        let (walks, _) = doubling_walks(
+            &mut sub,
+            &phase_graph,
+            tau,
+            Balancing::Balanced { c: 1 },
+            rng,
+        );
         clique.ledger_mut().merge(sub.ledger());
         let walk = &walks[start_local];
 
@@ -153,8 +161,9 @@ pub fn direction4_sample<R: Rng + ?Sized>(
             if visited[v] {
                 continue;
             }
-            let (u, vv) = sample_first_visit_edge(g, &s, &q, prev, v, rng)
-                .ok_or(SampleTreeError::Phase(crate::phase::PhaseError::DegenerateDistribution))?;
+            let (u, vv) = sample_first_visit_edge(g, &s, &q, prev, v, rng).ok_or(
+                SampleTreeError::Phase(crate::phase::PhaseError::DegenerateDistribution),
+            )?;
             edges.push((u, vv));
             visited[v] = true;
             remaining -= 1;
@@ -199,10 +208,7 @@ mod tests {
             for &(u, v) in report.tree.edges() {
                 assert!(g.has_edge(u, v));
             }
-            assert_eq!(
-                report.new_per_phase.iter().sum::<usize>(),
-                g.n() - 1
-            );
+            assert_eq!(report.new_per_phase.iter().sum::<usize>(), g.n() - 1);
             assert!(report.rounds.total_rounds() > 0);
         }
     }
@@ -234,8 +240,7 @@ mod tests {
     #[test]
     fn uniform_on_weighted_triangle() {
         use cct_walks::stats;
-        let g =
-            Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
         let exact = cct_graph::spanning_tree_distribution(&g);
         let mut r = rng(4);
         let trials = 10_000;

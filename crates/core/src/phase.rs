@@ -37,7 +37,10 @@ impl std::fmt::Display for PhaseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PhaseError::DegenerateDistribution => {
-                write!(f, "midpoint distribution lost all support (precision too low)")
+                write!(
+                    f,
+                    "midpoint distribution lost all support (precision too low)"
+                )
             }
             PhaseError::GridCapExceeded => write!(f, "partial walk exceeded the grid cap"),
         }
@@ -110,6 +113,7 @@ impl PhaseWalkResult {
 /// transition matrix — used when `|S| ≤ ρ` (final phases; the matrix fits
 /// in the same `O(1)`-round budget as the paper's submatrix collection)
 /// and as the fallback for degenerate bipartite phase graphs.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
     clique: &mut Clique,
     t0: &Matrix,
@@ -144,8 +148,7 @@ pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
                 }
             }
         }
-        let next =
-            sample_index(rng, t0.row(cur)).ok_or(PhaseError::DegenerateDistribution)?;
+        let next = sample_index(rng, t0.row(cur)).ok_or(PhaseError::DegenerateDistribution)?;
         walk.push(next);
         seen.insert(next);
         cur = next;
@@ -287,14 +290,17 @@ fn run_segment<R: Rng + ?Sized>(
     pi_words: &mut u64,
     placement_words: &mut u64,
 ) -> Result<Vec<usize>, PhaseError> {
-    assert!(ell >= 2 && ell.is_power_of_two(), "ell must be a power of two ≥ 2");
+    assert!(
+        ell >= 2 && ell.is_power_of_two(),
+        "ell must be a power of two ≥ 2"
+    );
     let levels = ell.trailing_zeros() as usize;
     assert!(powers.len() > levels, "power table too short");
     let n = clique.n();
 
     // Step 4 of Outline 3: the leader samples W[ℓ] from T^ℓ[start, ·].
-    let endpoint = sample_index(rng, powers[levels].row(start))
-        .ok_or(PhaseError::DegenerateDistribution)?;
+    let endpoint =
+        sample_index(rng, powers[levels].row(start)).ok_or(PhaseError::DegenerateDistribution)?;
     let mut grid: Vec<usize> = vec![start, endpoint];
 
     for level in 1..=levels {
@@ -352,13 +358,9 @@ fn run_segment<R: Rng + ?Sized>(
         }
         let mut sequences: Vec<Vec<usize>> = Vec::with_capacity(num_pairs);
         for (id, &(p, q)) in pairs.iter().enumerate() {
-            let weights: Vec<f64> = s
-                .list()
-                .iter()
-                .map(|&j| th[(p, j)] * th[(j, q)])
-                .collect();
+            let weights: Vec<f64> = s.list().iter().map(|&j| th[(p, j)] * th[(j, q)]).collect();
             let total: f64 = weights.iter().sum();
-            if !(total > 0.0) {
+            if total.is_nan() || total <= 0.0 {
                 return Err(PhaseError::DegenerateDistribution);
             }
             let mut seq = Vec::with_capacity(pair_counts[id]);
@@ -436,14 +438,16 @@ fn run_segment<R: Rng + ?Sized>(
         // c_{p,q}(ℓ′) (1), pair machines send per-vertex counts (1),
         // vertex machines aggregate to the leader (1), plus the W⁺[ℓ′]
         // lookup (1).
-        clique.ledger_mut().charge(CostCategory::BinarySearch, 4 * checks);
+        clique
+            .ledger_mut()
+            .charge(CostCategory::BinarySearch, 4 * checks);
         clique.ledger_mut().add_words(
             CostCategory::BinarySearch,
             checks * (num_pairs as u64 * (n as u64 + 1) + n as u64),
         );
 
         // ── Midpoint placement (§2.1.3 / §5.3 / oracle reference).
-        let n_mids = (t_star + 1) / 2; // odd indices ≤ t_star
+        let n_mids = t_star.div_ceil(2); // odd indices ≤ t_star
         let new_grid_len = t_star + 1;
         let placed: Vec<usize> = if n_mids == 0 {
             Vec::new()
@@ -596,9 +600,10 @@ fn place_midpoints<R: Rng + ?Sized>(
             let submatrix_words = (svert.len() * svert.len()) as u64;
             *placement_words += multiset_words;
             let words = multiset_words + submatrix_words;
-            clique
-                .ledger_mut()
-                .charge(CostCategory::Matching, Clique::rounds_for_load(n, words) + 2);
+            clique.ledger_mut().charge(
+                CostCategory::Matching,
+                Clique::rounds_for_load(n, words) + 2,
+            );
             clique.ledger_mut().add_words(CostCategory::Matching, words);
             // Sample the assignment: exact below the permanent limit,
             // Metropolis swap chain (warm-started from the true
@@ -612,10 +617,14 @@ fn place_midpoints<R: Rng + ?Sized>(
                 for (&v, &g) in rest.iter().zip(rest_pairs) {
                     hint_slots[group_ids[&g]].push(value_ids[&v]);
                 }
-                let hint = Assignment { per_group: hint_slots };
-                SwapChainSampler { steps_per_slot: config.swap_steps_per_slot }
-                    .sample(&inst, Some(hint), rng)
-                    .expect("hinted start is feasible")
+                let hint = Assignment {
+                    per_group: hint_slots,
+                };
+                SwapChainSampler {
+                    steps_per_slot: config.swap_steps_per_slot,
+                }
+                .sample(&inst, Some(hint), rng)
+                .expect("hinted start is feasible")
             };
             // Map value ids back to vertices and reassemble
             // chronologically.
@@ -627,8 +636,7 @@ fn place_midpoints<R: Rng + ?Sized>(
                     .collect(),
             };
             // Reassembly keys by *local* group ids.
-            let local_pairs: Vec<usize> =
-                rest_pairs.iter().map(|&g| group_ids[&g]).collect();
+            let local_pairs: Vec<usize> = rest_pairs.iter().map(|&g| group_ids[&g]).collect();
             Ok(reassemble(&local_pairs, shuffled, final_value))
         }
     }
@@ -728,17 +736,8 @@ mod tests {
         let t0 = g.transition_matrix();
         let mut clique = Clique::new(8);
         let mut r = rng(3);
-        let res = direct_local_phase(
-            &mut clique,
-            &t0,
-            &s,
-            0,
-            8,
-            2,
-            Variant::MonteCarlo,
-            &mut r,
-        )
-        .unwrap();
+        let res =
+            direct_local_phase(&mut clique, &t0, &s, 0, 8, 2, Variant::MonteCarlo, &mut r).unwrap();
         assert!(!res.reached);
     }
 

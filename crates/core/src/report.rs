@@ -94,7 +94,11 @@ impl fmt::Display for SampleReport {
             self.tree.n(),
             self.phases.len(),
             self.rounds.total_rounds(),
-            if self.monte_carlo_failure { " (MONTE CARLO FAILURE)" } else { "" }
+            if self.monte_carlo_failure {
+                " (MONTE CARLO FAILURE)"
+            } else {
+                ""
+            }
         )?;
         writeln!(f, "  breakdown: {}", self.rounds)?;
         for (i, p) in self.phases.iter().enumerate() {

@@ -9,7 +9,9 @@
 //! The union of first-visit edges across phases is the Aldous–Broder
 //! spanning tree.
 
-use crate::config::{EngineChoice, Precision, SamplerConfig, SchurComputation, Variant, WalkLength};
+use crate::config::{
+    EngineChoice, Precision, SamplerConfig, SchurComputation, Variant, WalkLength,
+};
 use crate::phase::{
     direct_local_phase, is_degenerate_bipartite, top_down_phase, PhaseError, PhaseWalkResult,
 };
@@ -17,8 +19,8 @@ use crate::report::{PhaseReport, SampleReport};
 use cct_graph::{Graph, SpanningTree};
 use cct_linalg::Matrix;
 use cct_schur::{
-    sample_first_visit_edge, schur_transition_from_shortcut, shortcut_by_squaring,
-    shortcut_exact, VertexSubset,
+    sample_first_visit_edge, schur_transition_from_shortcut, shortcut_by_squaring, shortcut_exact,
+    VertexSubset,
 };
 use cct_sim::{
     distributed_powers, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
@@ -130,7 +132,9 @@ impl CliqueTreeSampler {
                 Box::new(FastOracleEngine::new(alpha, wpe, config.threads))
             }
             EngineChoice::Semiring => Box::new(SemiringEngine::new(config.threads)),
-            EngineChoice::UnitCost => Box::new(UnitCostEngine { threads: config.threads }),
+            EngineChoice::UnitCost => Box::new(UnitCostEngine {
+                threads: config.threads,
+            }),
         };
         let fp = match config.precision {
             Precision::Fixed(fp) => Some(fp),
@@ -188,7 +192,9 @@ impl CliqueTreeSampler {
                 let trans_local = schur_transition_from_shortcut(g, &s, &q);
                 // Corollary 3: one more product (Q·R) plus local
                 // normalization.
-                clique.ledger_mut().charge(CostCategory::MatMul, rounds_per_mult);
+                clique
+                    .ledger_mut()
+                    .charge(CostCategory::MatMul, rounds_per_mult);
                 (pad_to_global(&trans_local, &s, n), q)
             };
 
@@ -196,8 +202,7 @@ impl CliqueTreeSampler {
             // (|S| ≤ ρ, where the whole S-matrix fits in the O(1)-round
             // submatrix budget) and for degenerate bipartite phase
             // graphs; the full top-down machinery otherwise.
-            let use_direct =
-                s.len() <= rho || is_degenerate_bipartite(&t0, &s, vf, rho_phase);
+            let use_direct = s.len() <= rho || is_degenerate_bipartite(&t0, &s, vf, rho_phase);
             let walk_res: PhaseWalkResult = if use_direct {
                 direct_local_phase(
                     &mut clique,
@@ -248,7 +253,9 @@ impl CliqueTreeSampler {
                 fv_words += 2 * g.num_neighbors(v) as u64;
             }
             clique.ledger_mut().charge(CostCategory::FirstVisit, 3);
-            clique.ledger_mut().add_words(CostCategory::FirstVisit, fv_words);
+            clique
+                .ledger_mut()
+                .add_words(CostCategory::FirstVisit, fv_words);
             for &(v, prev) in &walk_res.first_visits {
                 debug_assert!(!visited[v], "vertex {v} visited twice");
                 let (u, vv) = sample_first_visit_edge(g, &s, &q, prev, v, rng)
@@ -293,7 +300,12 @@ impl CliqueTreeSampler {
         } else {
             SpanningTree::new(n, edges).expect("first-visit edges of a covering walk span")
         };
-        Ok(SampleReport { tree, rounds: total, phases, monte_carlo_failure: failure })
+        Ok(SampleReport {
+            tree,
+            rounds: total,
+            phases,
+            monte_carlo_failure: failure,
+        })
     }
 }
 
@@ -399,12 +411,9 @@ mod tests {
     #[test]
     fn weighted_graphs_supported() {
         let mut r = rng(102);
-        let g = cct_graph::generators::with_random_integer_weights(
-            &generators::complete(7),
-            5,
-            &mut r,
-        )
-        .unwrap();
+        let g =
+            cct_graph::generators::with_random_integer_weights(&generators::complete(7), 5, &mut r)
+                .unwrap();
         let sampler = CliqueTreeSampler::new(quick_config());
         let report = sampler.sample(&g, &mut r).unwrap();
         assert!(!report.monte_carlo_failure);
@@ -480,7 +489,11 @@ mod tests {
     fn all_placements_produce_valid_trees() {
         let g = generators::complete(12);
         let mut r = rng(108);
-        for placement in [Placement::Matching, Placement::PerPairShuffle, Placement::Oracle] {
+        for placement in [
+            Placement::Matching,
+            Placement::PerPairShuffle,
+            Placement::Oracle,
+        ] {
             let sampler = CliqueTreeSampler::new(quick_config().placement(placement));
             let report = sampler.sample(&g, &mut r).unwrap();
             assert!(!report.monte_carlo_failure, "{placement:?}");
@@ -509,9 +522,9 @@ mod tests {
         let unit = CliqueTreeSampler::new(quick_config())
             .sample(&g, &mut r1)
             .unwrap();
-        let oracle = CliqueTreeSampler::new(
-            quick_config().engine(EngineChoice::FastOracle { alpha: cct_sim::ALPHA }),
-        )
+        let oracle = CliqueTreeSampler::new(quick_config().engine(EngineChoice::FastOracle {
+            alpha: cct_sim::ALPHA,
+        }))
         .sample(&g, &mut r2)
         .unwrap();
         assert!(oracle.total_rounds() > unit.total_rounds());
@@ -526,6 +539,10 @@ mod tests {
         let mut r = rng(111);
         let report = sampler.sample(&g, &mut r).unwrap();
         // ρ = 6 → ~35/5 = 7 phases.
-        assert!(report.num_phases() >= 5 && report.num_phases() <= 10, "{}", report.num_phases());
+        assert!(
+            report.num_phases() >= 5 && report.num_phases() <= 10,
+            "{}",
+            report.num_phases()
+        );
     }
 }

@@ -50,7 +50,10 @@ fn lollipop_marginals() {
     // clique edges are interchangeable but far below 1.
     let g = generators::lollipop(5, 3);
     let marginals = spanning_tree_edge_marginals(&g);
-    let bridges: Vec<_> = marginals.iter().filter(|&&(_, _, p)| (p - 1.0).abs() < 1e-9).collect();
+    let bridges: Vec<_> = marginals
+        .iter()
+        .filter(|&&(_, _, p)| (p - 1.0).abs() < 1e-9)
+        .collect();
     assert_eq!(bridges.len(), 3, "three tail edges are bridges");
     check_marginals(&g, 4000, 43, "lollipop");
 }

@@ -27,7 +27,11 @@ fn fixed_point_sampler_produces_valid_trees() {
     let config = base_config().precision(Precision::Fixed(FixedPoint::new(44)));
     let sampler = CliqueTreeSampler::new(config);
     let mut r = rng(1);
-    for g in [generators::complete(10), generators::grid(3, 3), generators::petersen()] {
+    for g in [
+        generators::complete(10),
+        generators::grid(3, 3),
+        generators::petersen(),
+    ] {
         let report = sampler.sample(&g, &mut r).unwrap();
         assert!(!report.monte_carlo_failure);
         assert_eq!(report.tree.edges().len(), g.n() - 1);
@@ -110,7 +114,9 @@ fn words_per_entry_inflates_matmul_rounds() {
     let run = |precision: Precision| {
         let config = SamplerConfig::new()
             .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
-            .engine(EngineChoice::FastOracle { alpha: cct_sim::ALPHA })
+            .engine(EngineChoice::FastOracle {
+                alpha: cct_sim::ALPHA,
+            })
             .precision(precision);
         let mut r = rng(5);
         CliqueTreeSampler::new(config).sample(&g, &mut r).unwrap()

@@ -2,9 +2,7 @@
 //! on every connected graph yields a valid spanning tree with a
 //! consistent report.
 
-use cct_core::{
-    CliqueTreeSampler, EngineChoice, Placement, SamplerConfig, Variant, WalkLength,
-};
+use cct_core::{CliqueTreeSampler, EngineChoice, Placement, SamplerConfig, Variant, WalkLength};
 use cct_graph::generators;
 use proptest::prelude::*;
 use rand::SeedableRng;

@@ -2,9 +2,7 @@
 //! corner graphs, budget extremes, and configuration boundaries a
 //! downstream user will eventually hit.
 
-use cct_core::{
-    CliqueTreeSampler, EngineChoice, PhaseMethod, SamplerConfig, Variant, WalkLength,
-};
+use cct_core::{CliqueTreeSampler, EngineChoice, PhaseMethod, SamplerConfig, Variant, WalkLength};
 use cct_graph::{generators, Graph};
 use rand::SeedableRng;
 
@@ -60,7 +58,13 @@ fn dense_multigraph_like_weights() {
     // include the heavy edge essentially always.
     let g = Graph::from_weighted_edges(
         4,
-        &[(0, 1, 1e6), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)],
+        &[
+            (0, 1, 1e6),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 1.0),
+        ],
     )
     .unwrap();
     let sampler = CliqueTreeSampler::new(quick().variant(Variant::LasVegas));
@@ -104,7 +108,9 @@ fn binary_tree_unique_spanning_tree() {
 fn very_short_fixed_ell_on_clique_still_works_las_vegas() {
     // ℓ = 2 with Las Vegas: constant extensions, still correct.
     let g = generators::complete(10);
-    let config = quick().walk_length(WalkLength::Fixed(2)).variant(Variant::LasVegas);
+    let config = quick()
+        .walk_length(WalkLength::Fixed(2))
+        .variant(Variant::LasVegas);
     let sampler = CliqueTreeSampler::new(config);
     let mut r = rng(7);
     let report = sampler.sample(&g, &mut r).unwrap();

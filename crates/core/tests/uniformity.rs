@@ -51,7 +51,13 @@ fn quick(ell_factor: f64) -> SamplerConfig {
 #[test]
 fn uniform_on_k4_with_matching_placement() {
     // K4: 16 spanning trees; ρ = 2.
-    assert_uniform(&generators::complete(4), quick(4.0), 12_000, 1000, "K4/matching");
+    assert_uniform(
+        &generators::complete(4),
+        quick(4.0),
+        12_000,
+        1000,
+        "K4/matching",
+    );
 }
 
 #[test]
@@ -73,7 +79,13 @@ fn uniform_on_cycle_with_chord() {
 fn uniform_on_bipartite_graph() {
     // K_{2,3}: 12 spanning trees; bipartite exercises the parity logic
     // and the degenerate-phase fallbacks.
-    assert_uniform(&generators::complete_bipartite(2, 3), quick(4.0), 12_000, 1003, "K23");
+    assert_uniform(
+        &generators::complete_bipartite(2, 3),
+        quick(4.0),
+        12_000,
+        1003,
+        "K23",
+    );
 }
 
 #[test]
@@ -96,14 +108,19 @@ fn exact_variant_is_uniform() {
         .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
         .engine(cct_core::EngineChoice::UnitCost);
     config = config.rho(3); // n^{1/3} floors to 2 at n=5; use 3 for coverage
-    assert_uniform(&generators::complete(5), config, 12_000, 1006, "K5/exact-variant");
+    assert_uniform(
+        &generators::complete(5),
+        config,
+        12_000,
+        1006,
+        "K5/exact-variant",
+    );
 }
 
 #[test]
 fn weighted_triangle_matches_weighted_uniform() {
     // Footnote 1: integer weights ≤ W; tree probability ∝ Π weights.
-    let g =
-        Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+    let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
     assert_uniform(&g, quick(8.0), 12_000, 1007, "weighted-triangle");
 }
 
@@ -111,7 +128,13 @@ fn weighted_triangle_matches_weighted_uniform() {
 fn weighted_square_with_chord() {
     let g = Graph::from_weighted_edges(
         4,
-        &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 0, 1.0), (0, 2, 2.0)],
+        &[
+            (0, 1, 2.0),
+            (1, 2, 1.0),
+            (2, 3, 3.0),
+            (3, 0, 1.0),
+            (0, 2, 2.0),
+        ],
     )
     .unwrap();
     assert_uniform(&g, quick(4.0), 12_000, 1008, "weighted-square");
@@ -120,7 +143,13 @@ fn weighted_square_with_chord() {
 #[test]
 fn las_vegas_variant_is_uniform() {
     let config = quick(4.0).variant(Variant::LasVegas);
-    assert_uniform(&generators::complete(4), config, 10_000, 1009, "K4/las-vegas");
+    assert_uniform(
+        &generators::complete(4),
+        config,
+        10_000,
+        1009,
+        "K4/las-vegas",
+    );
 }
 
 #[test]

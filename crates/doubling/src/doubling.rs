@@ -16,6 +16,11 @@ use cct_sim::{Clique, CostCategory, Envelope};
 use cct_walks::random_step;
 use rand::Rng;
 
+/// Routed walk segment: (origin machine, segment index, walk vertices).
+type Segment = (usize, usize, Vec<usize>);
+/// Merged walk addressed to its origin: (origin machine, walk vertices).
+type MergedWalk = (usize, Vec<usize>);
+
 /// Which merging-traffic routing to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Balancing {
@@ -66,11 +71,7 @@ pub fn doubling_walks<R: Rng + ?Sized>(
 
     // Initialization: vertex v holds k₀ length-1 walks (random edges).
     let mut walks: Vec<Vec<Vec<usize>>> = (0..n)
-        .map(|v| {
-            (0..k0)
-                .map(|_| vec![v, random_step(g, v, rng)])
-                .collect()
-        })
+        .map(|v| (0..k0).map(|_| vec![v, random_step(g, v, rng)]).collect())
         .collect();
 
     let mut stats = DoublingStats::default();
@@ -97,11 +98,10 @@ pub fn doubling_walks<R: Rng + ?Sized>(
         // Tuple payload: (origin, index, walk). 0-based: prefix indices
         // 0..k/2 pair with suffix indices k−1−i.
         let words = walks[0][0].len() + 2;
-        let mut outboxes: Vec<Vec<Envelope<(usize, usize, Vec<usize>)>>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Vec<Envelope<Segment>>> = (0..n).map(|_| Vec::new()).collect();
         for (v, vw) in walks.iter_mut().enumerate() {
             // Drain this iteration's walks; they are re-filled below.
-            let drained: Vec<Vec<usize>> = vw.drain(..).collect();
+            let drained: Vec<Vec<usize>> = std::mem::take(vw);
             for (i, w) in drained.into_iter().enumerate() {
                 let dest = if i < k / 2 {
                     let end = *w.last().expect("non-empty walk");
@@ -122,8 +122,7 @@ pub fn doubling_walks<R: Rng + ?Sized>(
         let inboxes = clique.route(CostCategory::Doubling, outboxes);
 
         // Step 4: merge prefix i (ending at v) with suffix k−1−i of v.
-        let mut outboxes: Vec<Vec<Envelope<(usize, Vec<usize>)>>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Vec<Envelope<MergedWalk>>> = (0..n).map(|_| Vec::new()).collect();
         for (machine, inbox) in inboxes.into_iter().enumerate() {
             let mut suffixes: std::collections::HashMap<(usize, usize), Vec<usize>> =
                 std::collections::HashMap::new();
@@ -178,8 +177,12 @@ fn record_loads<T>(outboxes: &[Vec<Envelope<T>>], n: usize, stats: &mut Doubling
             words[env.to] += env.words as u64;
         }
     }
-    stats.max_tuples_recv.push(tuples.iter().copied().max().unwrap_or(0));
-    stats.max_words_recv.push(words.iter().copied().max().unwrap_or(0));
+    stats
+        .max_tuples_recv
+        .push(tuples.iter().copied().max().unwrap_or(0));
+    stats
+        .max_words_recv
+        .push(words.iter().copied().max().unwrap_or(0));
 }
 
 /// Lemma 10's high-probability bound on tuples received per machine:
@@ -208,9 +211,15 @@ pub fn sample_tree_via_doubling<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (cct_graph::SpanningTree, u32) {
     let n = g.n();
-    assert!(g.is_connected(), "cover time is infinite on disconnected graphs");
+    assert!(
+        g.is_connected(),
+        "cover time is infinite on disconnected graphs"
+    );
     if n == 1 {
-        return (cct_graph::SpanningTree::new(1, Vec::new()).expect("trivial"), 0);
+        return (
+            cct_graph::SpanningTree::new(1, Vec::new()).expect("trivial"),
+            0,
+        );
     }
     let seg_len = ((segment_factor * n as f64 * (n as f64).log2()).ceil() as u64).max(2);
     let mut visited = vec![false; n];
@@ -226,8 +235,7 @@ pub fn sample_tree_via_doubling<R: Rng + ?Sized>(
         );
         // One doubling run; only the walk of the current endpoint is
         // consumed, so the cross-vertex correlations are irrelevant.
-        let (walks, _) =
-            doubling_walks(clique, g, seg_len, Balancing::Balanced { c: 1 }, rng);
+        let (walks, _) = doubling_walks(clique, g, seg_len, Balancing::Balanced { c: 1 }, rng);
         let walk = &walks[cur];
         for w in walk.windows(2) {
             if !visited[w[1]] {
@@ -341,10 +349,18 @@ mod tests {
         let g = generators::star(n);
         let mut clique = Clique::new(n);
         let mut r = rng(4);
-        let (_, stats) =
-            doubling_walks(&mut clique, &g, n as u64, Balancing::Balanced { c: 1 }, &mut r);
-        for (it, (&max_tuples, &k)) in
-            stats.max_tuples_recv.iter().zip(&stats.k_values).enumerate()
+        let (_, stats) = doubling_walks(
+            &mut clique,
+            &g,
+            n as u64,
+            Balancing::Balanced { c: 1 },
+            &mut r,
+        );
+        for (it, (&max_tuples, &k)) in stats
+            .max_tuples_recv
+            .iter()
+            .zip(&stats.k_values)
+            .enumerate()
         {
             let bound = lemma10_bound(n, k, 1);
             assert!(
@@ -390,7 +406,10 @@ mod tests {
             rounds.push(clique.ledger().total_rounds());
         }
         assert!(rounds[1] > rounds[0]);
-        assert!(rounds[2] > 2 * rounds[1], "16× τ must cost ≫ 2× the 4× τ rounds");
+        assert!(
+            rounds[2] > 2 * rounds[1],
+            "16× τ must cost ≫ 2× the 4× τ rounds"
+        );
     }
 
     #[test]

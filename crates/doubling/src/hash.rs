@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn roughly_uniform() {
         let h = TWiseHash::from_seed(99, 32, 16);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         let total = 16_000;
         for key in 0..total {
             counts[h.hash(key % 997, key / 997)] += 1;
@@ -124,7 +124,7 @@ mod tests {
         let h = TWiseHash::from_seed(5, 4, 1 << 20);
         let a = h.hash(1, 0);
         let b = h.hash(0, 1 << 40 >> 20); // different key
-        // Not an equality test (collisions allowed) — just exercise both.
+                                          // Not an equality test (collisions allowed) — just exercise both.
         let _ = (a, b);
     }
 

@@ -223,8 +223,7 @@ mod tests {
     fn weighted_count_is_weight_sum() {
         // Triangle with weights 1, 2, 3: trees are the 3 edge pairs with
         // weights 1·2 + 1·3 + 2·3 = 11.
-        let g =
-            Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
         assert!((spanning_tree_count(&g) - 11.0).abs() < 1e-9);
         assert_eq!(spanning_tree_count_exact(&g).unwrap(), 11);
     }
@@ -252,8 +251,7 @@ mod tests {
 
     #[test]
     fn distribution_sums_to_one_and_respects_weights() {
-        let g =
-            Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)]).unwrap();
         let dist = spanning_tree_distribution(&g);
         assert_eq!(dist.len(), 3);
         let total: f64 = dist.iter().map(|(_, p)| p).sum();

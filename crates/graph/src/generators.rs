@@ -259,15 +259,25 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// # Panics
 ///
 /// Panics if 1000 attempts fail (i.e. `p` is far below the connectivity
-/// threshold `log n / n`).
+/// threshold `log n / n`). See [`try_erdos_renyi_connected`] for the
+/// fallible variant.
 pub fn erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    for _ in 0..1000 {
-        let g = erdos_renyi(n, p, rng);
-        if g.is_connected() {
-            return g;
-        }
-    }
-    panic!("G({n}, {p}) failed to produce a connected graph in 1000 attempts");
+    try_erdos_renyi_connected(n, p, rng).unwrap_or_else(|| {
+        panic!("G({n}, {p}) failed to produce a connected graph in 1000 attempts")
+    })
+}
+
+/// Fallible [`erdos_renyi_connected`]: `None` if 1000 attempts all come
+/// out disconnected, so callers with untrusted `p` (e.g. the CLI) can
+/// report an error instead of panicking.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `\[0, 1\]` or `n == 0`.
+pub fn try_erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Option<Graph> {
+    (0..1000)
+        .map(|_| erdos_renyi(n, p, rng))
+        .find(Graph::is_connected)
 }
 
 /// A random `d`-regular graph via the configuration model with rejection
@@ -278,13 +288,26 @@ pub fn erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> 
 ///
 /// # Panics
 ///
-/// Panics if `n·d` is odd, `d ≥ n`, or 1000 attempts fail.
+/// Panics if `n·d` is odd, `d ≥ n`, or 1000 attempts fail. See
+/// [`try_random_regular`] for the last case's fallible variant.
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    try_random_regular(n, d, rng)
+        .unwrap_or_else(|| panic!("failed to sample a connected {d}-regular graph on {n} vertices"))
+}
+
+/// Fallible [`random_regular`]: `None` if 1000 configuration-model
+/// attempts fail to produce a simple connected graph.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d ≥ n` (domain errors, unlike sampling
+/// failures).
+pub fn try_random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Option<Graph> {
     assert!(n * d % 2 == 0, "n·d must be even");
     assert!(d >= 1 && d < n, "need 1 ≤ d < n");
     'attempt: for _ in 0..1000 {
         // Stubs: d copies of each vertex, matched uniformly.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut edges = Vec::with_capacity(n * d / 2);
         let mut seen = std::collections::HashSet::new();
@@ -301,10 +324,10 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
         }
         let g = Graph::from_edges(n, &edges).expect("valid by construction");
         if g.is_connected() {
-            return g;
+            return Some(g);
         }
     }
-    panic!("failed to sample a connected {d}-regular graph on {n} vertices");
+    None
 }
 
 /// Replaces every weight with a uniform random integer in `1..=max_weight`

@@ -77,8 +77,7 @@ impl Graph {
     /// Returns a [`GraphError`] for out-of-range endpoints, self-loops, or
     /// duplicate edges.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
-        let weighted: Vec<(usize, usize, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(usize, usize, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Graph::from_weighted_edges(n, &weighted)
     }
 
@@ -118,9 +117,13 @@ impl Graph {
             edge_list.push((u, v, w));
         }
         for nbrs in &mut adj {
-            nbrs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            nbrs.sort_unstable_by_key(|a| a.0);
         }
-        Ok(Graph { n, adj, edges: edge_list })
+        Ok(Graph {
+            n,
+            adj,
+            edges: edge_list,
+        })
     }
 
     /// Number of vertices.
@@ -331,7 +334,10 @@ mod tests {
             Graph::from_edges(2, &[(0, 2)]),
             Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 })
         );
-        assert_eq!(Graph::from_edges(2, &[(1, 1)]), Err(GraphError::SelfLoop(1)));
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
         assert_eq!(
             Graph::from_edges(2, &[(0, 1), (1, 0)]),
             Err(GraphError::DuplicateEdge(0, 1))
@@ -340,10 +346,7 @@ mod tests {
             Graph::from_weighted_edges(2, &[(0, 1, 0.0)]),
             Err(GraphError::BadWeight(0.0))
         );
-        assert_eq!(
-            Graph::from_weighted_edges(2, &[(0, 1, f64::NAN)]).is_err(),
-            true
-        );
+        assert!(Graph::from_weighted_edges(2, &[(0, 1, f64::NAN)]).is_err());
     }
 
     #[test]

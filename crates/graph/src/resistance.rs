@@ -34,7 +34,10 @@ use cct_linalg::Lu;
 pub fn effective_resistance(g: &Graph, u: usize, v: usize) -> f64 {
     assert!(u < g.n() && v < g.n(), "vertex out of range");
     assert_ne!(u, v, "resistance between a vertex and itself is 0");
-    assert!(g.is_connected(), "effective resistance needs a connected graph");
+    assert!(
+        g.is_connected(),
+        "effective resistance needs a connected graph"
+    );
     let lu = reduced_laplacian(g);
     resistance_from_factor(&lu, u, v)
 }
@@ -52,7 +55,13 @@ pub fn spanning_tree_edge_marginals(g: &Graph) -> Vec<(usize, usize, f64)> {
     let lu = reduced_laplacian(g);
     g.edges()
         .iter()
-        .map(|&(u, v, w)| (u, v, (w * resistance_from_factor(&lu, u, v)).clamp(0.0, 1.0)))
+        .map(|&(u, v, w)| {
+            (
+                u,
+                v,
+                (w * resistance_from_factor(&lu, u, v)).clamp(0.0, 1.0),
+            )
+        })
         .collect()
 }
 
@@ -105,11 +114,8 @@ mod tests {
     #[test]
     fn weighted_resistance() {
         // Two parallel conductors of conductance 3 and 1 → R = 1/4.
-        let g = crate::Graph::from_weighted_edges(
-            3,
-            &[(0, 1, 3.0), (0, 2, 1.0), (1, 2, 1.0)],
-        )
-        .unwrap();
+        let g =
+            crate::Graph::from_weighted_edges(3, &[(0, 1, 3.0), (0, 2, 1.0), (1, 2, 1.0)]).unwrap();
         // R(0,1): direct conductance 3 in parallel with the 0-2-1 path
         // (two unit resistors in series = 1/2 conductance) → 1/(3+0.5).
         assert!((effective_resistance(&g, 0, 1) - 1.0 / 3.5).abs() < 1e-10);
@@ -133,7 +139,13 @@ mod tests {
             generators::lollipop(5, 3),
             crate::Graph::from_weighted_edges(
                 4,
-                &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 0, 1.0), (0, 2, 2.0)],
+                &[
+                    (0, 1, 2.0),
+                    (1, 2, 1.0),
+                    (2, 3, 3.0),
+                    (3, 0, 1.0),
+                    (0, 2, 2.0),
+                ],
             )
             .unwrap(),
         ] {
@@ -153,7 +165,13 @@ mod tests {
     fn marginals_match_enumeration() {
         let g = crate::Graph::from_weighted_edges(
             4,
-            &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 0, 1.0), (0, 2, 2.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 0, 1.0),
+                (0, 2, 2.0),
+            ],
         )
         .unwrap();
         let dist = spanning_tree_distribution(&g);
@@ -176,7 +194,10 @@ mod tests {
         let g = generators::barbell(4);
         let marginals = spanning_tree_edge_marginals(&g);
         // The bridge (3, 4) is in every spanning tree.
-        let bridge = marginals.iter().find(|&&(u, v, _)| (u, v) == (3, 4)).unwrap();
+        let bridge = marginals
+            .iter()
+            .find(|&&(u, v, _)| (u, v) == (3, 4))
+            .unwrap();
         assert!((bridge.2 - 1.0).abs() < 1e-9);
     }
 }

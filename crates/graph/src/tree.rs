@@ -74,7 +74,10 @@ impl SpanningTree {
     pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Result<SpanningTree, TreeError> {
         let expected = n.saturating_sub(1);
         if edges.len() != expected {
-            return Err(TreeError::WrongEdgeCount { expected, actual: edges.len() });
+            return Err(TreeError::WrongEdgeCount {
+                expected,
+                actual: edges.len(),
+            });
         }
         let mut dsu = DisjointSet::new(n);
         let mut canon = Vec::with_capacity(edges.len());
@@ -204,7 +207,10 @@ mod tests {
     fn wrong_edge_count() {
         assert_eq!(
             SpanningTree::new(3, vec![(0, 1)]),
-            Err(TreeError::WrongEdgeCount { expected: 2, actual: 1 })
+            Err(TreeError::WrongEdgeCount {
+                expected: 2,
+                actual: 1
+            })
         );
     }
 

@@ -31,7 +31,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -64,7 +68,11 @@ impl Matrix {
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
         let data = rows.iter().flatten().copied().collect();
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -88,7 +96,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -98,7 +110,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -108,7 +124,11 @@ impl Matrix {
     ///
     /// Panics if `j >= self.cols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col {j} out of bounds for {} cols", self.cols);
+        assert!(
+            j < self.cols,
+            "col {j} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -142,7 +162,9 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
-        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| self[(row_idx[i], col_idx[j])])
+        Matrix::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        })
     }
 
     /// Largest absolute entry.
@@ -201,16 +223,15 @@ impl Matrix {
         let chunk = n.div_ceil(threads);
         let a = &self.data;
         let b = &rhs.data;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, out_chunk) in out.data.chunks_mut(chunk * m).enumerate() {
                 let lo = t * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let hi = lo + out_chunk.len() / m;
                     matmul_rows_into(a, b, out_chunk, k, m, lo, hi);
                 });
             }
-        })
-        .expect("matmul worker panicked");
+        });
         out
     }
 
@@ -230,7 +251,15 @@ impl Matrix {
 /// Computes rows `lo..hi` of `A·B` into `out` (which holds those rows only).
 ///
 /// `A` is `? × k` row-major, `B` is `k × m` row-major.
-fn matmul_rows_into(a: &[f64], b: &[f64], out: &mut [f64], k: usize, m: usize, lo: usize, hi: usize) {
+fn matmul_rows_into(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    k: usize,
+    m: usize,
+    lo: usize,
+    hi: usize,
+) {
     for i in lo..hi {
         let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
         let a_row = &a[i * k..(i + 1) * k];
@@ -250,14 +279,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -270,7 +305,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -283,7 +323,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

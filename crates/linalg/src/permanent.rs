@@ -108,7 +108,10 @@ pub fn permanent(a: &Matrix) -> f64 {
 ///
 /// Panics if `a` is not square, empty, or indices are out of range.
 pub fn permanent_minor(a: &Matrix, row: usize, col: usize) -> f64 {
-    assert!(a.is_square() && a.rows() > 0, "need a non-empty square matrix");
+    assert!(
+        a.is_square() && a.rows() > 0,
+        "need a non-empty square matrix"
+    );
     let n = a.rows();
     assert!(row < n && col < n, "minor indices out of range");
     let rows: Vec<usize> = (0..n).filter(|&i| i != row).collect();

@@ -56,7 +56,7 @@ impl FixedPoint {
         assert!(k > 0, "k must be positive");
         let log_k = (64 - k.leading_zeros()) as f64;
         let delta = beta / (2.0 * ((n as f64) + 1.0).powf(log_k));
-        let bits = (-delta.log2()).ceil().max(1.0).min(52.0) as u32;
+        let bits = (-delta.log2()).ceil().clamp(1.0, 52.0) as u32;
         FixedPoint::new(bits)
     }
 
@@ -227,7 +227,7 @@ mod tests {
         let fp = FixedPoint::new(40);
         // n = 1024 → 10-bit words (plus sign of ceil) → 40/11 rounded up.
         let w = fp.words_per_entry(1024);
-        assert!(w >= 3 && w <= 4, "got {w}");
+        assert!((3..=4).contains(&w), "got {w}");
         assert_eq!(FixedPoint::new(4).words_per_entry(1 << 20), 1);
     }
 

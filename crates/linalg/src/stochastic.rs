@@ -74,7 +74,7 @@ pub fn normalize_rows(m: &mut Matrix) {
 /// ```
 pub fn sample_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return None;
     }
     let mut target = rng.gen::<f64>() * total;
@@ -103,7 +103,10 @@ pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "length mismatch");
     let sp: f64 = p.iter().sum();
     let sq: f64 = q.iter().sum();
-    assert!(sp > 0.0 && sq > 0.0, "distributions must have positive mass");
+    assert!(
+        sp > 0.0 && sq > 0.0,
+        "distributions must have positive mass"
+    );
     0.5 * p
         .iter()
         .zip(q)
@@ -141,7 +144,10 @@ pub fn powers_of_two(m: &Matrix, levels: usize, threads: usize) -> Vec<Matrix> {
 pub fn power_from_table(table: &[Matrix], e: u64, threads: usize) -> Matrix {
     assert!(e >= 1, "exponent must be positive");
     let bits = 64 - e.leading_zeros() as usize;
-    assert!(bits <= table.len(), "power table too short for exponent {e}");
+    assert!(
+        bits <= table.len(),
+        "power table too short for exponent {e}"
+    );
     let mut acc: Option<Matrix> = None;
     for (k, item) in table.iter().enumerate().take(bits) {
         if (e >> k) & 1 == 1 {

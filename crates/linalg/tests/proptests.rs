@@ -2,8 +2,8 @@
 
 use cct_linalg::{
     det, det_exact, is_row_stochastic, is_row_substochastic, normalize_rows, permanent,
-    permanent_naive, powers_of_two, powers_rounded, subtractive_error, total_variation,
-    FixedPoint, Lu, Matrix,
+    permanent_naive, powers_of_two, powers_rounded, subtractive_error, total_variation, FixedPoint,
+    Lu, Matrix,
 };
 use proptest::prelude::*;
 
@@ -126,7 +126,7 @@ proptest! {
         let d_pq = total_variation(&p, &q);
         let d_qp = total_variation(&q, &p);
         prop_assert!((d_pq - d_qp).abs() < 1e-12);
-        prop_assert!(d_pq >= 0.0 && d_pq <= 1.0 + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_pq));
         prop_assert!(total_variation(&p, &p) < 1e-12);
     }
 

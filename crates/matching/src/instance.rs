@@ -110,7 +110,11 @@ impl MatchingInstance {
                 }
             }
         }
-        Ok(MatchingInstance { value_counts, group_sizes, weights })
+        Ok(MatchingInstance {
+            value_counts,
+            group_sizes,
+            weights,
+        })
     }
 
     /// Number of distinct midpoint values.
@@ -222,11 +226,11 @@ impl MatchingInstance {
         let total = self.total_slots();
         let mut row_of = Vec::with_capacity(total);
         for (j, &m) in self.value_counts.iter().enumerate() {
-            row_of.extend(std::iter::repeat(j).take(m));
+            row_of.extend(std::iter::repeat_n(j, m));
         }
         let mut col_of = Vec::with_capacity(total);
         for (g, &s) in self.group_sizes.iter().enumerate() {
-            col_of.extend(std::iter::repeat(g).take(s));
+            col_of.extend(std::iter::repeat_n(g, s));
         }
         cct_linalg::Matrix::from_fn(total, total, |r, c| self.weights[row_of[r]][col_of[c]])
     }
@@ -239,7 +243,11 @@ impl MatchingInstance {
     /// callers can distinguish "impossible" from "absent".
     pub fn enumerate_assignments(&self) -> Vec<(Assignment, f64)> {
         let mut remaining = self.value_counts.clone();
-        let mut per_group: Vec<Vec<usize>> = self.group_sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        let mut per_group: Vec<Vec<usize>> = self
+            .group_sizes
+            .iter()
+            .map(|&s| Vec::with_capacity(s))
+            .collect();
         let mut out = Vec::new();
         self.enumerate_rec(0, &mut remaining, &mut per_group, &mut out);
         out
@@ -253,7 +261,9 @@ impl MatchingInstance {
         out: &mut Vec<(Assignment, f64)>,
     ) {
         if g == self.num_groups() {
-            let a = Assignment { per_group: per_group.clone() };
+            let a = Assignment {
+                per_group: per_group.clone(),
+            };
             let w = self.assignment_weight(&a);
             out.push((a, w));
             return;
@@ -283,8 +293,11 @@ impl MatchingInstance {
     /// the node budget is exhausted.
     pub fn find_positive_assignment(&self, node_budget: usize) -> Option<Assignment> {
         let mut remaining = self.value_counts.clone();
-        let mut per_group: Vec<Vec<usize>> =
-            self.group_sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+        let mut per_group: Vec<Vec<usize>> = self
+            .group_sizes
+            .iter()
+            .map(|&s| Vec::with_capacity(s))
+            .collect();
         let mut budget = node_budget;
         if self.positive_rec(0, &mut remaining, &mut per_group, &mut budget) {
             Some(Assignment { per_group })
@@ -352,19 +365,17 @@ mod tests {
     use super::*;
 
     fn small() -> MatchingInstance {
-        MatchingInstance::new(
-            vec![2, 1],
-            vec![2, 1],
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-        )
-        .unwrap()
+        MatchingInstance::new(vec![2, 1], vec![2, 1], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
     }
 
     #[test]
     fn construction_validations() {
         assert_eq!(
             MatchingInstance::new(vec![1], vec![2], vec![vec![1.0]]),
-            Err(InstanceError::SlotMismatch { values: 1, slots: 2 })
+            Err(InstanceError::SlotMismatch {
+                values: 1,
+                slots: 2
+            })
         );
         assert_eq!(
             MatchingInstance::new(vec![1], vec![1], vec![]),
@@ -379,18 +390,24 @@ mod tests {
     #[test]
     fn weight_and_consistency() {
         let inst = small();
-        let a = Assignment { per_group: vec![vec![0, 1], vec![0]] };
+        let a = Assignment {
+            per_group: vec![vec![0, 1], vec![0]],
+        };
         assert!(inst.is_consistent(&a));
         // w = w[0][0] * w[1][0] * w[0][1] = 1 * 3 * 2 = 6
         assert_eq!(inst.assignment_weight(&a), 6.0);
-        let bad = Assignment { per_group: vec![vec![1, 1], vec![0]] };
+        let bad = Assignment {
+            per_group: vec![vec![1, 1], vec![0]],
+        };
         assert!(!inst.is_consistent(&bad));
     }
 
     #[test]
     fn contingency_counts() {
         let inst = small();
-        let a = Assignment { per_group: vec![vec![0, 0], vec![1]] };
+        let a = Assignment {
+            per_group: vec![vec![0, 0], vec![1]],
+        };
         assert_eq!(inst.contingency(&a), vec![vec![2, 0], vec![0, 1]]);
     }
 
@@ -420,12 +437,9 @@ mod tests {
     fn find_positive_assignment_respects_zeros() {
         // Value 0 cannot go to group 1 → both copies of value 0 must be
         // in group 0; value 1 in group 1.
-        let inst = MatchingInstance::new(
-            vec![2, 1],
-            vec![2, 1],
-            vec![vec![1.0, 0.0], vec![1.0, 1.0]],
-        )
-        .unwrap();
+        let inst =
+            MatchingInstance::new(vec![2, 1], vec![2, 1], vec![vec![1.0, 0.0], vec![1.0, 1.0]])
+                .unwrap();
         let a = inst.find_positive_assignment(10_000).unwrap();
         assert!(inst.is_consistent(&a));
         assert!(inst.assignment_weight(&a) > 0.0);
@@ -435,12 +449,7 @@ mod tests {
 
     #[test]
     fn find_positive_assignment_none_when_infeasible() {
-        let inst = MatchingInstance::new(
-            vec![1, 1],
-            vec![2],
-            vec![vec![0.0], vec![1.0]],
-        )
-        .unwrap();
+        let inst = MatchingInstance::new(vec![1, 1], vec![2], vec![vec![0.0], vec![1.0]]).unwrap();
         assert!(inst.find_positive_assignment(10_000).is_none());
     }
 
@@ -449,7 +458,9 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let inst = small();
-        let mut a = Assignment { per_group: vec![vec![0, 1], vec![0]] };
+        let mut a = Assignment {
+            per_group: vec![vec![0, 1], vec![0]],
+        };
         for _ in 0..10 {
             a.shuffle_within_groups(&mut rng);
             assert!(inst.is_consistent(&a));

@@ -37,7 +37,10 @@ impl std::fmt::Display for MatchingError {
         match self {
             MatchingError::Infeasible => write!(f, "no positive-weight assignment exists"),
             MatchingError::TooLargeForExact { slots } => {
-                write!(f, "instance with {slots} slots exceeds exact-permanent limit")
+                write!(
+                    f,
+                    "instance with {slots} slots exceeds exact-permanent limit"
+                )
             }
         }
     }
@@ -75,12 +78,17 @@ impl ExactPermanentSampler {
             return Err(MatchingError::TooLargeForExact { slots: total });
         }
         if total == 0 {
-            return Ok(Assignment { per_group: vec![Vec::new(); inst.num_groups()] });
+            return Ok(Assignment {
+                per_group: vec![Vec::new(); inst.num_groups()],
+            });
         }
         let mut remaining = inst.value_counts().to_vec();
         let mut slots_left = inst.group_sizes().to_vec();
-        let mut per_group: Vec<Vec<usize>> =
-            inst.group_sizes().iter().map(|&s| Vec::with_capacity(s)).collect();
+        let mut per_group: Vec<Vec<usize>> = inst
+            .group_sizes()
+            .iter()
+            .map(|&s| Vec::with_capacity(s))
+            .collect();
         for g in 0..inst.num_groups() {
             for _ in 0..inst.group_sizes()[g] {
                 slots_left[g] -= 1;
@@ -95,8 +103,7 @@ impl ExactPermanentSampler {
                     remaining[j] += 1;
                     weights.push(remaining[j] as f64 * inst.weight(j, g) * rest);
                 }
-                let j = cct_linalg::sample_index(rng, &weights)
-                    .ok_or(MatchingError::Infeasible)?;
+                let j = cct_linalg::sample_index(rng, &weights).ok_or(MatchingError::Infeasible)?;
                 remaining[j] -= 1;
                 per_group[g].push(j);
             }
@@ -121,11 +128,11 @@ fn reduced_permanent(
     }
     let mut row_of = Vec::with_capacity(total);
     for (j, &m) in remaining.iter().enumerate() {
-        row_of.extend(std::iter::repeat(j).take(m));
+        row_of.extend(std::iter::repeat_n(j, m));
     }
     let mut col_of = Vec::with_capacity(total);
     for (g, &s) in slots_left.iter().enumerate() {
-        col_of.extend(std::iter::repeat(g).take(s));
+        col_of.extend(std::iter::repeat_n(g, s));
     }
     permanent(&Matrix::from_fn(total, total, |r, c| {
         inst.weight(row_of[r], col_of[c])
@@ -173,14 +180,19 @@ impl SwapChainSampler {
     ) -> Result<Assignment, MatchingError> {
         let total = inst.total_slots();
         if total == 0 {
-            return Ok(Assignment { per_group: vec![Vec::new(); inst.num_groups()] });
+            return Ok(Assignment {
+                per_group: vec![Vec::new(); inst.num_groups()],
+            });
         }
         let mut state = match start {
             Some(a) => {
                 assert!(inst.is_consistent(&a), "start assignment inconsistent");
                 // Per-slot positivity, not the weight product — products
                 // over thousands of slots underflow f64 to zero.
-                assert!(inst.is_positive(&a), "start assignment has a zero-weight slot");
+                assert!(
+                    inst.is_positive(&a),
+                    "start assignment has a zero-weight slot"
+                );
                 a
             }
             None => inst
@@ -232,7 +244,9 @@ pub fn sample_per_group_shuffle<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Assignment {
     let mut per_group = per_group_multisets;
-    let mut a = Assignment { per_group: std::mem::take(&mut per_group) };
+    let mut a = Assignment {
+        per_group: std::mem::take(&mut per_group),
+    };
     a.shuffle_within_groups(rng);
     a
 }
@@ -263,11 +277,7 @@ mod tests {
         MatchingInstance::new(
             vec![2, 1, 1],
             vec![2, 2],
-            vec![
-                vec![1.0, 3.0],
-                vec![2.0, 1.0],
-                vec![5.0, 0.5],
-            ],
+            vec![vec![1.0, 3.0], vec![2.0, 1.0], vec![5.0, 0.5]],
         )
         .unwrap()
     }
@@ -318,12 +328,7 @@ mod tests {
 
     #[test]
     fn exact_sampler_infeasible_detected() {
-        let inst = MatchingInstance::new(
-            vec![1, 1],
-            vec![2],
-            vec![vec![0.0], vec![1.0]],
-        )
-        .unwrap();
+        let inst = MatchingInstance::new(vec![1, 1], vec![2], vec![vec![0.0], vec![1.0]]).unwrap();
         let mut r = rng(52);
         assert_eq!(
             ExactPermanentSampler.sample(&inst, &mut r).unwrap_err(),
@@ -349,10 +354,13 @@ mod tests {
     #[test]
     fn swap_chain_matches_enumeration() {
         let inst = skewed_instance();
-        let sampler = SwapChainSampler { steps_per_slot: 200 };
+        let sampler = SwapChainSampler {
+            steps_per_slot: 200,
+        };
         let mut r = rng(54);
-        let (stat, crit) =
-            run_chi_square(&inst, 30_000, || sampler.sample(&inst, None, &mut r).unwrap());
+        let (stat, crit) = run_chi_square(&inst, 30_000, || {
+            sampler.sample(&inst, None, &mut r).unwrap()
+        });
         assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
     }
 
@@ -360,7 +368,9 @@ mod tests {
     fn swap_chain_with_hint_start() {
         let inst = skewed_instance();
         let hint = inst.find_positive_assignment(1_000_000).unwrap();
-        let sampler = SwapChainSampler { steps_per_slot: 200 };
+        let sampler = SwapChainSampler {
+            steps_per_slot: 200,
+        };
         let mut r = rng(55);
         let (stat, crit) = run_chi_square(&inst, 25_000, || {
             sampler.sample(&inst, Some(hint.clone()), &mut r).unwrap()
@@ -370,12 +380,9 @@ mod tests {
 
     #[test]
     fn swap_chain_respects_zero_weights() {
-        let inst = MatchingInstance::new(
-            vec![2, 2],
-            vec![2, 2],
-            vec![vec![1.0, 0.0], vec![1.0, 1.0]],
-        )
-        .unwrap();
+        let inst =
+            MatchingInstance::new(vec![2, 2], vec![2, 2], vec![vec![1.0, 0.0], vec![1.0, 1.0]])
+                .unwrap();
         let sampler = SwapChainSampler::default();
         let mut r = rng(56);
         for _ in 0..100 {
@@ -391,7 +398,9 @@ mod tests {
         let mut r = rng(57);
         let a = ExactPermanentSampler.sample(&inst, &mut r).unwrap();
         assert_eq!(a.total_slots(), 0);
-        let b = SwapChainSampler::default().sample(&inst, None, &mut r).unwrap();
+        let b = SwapChainSampler::default()
+            .sample(&inst, None, &mut r)
+            .unwrap();
         assert_eq!(b.total_slots(), 0);
     }
 
@@ -400,9 +409,10 @@ mod tests {
         // Group multiset {0, 1, 2}: all 6 orderings equally likely.
         let mut r = rng(58);
         let trials = 18_000;
-        let counts = stats::empirical_counts((0..trials).map(|_| {
-            sample_per_group_shuffle(vec![vec![0, 1, 2]], &mut r).per_group[0].clone()
-        }));
+        let counts =
+            stats::empirical_counts((0..trials).map(|_| {
+                sample_per_group_shuffle(vec![vec![0, 1, 2]], &mut r).per_group[0].clone()
+            }));
         assert_eq!(counts.len(), 6);
         let exact: Vec<(Vec<usize>, f64)> =
             counts.keys().cloned().map(|k| (k, 1.0 / 6.0)).collect();

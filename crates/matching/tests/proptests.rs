@@ -2,8 +2,7 @@
 //! positivity, and the permanent identity on random instances.
 
 use cct_matching::{
-    sample_per_group_shuffle, Assignment, ExactPermanentSampler, MatchingInstance,
-    SwapChainSampler,
+    sample_per_group_shuffle, Assignment, ExactPermanentSampler, MatchingInstance, SwapChainSampler,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;

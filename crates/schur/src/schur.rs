@@ -174,7 +174,11 @@ mod tests {
             assert_eq!(t[(i, i)], 0.0);
             for j in 0..3 {
                 if i != j {
-                    assert!((t[(i, j)] - 0.5).abs() < 1e-12, "S[{i},{j}] = {}", t[(i, j)]);
+                    assert!(
+                        (t[(i, j)] - 0.5).abs() < 1e-12,
+                        "S[{i},{j}] = {}",
+                        t[(i, j)]
+                    );
                 }
             }
         }
@@ -239,7 +243,14 @@ mod tests {
     fn corollary3_on_weighted_graph() {
         let g = Graph::from_weighted_edges(
             5,
-            &[(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0), (3, 4, 1.0), (4, 0, 2.0), (1, 3, 1.0)],
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 3.0),
+                (3, 4, 1.0),
+                (4, 0, 2.0),
+                (1, 3, 1.0),
+            ],
         )
         .unwrap();
         let s = VertexSubset::new(5, &[0, 2, 4]);
@@ -258,7 +269,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(43);
         let trials = 40_000;
         let u_local = 0usize; // global vertex 0
-        let mut counts = vec![0usize; 3];
+        let mut counts = [0usize; 3];
         for _ in 0..trials {
             let mut cur = s.global(u_local);
             loop {

@@ -230,7 +230,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let start = 2usize;
         let trials = 60_000;
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for _ in 0..trials {
             let mut prev;
             let mut cur = start;

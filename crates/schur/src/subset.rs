@@ -45,7 +45,12 @@ impl VertexSubset {
         for (i, &v) in list.iter().enumerate() {
             local[v] = i;
         }
-        VertexSubset { n, list, member, local }
+        VertexSubset {
+            n,
+            list,
+            member,
+            local,
+        }
     }
 
     /// The full set `0..n`.

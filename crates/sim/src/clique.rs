@@ -33,7 +33,12 @@ impl<T> Envelope<T> {
     /// Creates an envelope addressed to `to`; `from` is stamped during
     /// routing.
     pub fn new(to: usize, words: usize, payload: T) -> Self {
-        Envelope { to, from: usize::MAX, words, payload }
+        Envelope {
+            to,
+            from: usize::MAX,
+            words,
+            payload,
+        }
     }
 }
 
@@ -67,7 +72,10 @@ impl Clique {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a clique needs at least one machine");
-        Clique { n, ledger: RoundLedger::new() }
+        Clique {
+            n,
+            ledger: RoundLedger::new(),
+        }
     }
 
     /// Number of machines (= number of vertices of the input graph).
@@ -168,14 +176,16 @@ impl Clique {
             return items;
         }
         // Step 1: round-robin distribution to helpers.
-        let mut outboxes: Vec<Vec<Envelope<(usize, T)>>> = (0..self.n).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Vec<Envelope<(usize, T)>>> =
+            (0..self.n).map(|_| Vec::new()).collect();
         for (idx, item) in items.iter().enumerate() {
             let helper = idx % self.n;
             outboxes[from].push(Envelope::new(helper, words_per_item, (idx, item.clone())));
         }
         let inboxes = self.route(category, outboxes);
         // Step 2: each helper sends its share to all machines.
-        let mut outboxes: Vec<Vec<Envelope<(usize, T)>>> = (0..self.n).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Vec<Envelope<(usize, T)>>> =
+            (0..self.n).map(|_| Vec::new()).collect();
         for (helper, inbox) in inboxes.into_iter().enumerate() {
             for env in inbox {
                 for dest in 0..self.n {
@@ -292,9 +302,7 @@ mod tests {
         let n = 4;
         let mut c = Clique::new(n);
         // Every machine sends 2 words to machine 0: recv load 8 → 2 rounds.
-        let out: Vec<Vec<Envelope<u8>>> = (0..n)
-            .map(|_| vec![Envelope::new(0, 2, 0)])
-            .collect();
+        let out: Vec<Vec<Envelope<u8>>> = (0..n).map(|_| vec![Envelope::new(0, 2, 0)]).collect();
         c.route(CostCategory::Routing, out);
         assert_eq!(c.ledger().total_rounds(), 2);
     }

@@ -22,6 +22,11 @@
 use crate::{Clique, CostCategory, Envelope};
 use cct_linalg::{FixedPoint, Matrix};
 
+/// Step-1 message: (operand tag A=0/B=1, source row, row piece).
+type OperandPiece = (u8, usize, Vec<f64>);
+/// Step-2 message: (destination row, block column offset, partial row).
+type PartialRow = (usize, usize, Vec<f64>);
+
 /// A distributed square-matrix multiplication engine.
 ///
 /// Implementations must (a) return the true product and (b) charge their
@@ -67,7 +72,9 @@ pub struct SemiringEngine {
 impl SemiringEngine {
     /// Creates the engine; `threads` bounds local-compute parallelism.
     pub fn new(threads: usize) -> Self {
-        SemiringEngine { threads: threads.max(1) }
+        SemiringEngine {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -93,9 +100,8 @@ impl MatMulEngine for SemiringEngine {
         // block-column k goes to machines (i, *, k) where i = block of r;
         // the B-piece of row r (r in block-row k) in block-column j goes
         // to machines (*, j, k).
-        let mut outboxes: Vec<Vec<Envelope<(u8, usize, Vec<f64>)>>> =
-            (0..n).map(|_| Vec::new()).collect();
-        for r in 0..n {
+        let mut outboxes: Vec<Vec<Envelope<OperandPiece>>> = (0..n).map(|_| Vec::new()).collect();
+        for (r, outbox) in outboxes.iter_mut().enumerate() {
             let bi = r / s;
             for k in 0..c {
                 let (lo, hi) = blocks(k);
@@ -104,7 +110,7 @@ impl MatMulEngine for SemiringEngine {
                 }
                 let piece: Vec<f64> = a.row(r)[lo..hi].to_vec();
                 for j in 0..c {
-                    outboxes[r].push(Envelope::new(
+                    outbox.push(Envelope::new(
                         cube(bi, j, k),
                         piece.len(),
                         (0u8, r, piece.clone()),
@@ -120,7 +126,7 @@ impl MatMulEngine for SemiringEngine {
                 }
                 let piece: Vec<f64> = b.row(r)[lo..hi].to_vec();
                 for i in 0..c {
-                    outboxes[r].push(Envelope::new(
+                    outbox.push(Envelope::new(
                         cube(i, j, bk),
                         piece.len(),
                         (1u8, r, piece.clone()),
@@ -131,8 +137,7 @@ impl MatMulEngine for SemiringEngine {
         let inboxes = clique.route(CostCategory::MatMul, outboxes);
 
         // ── Step 2: local block products; ship partial C rows to owners.
-        let mut outboxes: Vec<Vec<Envelope<(usize, usize, Vec<f64>)>>> =
-            (0..n).map(|_| Vec::new()).collect();
+        let mut outboxes: Vec<Vec<Envelope<PartialRow>>> = (0..n).map(|_| Vec::new()).collect();
         for i in 0..c {
             for j in 0..c {
                 for k in 0..c {
@@ -169,11 +174,7 @@ impl MatMulEngine for SemiringEngine {
                         }
                         // Ship this partial row piece to the owner of row
                         // ilo + il of C.
-                        outboxes[m].push(Envelope::new(
-                            ilo + il,
-                            acc.len(),
-                            (ilo + il, jlo, acc),
-                        ));
+                        outboxes[m].push(Envelope::new(ilo + il, acc.len(), (ilo + il, jlo, acc)));
                     }
                 }
             }
@@ -225,7 +226,11 @@ impl FastOracleEngine {
     pub fn new(alpha: f64, words_per_entry: usize, threads: usize) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
         assert!(words_per_entry >= 1, "entries occupy at least one word");
-        FastOracleEngine { alpha, words_per_entry, threads: threads.max(1) }
+        FastOracleEngine {
+            alpha,
+            words_per_entry,
+            threads: threads.max(1),
+        }
     }
 
     /// Round cost charged per multiplication on an `n`-machine clique.
@@ -436,10 +441,7 @@ mod tests {
         }
         // Squaring count: 3 multiplies + 4 column redistributions.
         let wpe = fp.words_per_entry(n) as u64;
-        assert_eq!(
-            clique.ledger().rounds(CostCategory::MatMul),
-            3 + 4 * wpe
-        );
+        assert_eq!(clique.ledger().rounds(CostCategory::MatMul), 3 + 4 * wpe);
     }
 
     #[test]

@@ -197,11 +197,8 @@ mod tests {
     #[test]
     fn weighted_triangle_distribution() {
         // Weights 1,2,3 → tree probabilities 2/11, 3/11, 6/11.
-        let g = cct_graph::Graph::from_weighted_edges(
-            3,
-            &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)],
-        )
-        .unwrap();
+        let g = cct_graph::Graph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+            .unwrap();
         let dist = spanning_tree_distribution(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(777);
         let trials = 22_000usize;

@@ -89,7 +89,10 @@ pub fn estimate_cover_time<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> CoverTimeStats {
     assert!(trials > 0, "need at least one trial");
-    assert!(g.is_connected(), "cover time is infinite on disconnected graphs");
+    assert!(
+        g.is_connected(),
+        "cover time is infinite on disconnected graphs"
+    );
     let mut sum = 0.0;
     let mut max = 0u64;
     let mut capped = 0usize;
@@ -105,7 +108,11 @@ pub fn estimate_cover_time<R: Rng + ?Sized>(
         }
     }
     CoverTimeStats {
-        mean: if completed > 0 { sum / completed as f64 } else { f64::INFINITY },
+        mean: if completed > 0 {
+            sum / completed as f64
+        } else {
+            f64::INFINITY
+        },
         max,
         capped,
         trials,

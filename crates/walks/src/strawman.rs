@@ -27,7 +27,11 @@ pub fn kruskal_by_keys(g: &Graph, keys: &[f64]) -> Result<SpanningTree, SampleEr
     assert_eq!(keys.len(), g.m(), "need one key per edge");
     let n = g.n();
     let mut order: Vec<usize> = (0..g.m()).collect();
-    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("keys must be comparable"));
+    order.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .expect("keys must be comparable")
+    });
     let mut dsu = DisjointSet::new(n);
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     for idx in order {
@@ -149,9 +153,8 @@ mod tests {
         let exact = random_mst_distribution(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let trials = 20_000;
-        let counts = stats::empirical_counts(
-            (0..trials).map(|_| random_weight_mst(&g, &mut rng).unwrap()),
-        );
+        let counts =
+            stats::empirical_counts((0..trials).map(|_| random_weight_mst(&g, &mut rng).unwrap()));
         let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
         assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
     }
@@ -183,9 +186,8 @@ mod tests {
         let uniform = spanning_tree_distribution(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let trials = 40_000;
-        let counts = stats::empirical_counts(
-            (0..trials).map(|_| random_weight_mst(&g, &mut rng).unwrap()),
-        );
+        let counts =
+            stats::empirical_counts((0..trials).map(|_| random_weight_mst(&g, &mut rng).unwrap()));
         let (stat, crit) = stats::goodness_of_fit(&counts, &uniform, trials);
         assert!(
             stat > crit,

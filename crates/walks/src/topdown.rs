@@ -63,7 +63,10 @@ pub fn top_down_walk<R: Rng + ?Sized>(
     ell: u64,
     rng: &mut R,
 ) -> Vec<usize> {
-    assert!(ell >= 1 && ell.is_power_of_two(), "ell must be a positive power of two");
+    assert!(
+        ell >= 1 && ell.is_power_of_two(),
+        "ell must be a positive power of two"
+    );
     let levels = ell.trailing_zeros() as usize;
     assert!(
         table.len() > levels,
@@ -138,7 +141,10 @@ pub fn truncated_top_down_walk<R: Rng + ?Sized>(
     rho: usize,
     rng: &mut R,
 ) -> TruncatedWalk {
-    assert!(ell >= 1 && ell.is_power_of_two(), "ell must be a positive power of two");
+    assert!(
+        ell >= 1 && ell.is_power_of_two(),
+        "ell must be a positive power of two"
+    );
     assert!(rho >= 2, "rho must be at least 2");
     let levels = ell.trailing_zeros() as usize;
     assert!(
@@ -202,7 +208,10 @@ pub fn truncated_top_down_walk<R: Rng + ?Sized>(
     // Re-derive `reached` from the final contiguous walk (handles the
     // rho == 2 initial case and keeps the flag authoritative).
     let distinct = grid.iter().collect::<HashSet<_>>().len();
-    TruncatedWalk { vertices: grid, reached_budget: distinct >= rho }
+    TruncatedWalk {
+        vertices: grid,
+        reached_budget: distinct >= rho,
+    }
 }
 
 /// Reference implementation by direct simulation: walk step by step for at
@@ -235,7 +244,10 @@ pub fn direct_truncated_walk<R: Rng + ?Sized>(
             reached = true;
         }
     }
-    TruncatedWalk { vertices, reached_budget: reached }
+    TruncatedWalk {
+        vertices,
+        reached_budget: reached,
+    }
 }
 
 #[cfg(test)]
@@ -254,7 +266,11 @@ mod tests {
 
     #[test]
     fn top_down_walks_are_valid() {
-        for g in [generators::complete(5), generators::petersen(), generators::grid(2, 3)] {
+        for g in [
+            generators::complete(5),
+            generators::petersen(),
+            generators::grid(2, 3),
+        ] {
             let table = powers_of_two(&g.transition_matrix(), 6, 1);
             let mut r = rng(31);
             for _ in 0..20 {
@@ -415,7 +431,7 @@ mod tests {
     }
 
     #[test]
-    fn tau_statistics_match_direct(){
+    fn tau_statistics_match_direct() {
         // Mean stopping time of the top-down truncated walk must match the
         // direct simulation (cheap consistency check on a non-trivial
         // graph).

@@ -27,7 +27,10 @@ use std::collections::HashSet;
 /// ```
 pub fn random_step<R: Rng + ?Sized>(g: &Graph, u: usize, rng: &mut R) -> usize {
     let nbrs = g.neighbors(u);
-    assert!(!nbrs.is_empty(), "vertex {u} is isolated; the walk is stuck");
+    assert!(
+        !nbrs.is_empty(),
+        "vertex {u} is isolated; the walk is stuck"
+    );
     if nbrs.len() == 1 {
         return nbrs[0].0;
     }
@@ -168,11 +171,8 @@ mod tests {
     #[test]
     fn weighted_steps_respect_weights() {
         // Vertex 0 has edges to 1 (weight 9) and 2 (weight 1).
-        let g = cct_graph::Graph::from_weighted_edges(
-            3,
-            &[(0, 1, 9.0), (0, 2, 1.0), (1, 2, 1.0)],
-        )
-        .unwrap();
+        let g = cct_graph::Graph::from_weighted_edges(3, &[(0, 1, 9.0), (0, 2, 1.0), (1, 2, 1.0)])
+            .unwrap();
         let mut r = rng();
         let trials = 20_000;
         let to_1 = (0..trials)
@@ -228,7 +228,7 @@ mod tests {
         let g = generators::cycle(8);
         let mut r = rng();
         let d = distinct_vertices_in_walk(&g, 0, 20, &mut r);
-        assert!(d >= 2 && d <= 8);
+        assert!((2..=8).contains(&d));
         assert_eq!(distinct_vertices_in_walk(&g, 0, 0, &mut r), 1);
     }
 

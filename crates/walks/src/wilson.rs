@@ -105,7 +105,10 @@ mod tests {
     fn disconnected_rejected() {
         let g = cct_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
-        assert_eq!(wilson(&g, 0, &mut rng).unwrap_err(), SampleError::Disconnected);
+        assert_eq!(
+            wilson(&g, 0, &mut rng).unwrap_err(),
+            SampleError::Disconnected
+        );
     }
 
     #[test]
@@ -115,8 +118,7 @@ mod tests {
         let dist = spanning_tree_distribution(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         let trials = 15_000;
-        let counts =
-            stats::empirical_counts((0..trials).map(|_| wilson(&g, 0, &mut rng).unwrap()));
+        let counts = stats::empirical_counts((0..trials).map(|_| wilson(&g, 0, &mut rng).unwrap()));
         let (stat, crit) = stats::goodness_of_fit(&counts, &dist, trials);
         assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
     }
@@ -141,14 +143,19 @@ mod tests {
     fn weighted_wilson_matches_weighted_distribution() {
         let g = cct_graph::Graph::from_weighted_edges(
             4,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 3.0), (0, 2, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 0, 3.0),
+                (0, 2, 1.0),
+            ],
         )
         .unwrap();
         let dist = spanning_tree_distribution(&g);
         let mut rng = rand::rngs::StdRng::seed_from_u64(25);
         let trials = 24_000;
-        let counts =
-            stats::empirical_counts((0..trials).map(|_| wilson(&g, 1, &mut rng).unwrap()));
+        let counts = stats::empirical_counts((0..trials).map(|_| wilson(&g, 1, &mut rng).unwrap()));
         let (stat, crit) = stats::goodness_of_fit(&counts, &dist, trials);
         assert!(stat < crit, "chi² = {stat:.1} ≥ {crit:.1}");
     }

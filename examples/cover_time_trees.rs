@@ -21,10 +21,22 @@ fn main() {
 
     let p_er = (2.0 * (n as f64).ln() / n as f64).min(0.9);
     let inputs: Vec<(&str, Graph)> = vec![
-        ("random 4-regular (expander)", generators::random_regular(n, 4, &mut rng)),
-        ("G(n, 2 ln n / n)", generators::erdos_renyi_connected(n, p_er, &mut rng)),
-        ("K_{n-√n, √n} (dense irregular)", generators::k_dense_irregular(n)),
-        ("lollipop (slow cover — contrast)", generators::lollipop(n / 2, n / 2)),
+        (
+            "random 4-regular (expander)",
+            generators::random_regular(n, 4, &mut rng),
+        ),
+        (
+            "G(n, 2 ln n / n)",
+            generators::erdos_renyi_connected(n, p_er, &mut rng),
+        ),
+        (
+            "K_{n-√n, √n} (dense irregular)",
+            generators::k_dense_irregular(n),
+        ),
+        (
+            "lollipop (slow cover — contrast)",
+            generators::lollipop(n / 2, n / 2),
+        ),
     ];
 
     println!(

@@ -46,7 +46,8 @@ fn main() {
     let mut rounds_per_batch = 0;
     for _ in 0..batches {
         let mut clique = Clique::new(n);
-        let (walks, _) = doubling_walks(&mut clique, &g, tau, Balancing::Balanced { c: 1 }, &mut rng);
+        let (walks, _) =
+            doubling_walks(&mut clique, &g, tau, Balancing::Balanced { c: 1 }, &mut rng);
         for w in &walks {
             counts[*w.last().unwrap()] += 1;
         }
@@ -55,7 +56,10 @@ fn main() {
     let total = (batches * n) as f64;
 
     println!("rounds per batch: {rounds_per_batch} (Theorem 2: O(log τ) for τ = O(n/log n))\n");
-    println!("{:>6} {:>12} {:>12} {:>9}", "vertex", "estimated", "exact", "error");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "vertex", "estimated", "exact", "error"
+    );
     let mut max_err = 0.0f64;
     for v in 0..n.min(12) {
         let est = counts[v] as f64 / total;

@@ -44,7 +44,10 @@ fn main() {
     for cat in CostCategory::ALL {
         let r = report.rounds.rounds(cat);
         if r > 0 {
-            println!("  {cat:<15} {r:>8} rounds  {:>12} words", report.rounds.words(cat));
+            println!(
+                "  {cat:<15} {r:>8} rounds  {:>12} words",
+                report.rounds.words(cat)
+            );
         }
     }
     println!(

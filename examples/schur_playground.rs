@@ -39,7 +39,12 @@ fn main() {
     let h = schur_graph(&g, &s).expect("Schur of a Laplacian is a Laplacian");
     println!("\nSchur(G, S) edge weights (each pair via the centre):");
     for &(u, v, w) in h.edges() {
-        println!("  {} — {}  weight {:.4}", names[s.global(u)], names[s.global(v)], w);
+        println!(
+            "  {} — {}  weight {:.4}",
+            names[s.global(u)],
+            names[s.global(v)],
+            w
+        );
     }
 
     // Shortcut graph (Definition 3): every pre-entry vertex is C.

@@ -32,7 +32,8 @@ fn main() {
     let clique_sampler = CliqueTreeSampler::new(
         SamplerConfig::new().walk_length(WalkLength::ScaledCubic { factor: 4.0 }),
     );
-    let samplers: Vec<(&str, Box<dyn FnMut() -> SpanningTree>)> = vec![
+    type NamedSampler<'a> = (&'a str, Box<dyn FnMut() -> SpanningTree>);
+    let samplers: Vec<NamedSampler> = vec![
         (
             "congested-clique (Thm 1)",
             Box::new({

@@ -36,50 +36,119 @@ OPTIONS:
                    grid:RxC  torus:RxC  hypercube:D  binarytree:D
                    petersen  barbell:K  lollipop:K:T  bipartite:AxB
                    kdense:N  er:N:P  regular:N:D
+                   (size parameters are capped at 8192)
     --seed N       RNG seed (default 2025)
     --trials N     sample N trees (default 1)
     --dot          print the tree as Graphviz instead of an edge list
     --help         this text
 ";
 
+/// Largest size parameter the CLI accepts in a graph spec. The simulator
+/// does `Θ(n²)` work per round and the dense generators allocate `Θ(n²)`
+/// edges, so larger requests would stall or exhaust memory rather than
+/// fail cleanly.
+const MAX_SPEC_SIZE: usize = 8192;
+
 fn parse_graph(spec: &str, rng: &mut rand::rngs::StdRng) -> Result<Graph, String> {
     let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number '{s}'"));
+    let num = |s: &str| -> Result<usize, String> {
+        let v = s
+            .parse::<usize>()
+            .map_err(|_| format!("bad number '{s}'"))?;
+        if v > MAX_SPEC_SIZE {
+            return Err(format!(
+                "size {v} is too large for the simulated clique (max {MAX_SPEC_SIZE})"
+            ));
+        }
+        Ok(v)
+    };
     let pair = |s: &str| -> Result<(usize, usize), String> {
         let (a, b) = s.split_once('x').ok_or(format!("expected RxC in '{s}'"))?;
         Ok((num(a)?, num(b)?))
     };
-    Ok(match (parts.first().copied().unwrap_or(""), parts.get(1), parts.get(2)) {
-        ("complete", Some(n), _) => generators::complete(num(n)?),
-        ("cycle", Some(n), _) => generators::cycle(num(n)?),
-        ("path", Some(n), _) => generators::path(num(n)?),
-        ("star", Some(n), _) => generators::star(num(n)?),
-        ("wheel", Some(n), _) => generators::wheel(num(n)?),
-        ("grid", Some(d), _) => {
-            let (r, c) = pair(d)?;
-            generators::grid(r, c)
+    // The generators assert on their domains (library contract); the CLI
+    // checks user input up front so bad specs become errors, not panics.
+    let at_least = |v: usize, min: usize, what: &str| -> Result<usize, String> {
+        if v < min {
+            Err(format!(
+                "{what} must be at least {min}, got {v} (see --help)"
+            ))
+        } else {
+            Ok(v)
         }
-        ("torus", Some(d), _) => {
-            let (r, c) = pair(d)?;
-            generators::torus(r, c)
-        }
-        ("bipartite", Some(d), _) => {
-            let (a, b) = pair(d)?;
-            generators::complete_bipartite(a, b)
-        }
-        ("hypercube", Some(d), _) => generators::hypercube(num(d)? as u32),
-        ("binarytree", Some(d), _) => generators::binary_tree(num(d)? as u32),
-        ("petersen", _, _) => generators::petersen(),
-        ("barbell", Some(k), _) => generators::barbell(num(k)?),
-        ("lollipop", Some(k), Some(t)) => generators::lollipop(num(k)?, num(t)?),
-        ("kdense", Some(n), _) => generators::k_dense_irregular(num(n)?),
-        ("er", Some(n), Some(p)) => {
-            let p: f64 = p.parse().map_err(|_| format!("bad probability '{p}'"))?;
-            generators::erdos_renyi_connected(num(n)?, p, rng)
-        }
-        ("regular", Some(n), Some(d)) => generators::random_regular(num(n)?, num(d)?, rng),
-        _ => return Err(format!("unknown graph spec '{spec}' (see --help)")),
-    })
+    };
+    Ok(
+        match (
+            parts.first().copied().unwrap_or(""),
+            parts.get(1),
+            parts.get(2),
+        ) {
+            ("complete", Some(n), _) => generators::complete(at_least(num(n)?, 1, "N")?),
+            ("cycle", Some(n), _) => generators::cycle(at_least(num(n)?, 3, "N")?),
+            ("path", Some(n), _) => generators::path(at_least(num(n)?, 1, "N")?),
+            ("star", Some(n), _) => generators::star(at_least(num(n)?, 2, "N")?),
+            ("wheel", Some(n), _) => generators::wheel(at_least(num(n)?, 4, "N")?),
+            ("grid", Some(d), _) => {
+                let (r, c) = pair(d)?;
+                generators::grid(at_least(r, 1, "R")?, at_least(c, 1, "C")?)
+            }
+            ("torus", Some(d), _) => {
+                let (r, c) = pair(d)?;
+                generators::torus(at_least(r, 3, "R")?, at_least(c, 3, "C")?)
+            }
+            ("bipartite", Some(d), _) => {
+                let (a, b) = pair(d)?;
+                generators::complete_bipartite(at_least(a, 1, "A")?, at_least(b, 1, "B")?)
+            }
+            ("hypercube", Some(d), _) => {
+                let d = num(d)?;
+                if !(1..=20).contains(&d) {
+                    return Err(format!("hypercube dimension must be in 1..=20, got {d}"));
+                }
+                generators::hypercube(d as u32)
+            }
+            ("binarytree", Some(d), _) => {
+                let d = num(d)?;
+                if d > 20 {
+                    return Err(format!("binary tree depth must be at most 20, got {d}"));
+                }
+                generators::binary_tree(d as u32)
+            }
+            ("petersen", _, _) => generators::petersen(),
+            ("barbell", Some(k), _) => generators::barbell(at_least(num(k)?, 2, "K")?),
+            ("lollipop", Some(k), Some(t)) => {
+                generators::lollipop(at_least(num(k)?, 2, "K")?, num(t)?)
+            }
+            ("kdense", Some(n), _) => generators::k_dense_irregular(at_least(num(n)?, 4, "N")?),
+            ("er", Some(n), Some(p)) => {
+                let p: f64 = p.parse().map_err(|_| format!("bad probability '{p}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability must be in [0,1], got {p}"));
+                }
+                let n = at_least(num(n)?, 1, "N")?;
+                if p == 0.0 && n > 1 {
+                    return Err(format!("G({n}, 0) can never be connected; use P > 0"));
+                }
+                generators::try_erdos_renyi_connected(n, p, rng).ok_or(format!(
+                    "G({n}, {p}) failed to come out connected in 1000 attempts; \
+                     P is far below the connectivity threshold ln(N)/N"
+                ))?
+            }
+            ("regular", Some(n), Some(d)) => {
+                let (n, d) = (at_least(num(n)?, 2, "N")?, num(d)?);
+                if d == 0 || d >= n {
+                    return Err(format!("regular graph needs 1 ≤ D < N, got D={d}, N={n}"));
+                }
+                if n.checked_mul(d).is_none_or(|nd| nd % 2 != 0) {
+                    return Err(format!("regular graph needs N·D even, got N={n}, D={d}"));
+                }
+                generators::try_random_regular(n, d, rng).ok_or(format!(
+                    "failed to sample a connected {d}-regular graph on {n} vertices"
+                ))?
+            }
+            _ => return Err(format!("unknown graph spec '{spec}' (see --help)")),
+        },
+    )
 }
 
 fn print_tree(tree: &SpanningTree, dot: bool) {
@@ -90,7 +159,11 @@ fn print_tree(tree: &SpanningTree, dot: bool) {
         }
         println!("}}");
     } else {
-        let edges: Vec<String> = tree.edges().iter().map(|(u, v)| format!("{u}-{v}")).collect();
+        let edges: Vec<String> = tree
+            .edges()
+            .iter()
+            .map(|(u, v)| format!("{u}-{v}"))
+            .collect();
         println!("tree: {}", edges.join(" "));
     }
 }
@@ -132,6 +205,15 @@ fn run() -> Result<(), String> {
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let g = parse_graph(&graph_spec, &mut rng)?;
+    // Product (grid:RxC) and exponential (hypercube:D) specs can satisfy
+    // the per-parameter cap yet still blow past what the O(n²) simulator
+    // can hold — bound the built graph too, before any sampler allocates.
+    if g.n() > MAX_SPEC_SIZE {
+        return Err(format!(
+            "graph '{graph_spec}' has {} vertices — too large for the simulated clique (max {MAX_SPEC_SIZE})",
+            g.n()
+        ));
+    }
     eprintln!("graph: {} — n = {}, m = {}", graph_spec, g.n(), g.m());
 
     for t in 0..trials {

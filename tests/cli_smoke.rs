@@ -1,0 +1,101 @@
+//! CLI smoke tests: every algorithm listed in `main.rs` must produce a valid
+//! spanning tree of the Petersen graph and exit 0.
+
+use cct::graph::{generators, Graph, SpanningTree};
+use std::process::Command;
+
+/// All algorithms advertised by `cct --help`.
+const ALGORITHMS: [&str; 7] = [
+    "thm1",
+    "exact",
+    "doubling",
+    "direction4",
+    "aldous-broder",
+    "wilson",
+    "mst-strawman",
+];
+
+fn run_cct(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cct"))
+        .args(args)
+        .output()
+        .expect("failed to spawn cct binary")
+}
+
+/// Parses `tree: 0-1 2-3 …` and checks it is a spanning tree of `g` by
+/// round-tripping it through the library's own validating constructor.
+fn assert_valid_spanning_tree(stdout: &str, g: &Graph) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("tree: "))
+        .unwrap_or_else(|| panic!("no `tree:` line in output:\n{stdout}"));
+    let edges: Vec<(usize, usize)> = line["tree: ".len()..]
+        .split_whitespace()
+        .map(|e| {
+            let (u, v) = e
+                .split_once('-')
+                .unwrap_or_else(|| panic!("bad edge `{e}`"));
+            (
+                u.parse().expect("bad endpoint"),
+                v.parse().expect("bad endpoint"),
+            )
+        })
+        .collect();
+    SpanningTree::new_in(g, edges)
+        .unwrap_or_else(|e| panic!("CLI printed an invalid spanning tree ({e:?}): {line}"));
+}
+
+#[test]
+fn every_algorithm_samples_a_valid_tree_on_petersen() {
+    let g = generators::petersen();
+    for alg in ALGORITHMS {
+        let out = run_cct(&[alg, "--graph", "petersen", "--seed", "7"]);
+        assert!(
+            out.status.success(),
+            "`cct {alg} --graph petersen --seed 7` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_valid_spanning_tree(&String::from_utf8_lossy(&out.stdout), &g);
+    }
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let out = run_cct(&["wilson", "--graph", "petersen", "--seed", "7", "--dot"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("graph spanning_tree {"),
+        "not graphviz: {stdout}"
+    );
+    assert_eq!(
+        stdout.matches(" -- ").count(),
+        9,
+        "petersen tree has 9 edges"
+    );
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    let a = run_cct(&["thm1", "--graph", "petersen", "--seed", "7"]);
+    let b = run_cct(&["thm1", "--graph", "petersen", "--seed", "7"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must give the same tree");
+}
+
+#[test]
+fn help_exits_zero_and_lists_algorithms() {
+    let out = run_cct(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for alg in ALGORITHMS {
+        assert!(stdout.contains(alg), "--help must mention `{alg}`");
+    }
+}
+
+#[test]
+fn unknown_algorithm_fails() {
+    let out = run_cct(&["not-an-algorithm"]);
+    assert!(!out.status.success(), "unknown algorithm must exit nonzero");
+}

@@ -2,9 +2,9 @@
 //! crates: the full sampler pipeline, the doubling sampler, and the
 //! baselines, all agreeing with each other on the same inputs.
 
-use cct::prelude::*;
 use cct::core::{EngineChoice, SchurComputation};
 use cct::graph::{spanning_tree_count_exact, spanning_tree_distribution};
+use cct::prelude::*;
 use cct::walks::stats;
 use rand::SeedableRng;
 
@@ -34,7 +34,8 @@ fn all_three_samplers_agree_on_exact_distribution() {
     assert!(stat < crit, "distributed: {stat:.1} ≥ {crit:.1}");
 
     let mut r = rng(2);
-    let counts = stats::empirical_counts((0..trials).map(|_| aldous_broder(&g, 0, &mut r).unwrap()));
+    let counts =
+        stats::empirical_counts((0..trials).map(|_| aldous_broder(&g, 0, &mut r).unwrap()));
     let (stat, crit) = stats::goodness_of_fit(&counts, &exact, trials);
     assert!(stat < crit, "aldous-broder: {stat:.1} ≥ {crit:.1}");
 
@@ -123,13 +124,19 @@ fn round_reports_are_consistent() {
 
 #[test]
 fn matrix_tree_agrees_with_known_formulas_via_facade() {
-    assert_eq!(spanning_tree_count_exact(&generators::complete(6)).unwrap(), 1296);
+    assert_eq!(
+        spanning_tree_count_exact(&generators::complete(6)).unwrap(),
+        1296
+    );
     assert_eq!(
         spanning_tree_count_exact(&generators::complete_bipartite(3, 4)).unwrap(),
         3i128.pow(3) * 4i128.pow(2)
     );
     // Petersen graph: 2000 spanning trees (classical).
-    assert_eq!(spanning_tree_count_exact(&generators::petersen()).unwrap(), 2000);
+    assert_eq!(
+        spanning_tree_count_exact(&generators::petersen()).unwrap(),
+        2000
+    );
 }
 
 #[test]
@@ -153,13 +160,17 @@ fn engines_differ_only_in_ledger() {
     let configs = [
         quick_config(),
         quick_config().engine(EngineChoice::Semiring),
-        quick_config().engine(EngineChoice::FastOracle { alpha: cct::sim::ALPHA }),
+        quick_config().engine(EngineChoice::FastOracle {
+            alpha: cct::sim::ALPHA,
+        }),
     ];
     let trees: Vec<_> = configs
         .iter()
         .map(|c| {
             let mut r = rng(12);
-            CliqueTreeSampler::new(c.clone()).sample(&g, &mut r).unwrap()
+            CliqueTreeSampler::new(c.clone())
+                .sample(&g, &mut r)
+                .unwrap()
         })
         .collect();
     assert_eq!(trees[0].tree, trees[1].tree);

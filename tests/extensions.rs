@@ -40,7 +40,11 @@ fn main_sampler_on_new_generators() {
         .engine(EngineChoice::UnitCost);
     let sampler = CliqueTreeSampler::new(config);
     let mut r = rng(2);
-    for g in [generators::hypercube(3), generators::torus(3, 3), generators::binary_tree(3)] {
+    for g in [
+        generators::hypercube(3),
+        generators::torus(3, 3),
+        generators::binary_tree(3),
+    ] {
         let report = sampler.sample(&g, &mut r).unwrap();
         assert!(!report.monte_carlo_failure, "n = {}", g.n());
         assert_eq!(report.tree.edges().len(), g.n() - 1);
@@ -51,11 +55,7 @@ fn main_sampler_on_new_generators() {
 fn strawman_negative_control_via_facade() {
     // The gate passes real samplers and rejects the strawman on the same
     // graph with the same trial count — the methodology's litmus test.
-    let g = cct::graph::Graph::from_edges(
-        4,
-        &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
-    )
-    .unwrap();
+    let g = cct::graph::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
     let uniform = spanning_tree_distribution(&g);
     let trials = 40_000;
 
@@ -63,14 +63,19 @@ fn strawman_negative_control_via_facade() {
     let counts =
         stats::empirical_counts((0..trials).map(|_| random_weight_mst(&g, &mut r).unwrap()));
     let (stat_straw, crit) = stats::goodness_of_fit(&counts, &uniform, trials);
-    assert!(stat_straw > crit, "strawman not rejected: {stat_straw:.1} ≤ {crit:.1}");
+    assert!(
+        stat_straw > crit,
+        "strawman not rejected: {stat_straw:.1} ≤ {crit:.1}"
+    );
 
     let mut r = rng(4);
-    let counts = stats::empirical_counts(
-        (0..trials).map(|_| cct::walks::wilson(&g, 0, &mut r).unwrap()),
-    );
+    let counts =
+        stats::empirical_counts((0..trials).map(|_| cct::walks::wilson(&g, 0, &mut r).unwrap()));
     let (stat_real, crit) = stats::goodness_of_fit(&counts, &uniform, trials);
-    assert!(stat_real < crit, "wilson rejected: {stat_real:.1} ≥ {crit:.1}");
+    assert!(
+        stat_real < crit,
+        "wilson rejected: {stat_real:.1} ≥ {crit:.1}"
+    );
 
     // And the strawman matches its own exact law.
     let mst_law = random_mst_distribution(&g);
@@ -100,7 +105,10 @@ fn resistance_identities_via_facade() {
     assert!((effective_resistance(&q3, 0, 7) - 5.0 / 6.0).abs() < 1e-10);
     // Foster: Σ marginals = n − 1 on the torus.
     let t = generators::torus(3, 4);
-    let total: f64 = spanning_tree_edge_marginals(&t).iter().map(|&(_, _, p)| p).sum();
+    let total: f64 = spanning_tree_edge_marginals(&t)
+        .iter()
+        .map(|&(_, _, p)| p)
+        .sum();
     assert!((total - 11.0).abs() < 1e-8);
     // The 3×4 torus is vertex- but not edge-transitive: the 12
     // "short-direction" edges share one marginal, the 12 long-direction
@@ -122,7 +130,10 @@ fn resistance_identities_via_facade() {
     for &p in &vert {
         assert!((p - vert[0]).abs() < 1e-9);
     }
-    assert!((horiz[0] - vert[0]).abs() > 1e-6, "edge classes should differ");
+    assert!(
+        (horiz[0] - vert[0]).abs() > 1e-6,
+        "edge classes should differ"
+    );
 }
 
 #[test]

@@ -1,0 +1,278 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! criterion surface the `cct-bench` benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it takes `sample_size` timed
+//! samples of an auto-calibrated iteration batch and reports the minimum,
+//! median, and mean wall-clock time per iteration on stdout — enough to track
+//! a performance trajectory across commits without any dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group, e.g. `("local", 128)`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Create an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        if self.function.is_empty() {
+            format!("{group}/{}", self.parameter)
+        } else {
+            format!("{group}/{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it enough times for a stable per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes ≳ 1 ms per sample,
+        // so cheap closures aren't dominated by timer resolution.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().div_f64(iters_per_sample as f64));
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run the benchmark `f` under the name `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = id.into_benchmark_id().render(&self.name);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.criterion.report(&label, &mut bencher.samples);
+    }
+
+    /// Run the benchmark `f` with `input`, under the name `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = id.render(&self.name);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&label, &mut bencher.samples);
+    }
+
+    /// End the group. (Reporting is incremental; this is a no-op kept for
+    /// criterion API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts plain strings.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: self,
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        let label = name.to_string();
+        self.report(&label, &mut bencher.samples);
+    }
+
+    fn report(&mut self, label: &str, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!("{label:<48} (no samples — Bencher::iter never called)");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples
+            .iter()
+            .sum::<Duration>()
+            .div_f64(samples.len() as f64);
+        println!(
+            "{label:<48} min {:>10}   median {:>10}   mean {:>10}   ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a single runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main()` that runs the given groups, criterion-style.
+///
+/// Ignores CLI arguments (cargo passes `--bench`); benches always run fully.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("example");
+        group.sample_size(3);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render_hierarchically() {
+        assert_eq!(BenchmarkId::new("f", 7).render("g"), "g/f/7");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the proptest API used by the `cct` test suites: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), [`prop_assert!`] /
+//! [`prop_assert_eq!`], [`prop_oneof!`], [`strategy::Strategy`] with
+//! `prop_map` / `prop_flat_map` / `boxed`, [`strategy::Just`],
+//! [`strategy::any`], range and tuple strategies, and [`collection::vec`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its deterministic case number
+//!   (the input is reproducible from the test name and case index) instead of
+//!   a minimised counterexample.
+//! - **Deterministic seeds.** Case `i` of test `t` always sees the same
+//!   inputs, derived by hashing `t` and `i`, so failures are stable across
+//!   runs and machines.
+//! - The number of cases defaults to 64 and can be set per suite with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`. The
+//!   `PROPTEST_CASES` environment variable overrides *every* configuration
+//!   (a global throttle for CI), unlike upstream where explicit configs win.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case driving: configuration and the per-case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per property.
+        pub cases: u32,
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases — unless the
+        /// `PROPTEST_CASES` environment variable is set, which overrides
+        /// every configuration (CI uses this as a global throttle; this
+        /// differs deliberately from upstream proptest, where explicit
+        /// configs win over the environment).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
+        }
+    }
+
+    /// Per-case state handed to strategies: a deterministically seeded RNG.
+    pub struct TestRunner {
+        rng: StdRng,
+        case: u32,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Runner for case number `case` of the property named `name`.
+        pub fn new_case(name: &'static str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index, so each
+            // (test, case) pair sees an independent, reproducible stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+                case,
+                name,
+            }
+        }
+
+        /// The RNG strategies draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Which case (0-based) this runner drives.
+        pub fn case(&self) -> u32 {
+            self.case
+        }
+
+        /// The property name this runner drives.
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+    }
+
+    /// Prints the failing case number if the test body panics, so the
+    /// deterministic counterexample can be re-run directly.
+    pub struct CaseReporter {
+        /// Property name, used in the failure note.
+        pub name: &'static str,
+        /// Case index, used in the failure note.
+        pub case: u32,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: property `{}` failed at deterministic case #{}",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generate one value using the runner's RNG.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.source.new_value(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> T::Value {
+            (self.f)(self.source.new_value(runner)).new_value(runner)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn new_value_dyn(&self, runner: &mut TestRunner) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, runner: &mut TestRunner) -> S::Value {
+            self.new_value(runner)
+        }
+    }
+
+    /// A type-erased strategy, produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0.new_value_dyn(runner)
+        }
+    }
+
+    /// Uniform choice between several strategies; built by [`prop_oneof!`].
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`, each picked with equal probability.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            let i = runner.rng().gen_range(0..self.options.len());
+            self.options[i].new_value(runner)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical full-domain strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng().gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_standard!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+    );
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// Strategy over the full domain of `T`, e.g. `any::<u64>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_strategy_for_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_ranges!(
+        u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64
+    );
+
+    macro_rules! impl_strategy_for_tuples {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_tuples!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+        A.0, B.1, C.2, D.3, E.4
+    )(A.0, B.1, C.2, D.3, E.4, F.5));
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A length specification for [`vec`]: a fixed size or a range of sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `size` elements (or a size drawn from a range), each
+    /// generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for test files: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors proptest's macro of the same name.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in any::<u64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                for __case in 0..__config.cases {
+                    let __reporter = $crate::test_runner::CaseReporter {
+                        name: __name,
+                        case: __case,
+                    };
+                    let mut __runner = $crate::test_runner::TestRunner::new_case(__name, __case);
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut __runner);)*
+                    $body
+                    drop(__reporter);
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property; equivalent to `assert!` here (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property; equivalent to `assert_eq!` here.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property; equivalent to `assert_ne!` here.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+        Blue,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..=16, x in 0.25f64..0.75, s in any::<u64>()) {
+            prop_assert!((3..=16).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+            let _ = s;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            c in prop_oneof![Just(Color::Red), Just(Color::Green), Just(Color::Blue)],
+            v in crate::collection::vec(0usize..5, 1..8),
+            (a, b) in (0u32..10, 10u32..20),
+        ) {
+            prop_assert!(matches!(c, Color::Red | Color::Green | Color::Blue));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn flat_map_sees_upstream(pair in (1usize..10).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0usize..1, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 3..9);
+        let mut a = crate::test_runner::TestRunner::new_case("det", 5);
+        let mut b = crate::test_runner::TestRunner::new_case("det", 5);
+        assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+    }
+}
