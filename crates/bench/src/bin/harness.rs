@@ -9,13 +9,13 @@
 use cct_bench::experiments as ex;
 
 const HELP: &str = "\
-harness — regenerate the experiment tables (E1–E16, aux)
+harness — regenerate the experiment tables (E1–E17, aux)
 
 USAGE:
     harness [EXPERIMENT...] [OPTIONS]
 
 ARGUMENTS:
-    EXPERIMENT    experiments to run: e1 … e16, aux, or all (default all)
+    EXPERIMENT    experiments to run: e1 … e17, aux, or all (default all)
 
 OPTIONS:
     --quick       reduced-size sweep for fast iteration
@@ -62,6 +62,7 @@ fn run() -> i32 {
         ("e14", ex::e14),
         ("e15", ex::e15),
         ("e16", ex::e16),
+        ("e17", ex::e17),
         ("aux", ex::failure_probe),
     ];
 

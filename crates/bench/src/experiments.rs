@@ -788,6 +788,60 @@ pub fn e16(quick: bool) {
     );
 }
 
+/// E17 — the parallel round engine: wall-clock speedup on a large
+/// Erdős–Rényi instance, with bit-identical trees and ledger totals at
+/// every worker count (the determinism contract of `cct-sim`).
+pub fn e17(quick: bool) {
+    banner(
+        "E17",
+        "Parallel round engine — wall-clock speedup, bit-identical trees/ledgers",
+    );
+    let n = if quick { 128 } else { 512 };
+    let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4] };
+    let g = er_graph(n, 1700 + n as u64);
+    let seed = 1800 + n as u64;
+    // ℓ = 2^16 is generous for visiting ρ ≈ 4√n distinct vertices per
+    // phase on a connected ER graph; ρ is raised above √n to keep the
+    // phase count (and the sequential Schur overhead) modest so the
+    // benchmark is dominated by the engine's parallelizable work.
+    let config = |workers: usize| {
+        SamplerConfig::new()
+            .engine(EngineChoice::FastOracle { alpha: ALPHA })
+            .walk_length(WalkLength::Fixed(1 << 16))
+            .rho(4 * (n as f64).sqrt() as usize)
+            .workers(cct_core::Workers::Fixed(workers))
+    };
+    println!("er({n}), m = {}, seed {seed}:", g.m());
+    println!(
+        "{:>8} {:>12} {:>9} {:>10} {:>10}",
+        "workers", "wall-clock", "speedup", "rounds", "identical"
+    );
+    let mut reference: Option<(SampleReport, f64)> = None;
+    for &w in worker_counts {
+        let t = std::time::Instant::now();
+        let report = run_once(&g, config(w), seed);
+        let secs = t.elapsed().as_secs_f64();
+        let (identical, speedup) = match &reference {
+            None => ("--".to_string(), 1.0),
+            Some((base, base_secs)) => (
+                (report.tree == base.tree && report.rounds == base.rounds).to_string(),
+                base_secs / secs,
+            ),
+        };
+        println!(
+            "{w:>8} {:>11.2}s {speedup:>8.2}x {:>10} {identical:>10}",
+            secs,
+            report.total_rounds()
+        );
+        if report.monte_carlo_failure {
+            println!("          (Monte Carlo failure at workers = {w})");
+        }
+        if reference.is_none() {
+            reference = Some((report, secs));
+        }
+    }
+}
+
 /// Variant trio used by `harness all`: Monte Carlo failure-rate probe —
 /// complements E2 by measuring how often the ℓ-budget fails at small ℓ.
 pub fn failure_probe(quick: bool) {

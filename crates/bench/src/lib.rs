@@ -12,7 +12,7 @@
 //! cargo run -p cct-bench --release --bin harness -- all
 //! ```
 //!
-//! or a single experiment (`e1` … `e13`, `aux`), with `--quick` for the
+//! or a single experiment (`e1` … `e17`, `aux`), with `--quick` for the
 //! reduced-size sweep.
 
 #![forbid(unsafe_code)]

@@ -9,7 +9,7 @@
 //! placement).
 
 use cct_linalg::FixedPoint;
-use cct_sim::ALPHA;
+use cct_sim::{Workers, ALPHA};
 
 /// How the target walk length `ℓ` is chosen per phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,7 +162,14 @@ pub struct SamplerConfig {
     pub schur: SchurComputation,
     /// Precision model.
     pub precision: Precision,
-    /// Local-compute threads for matrix work.
+    /// Worker-pool policy for the parallel round engine: per-machine
+    /// local computation (matmul rows, midpoint fan-out) is sharded
+    /// across this many threads, while the exchange/ledger barrier stays
+    /// single-threaded. Same seed ⇒ same tree and same ledger at every
+    /// worker count.
+    pub workers: Workers,
+    /// Local-compute threads for matrix work (the effective thread count
+    /// is the max of this and the resolved `workers`).
     pub threads: usize,
     /// Swap-chain steps per slot for large matching instances.
     pub swap_steps_per_slot: usize,
@@ -183,6 +190,7 @@ impl SamplerConfig {
             engine: EngineChoice::FastOracle { alpha: ALPHA },
             schur: SchurComputation::ExactSolve,
             precision: Precision::Float64,
+            workers: Workers::Sequential,
             threads: 1,
             swap_steps_per_slot: 64,
             max_grid_len: 8_000_000,
@@ -246,6 +254,21 @@ impl SamplerConfig {
     /// Sets local-compute threads.
     pub fn threads(mut self, t: usize) -> Self {
         self.threads = t.max(1);
+        self
+    }
+
+    /// Sets the parallel round engine's worker-pool policy.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cct_core::{SamplerConfig, Workers};
+    ///
+    /// let config = SamplerConfig::new().workers(Workers::Fixed(4));
+    /// assert_eq!(config.workers, Workers::Fixed(4));
+    /// ```
+    pub fn workers(mut self, w: Workers) -> Self {
+        self.workers = w;
         self
     }
 

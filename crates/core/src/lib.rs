@@ -46,6 +46,7 @@ mod phase;
 mod report;
 mod sampler;
 
+pub use cct_sim::Workers;
 pub use config::{
     EngineChoice, Placement, Precision, SamplerConfig, SchurComputation, Variant, WalkLength,
 };

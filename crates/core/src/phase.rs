@@ -18,8 +18,8 @@ use cct_matching::{
     SwapChainSampler, MAX_EXACT_SLOTS,
 };
 use cct_schur::VertexSubset;
-use cct_sim::{Clique, CostCategory, MatMulEngine};
-use rand::Rng;
+use cct_sim::{machine_seed, par_map, Clique, CostCategory, MatMulEngine};
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 
 /// Error surfaced by the phase machinery.
@@ -201,7 +201,9 @@ pub(crate) fn is_degenerate_bipartite(
 /// The full distributed top-down truncated walk (Outline 3, steps 4–5),
 /// including Las Vegas extensions. `powers[k]` must hold the padded
 /// `T^{2^k}` for `k = 0 ..= log₂ ell`; the table is extended (through the
-/// engine, charging rounds) when Las Vegas doubles `ℓ`.
+/// engine, charging rounds) when Las Vegas doubles `ℓ`. `workers` is the
+/// resolved worker-pool width for the midpoint fan-out (the sampler
+/// resolves one width for every parallel section).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn top_down_phase<R: Rng + ?Sized>(
     clique: &mut Clique,
@@ -212,6 +214,7 @@ pub(crate) fn top_down_phase<R: Rng + ?Sized>(
     rho: usize,
     ell0: u64,
     config: &SamplerConfig,
+    workers: usize,
     rng: &mut R,
 ) -> Result<PhaseWalkResult, PhaseError> {
     let mut preseen: HashSet<usize> = HashSet::new();
@@ -231,6 +234,7 @@ pub(crate) fn top_down_phase<R: Rng + ?Sized>(
             ell,
             &preseen,
             config,
+            workers,
             rng,
             &mut pi_words,
             &mut placement_words,
@@ -286,6 +290,7 @@ fn run_segment<R: Rng + ?Sized>(
     ell: u64,
     preseen: &HashSet<usize>,
     config: &SamplerConfig,
+    workers: usize,
     rng: &mut R,
     pi_words: &mut u64,
     placement_words: &mut u64,
@@ -350,25 +355,39 @@ fn run_segment<R: Rng + ?Sized>(
             .ledger_mut()
             .add_words(CostCategory::Midpoints, (num_pairs * n) as u64);
 
-        // Generation: Π_{p,q} per pair, in pair-id order (machine-local
-        // sampling; the shared RNG is fine because draws are independent).
+        // Generation: Π_{p,q} per pair. Each designated machine M_{p,q}
+        // draws from its *own* stream, seeded hash(master, pair id) —
+        // never dealt out of the caller's shared stream — so the pair
+        // machines run concurrently on the worker pool and the sampled
+        // sequences are identical at every worker count (the cct-sim
+        // determinism contract). Draws across pairs stay independent.
         let mut pair_counts = vec![0usize; num_pairs];
         for &id in &pair_of {
             pair_counts[id] += 1;
         }
-        let mut sequences: Vec<Vec<usize>> = Vec::with_capacity(num_pairs);
-        for (id, &(p, q)) in pairs.iter().enumerate() {
+        let fan_seed: u64 = rng.gen();
+        let sequences: Vec<Vec<usize>> = par_map(num_pairs, workers, |id| {
+            let (p, q) = pairs[id];
             let weights: Vec<f64> = s.list().iter().map(|&j| th[(p, j)] * th[(j, q)]).collect();
             let total: f64 = weights.iter().sum();
             if total.is_nan() || total <= 0.0 {
-                return Err(PhaseError::DegenerateDistribution);
+                return Vec::new(); // degenerate — detected below
             }
+            let mut machine_rng =
+                rand::rngs::StdRng::seed_from_u64(machine_seed(fan_seed, id as u64));
             let mut seq = Vec::with_capacity(pair_counts[id]);
             for _ in 0..pair_counts[id] {
-                let k = sample_index(rng, &weights).expect("positive total");
+                let k = sample_index(&mut machine_rng, &weights).expect("positive total");
                 seq.push(s.list()[k]);
             }
-            sequences.push(seq);
+            seq
+        });
+        if sequences
+            .iter()
+            .zip(&pair_counts)
+            .any(|(seq, &count)| seq.len() != count)
+        {
+            return Err(PhaseError::DegenerateDistribution);
         }
         // Chronological midpoint values ("true" walk W⁺).
         let mut occ_so_far = vec![0usize; num_pairs];
@@ -690,6 +709,7 @@ mod tests {
             4,
             ell,
             &config,
+            2,
             &mut r,
         )
         .unwrap();
@@ -785,6 +805,7 @@ mod tests {
                 3,
                 ell,
                 &config,
+                2,
                 &mut r,
             )
             .unwrap();
@@ -820,6 +841,7 @@ mod tests {
             5, // rho
             2, // ell — hopelessly short; extensions required
             &config,
+            2,
             &mut r,
         )
         .unwrap();

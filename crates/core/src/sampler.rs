@@ -123,18 +123,24 @@ impl CliqueTreeSampler {
         }
 
         let config = &self.config;
+        // `workers` drives every parallel section the round engine owns
+        // (the phase fan-out); the matmul engines additionally honor the
+        // legacy `threads` knob for their local kernels, which have
+        // their own small-size sequential fallback. Results are
+        // identical at any width (the cct-sim determinism contract) —
+        // only wall-clock changes.
+        let workers = config.workers.resolve(n);
+        let threads = workers.max(config.threads);
         let engine: Box<dyn MatMulEngine> = match config.engine {
             EngineChoice::FastOracle { alpha } => {
                 let wpe = match config.precision {
                     Precision::Fixed(fp) => fp.words_per_entry(n),
                     Precision::Float64 => 1,
                 };
-                Box::new(FastOracleEngine::new(alpha, wpe, config.threads))
+                Box::new(FastOracleEngine::new(alpha, wpe, threads))
             }
-            EngineChoice::Semiring => Box::new(SemiringEngine::new(config.threads)),
-            EngineChoice::UnitCost => Box::new(UnitCostEngine {
-                threads: config.threads,
-            }),
+            EngineChoice::Semiring => Box::new(SemiringEngine::new(threads)),
+            EngineChoice::UnitCost => Box::new(UnitCostEngine { threads }),
         };
         let fp = match config.precision {
             Precision::Fixed(fp) => Some(fp),
@@ -227,6 +233,7 @@ impl CliqueTreeSampler {
                     rho_phase,
                     ell0,
                     config,
+                    workers,
                     rng,
                 ) {
                     Ok(r) => r,

@@ -1,0 +1,80 @@
+//! Statistical uniformity of the *parallel* sampling path: chi-square
+//! over all spanning trees of K4, the 4-cycle, and the diamond graph,
+//! against exact Kirchhoff counts from `cct-graph::count`. The gate is
+//! deliberately generous (2× the chi-square critical value) so CI stays
+//! deterministic-ish while still catching any distribution shift the
+//! worker sharding could introduce.
+
+use cct_core::{CliqueTreeSampler, EngineChoice, SamplerConfig, WalkLength, Workers};
+use cct_graph::{
+    generators, spanning_tree_count_exact, spanning_tree_distribution, Graph, SpanningTree,
+};
+use cct_walks::stats;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn assert_parallel_uniform(g: &Graph, engine: EngineChoice, trials: usize, seed: u64, label: &str) {
+    // Ground truth: exhaustive enumeration, cross-checked against the
+    // Kirchhoff (Matrix–Tree) determinant count.
+    let exact = spanning_tree_distribution(g);
+    let kirchhoff = spanning_tree_count_exact(g).expect("tiny graph");
+    assert_eq!(
+        exact.len() as i128,
+        kirchhoff,
+        "{label}: enumeration disagrees with the Matrix–Tree count"
+    );
+
+    let config = SamplerConfig::new()
+        .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+        .engine(engine)
+        .workers(Workers::Fixed(4));
+    let sampler = CliqueTreeSampler::new(config);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut counts: HashMap<SpanningTree, usize> = HashMap::new();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let report = sampler.sample(g, &mut rng).expect("sampling failed");
+        if report.monte_carlo_failure {
+            failures += 1;
+            continue;
+        }
+        *counts.entry(report.tree).or_insert(0) += 1;
+    }
+    assert!(
+        failures * 100 < trials,
+        "{label}: {failures}/{trials} Monte Carlo failures"
+    );
+    let effective = trials - failures;
+    let (stat, crit) = stats::goodness_of_fit(&counts, &exact, effective);
+    assert!(
+        stat < 2.0 * crit,
+        "{label}: chi² = {stat:.1} ≥ 2 × {crit:.1} over {} trees",
+        exact.len()
+    );
+}
+
+#[test]
+fn parallel_path_is_uniform_on_k4() {
+    // K4: Cayley gives 4² = 16 spanning trees.
+    let g = generators::complete(4);
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 16);
+    assert_parallel_uniform(&g, EngineChoice::UnitCost, 8_000, 2100, "K4/parallel");
+}
+
+#[test]
+fn parallel_path_is_uniform_on_cycle4() {
+    // C4: removing any one of the 4 edges gives a tree.
+    let g = generators::cycle(4);
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 4);
+    assert_parallel_uniform(&g, EngineChoice::UnitCost, 8_000, 2101, "C4/parallel");
+}
+
+#[test]
+fn parallel_path_is_uniform_on_diamond() {
+    // The diamond (K4 minus one edge): 8 spanning trees. Run this one
+    // through the real semiring engine so the MachineProgram-based
+    // multiply sits on the sampled path too.
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 8);
+    assert_parallel_uniform(&g, EngineChoice::Semiring, 8_000, 2102, "diamond/parallel");
+}

@@ -89,6 +89,25 @@ impl fmt::Display for CostCategory {
 pub struct RoundLedger {
     rounds: BTreeMap<CostCategory, u64>,
     words: BTreeMap<CostCategory, u64>,
+    saturated: bool,
+}
+
+/// Saturating accumulate into a counter slot, reporting whether the
+/// addition wrapped. Accumulation is overflow-checked everywhere so
+/// adversarial `words` declarations can't silently wrap a release-build
+/// ledger back toward zero — they pin at `u64::MAX` and raise the
+/// [`RoundLedger::saturated`] flag instead.
+fn accumulate(slot: &mut u64, amount: u64) -> bool {
+    match slot.checked_add(amount) {
+        Some(v) => {
+            *slot = v;
+            false
+        }
+        None => {
+            *slot = u64::MAX;
+            true
+        }
+    }
 }
 
 impl RoundLedger {
@@ -97,15 +116,23 @@ impl RoundLedger {
         RoundLedger::default()
     }
 
-    /// Charges `rounds` rounds under `category`.
+    /// Charges `rounds` rounds under `category`. Saturates at `u64::MAX`
+    /// (setting [`RoundLedger::saturated`]) instead of wrapping.
     pub fn charge(&mut self, category: CostCategory, rounds: u64) {
-        *self.rounds.entry(category).or_insert(0) += rounds;
+        self.saturated |= accumulate(self.rounds.entry(category).or_insert(0), rounds);
     }
 
     /// Records `words` machine-words of traffic under `category` (does not
-    /// by itself advance time).
+    /// by itself advance time). Saturates at `u64::MAX` (setting
+    /// [`RoundLedger::saturated`]) instead of wrapping.
     pub fn add_words(&mut self, category: CostCategory, words: u64) {
-        *self.words.entry(category).or_insert(0) += words;
+        self.saturated |= accumulate(self.words.entry(category).or_insert(0), words);
+    }
+
+    /// `true` if any accumulation overflowed and pinned at `u64::MAX` —
+    /// the totals are then lower bounds, not exact counts.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Rounds charged under one category.
@@ -118,14 +145,16 @@ impl RoundLedger {
         self.words.get(&category).copied().unwrap_or(0)
     }
 
-    /// Total rounds across all categories.
+    /// Total rounds across all categories (saturating, like the
+    /// per-category accumulation).
     pub fn total_rounds(&self) -> u64 {
-        self.rounds.values().sum()
+        self.rounds.values().fold(0u64, |a, &b| a.saturating_add(b))
     }
 
-    /// Total words across all categories.
+    /// Total words across all categories (saturating, like the
+    /// per-category accumulation).
     pub fn total_words(&self) -> u64 {
-        self.words.values().sum()
+        self.words.values().fold(0u64, |a, &b| a.saturating_add(b))
     }
 
     /// Non-zero `(category, rounds)` entries, sorted by category.
@@ -137,7 +166,8 @@ impl RoundLedger {
             .collect()
     }
 
-    /// Adds every charge from `other` into `self`.
+    /// Adds every charge from `other` into `self` (propagating the
+    /// saturation flag).
     pub fn merge(&mut self, other: &RoundLedger) {
         for (&c, &r) in &other.rounds {
             self.charge(c, r);
@@ -145,6 +175,7 @@ impl RoundLedger {
         for (&c, &w) in &other.words {
             self.add_words(c, w);
         }
+        self.saturated |= other.saturated;
     }
 
     /// Resets the ledger to empty and returns the previous contents.
@@ -212,6 +243,46 @@ mod tests {
         let taken = l.take();
         assert_eq!(taken.total_rounds(), 9);
         assert_eq!(l.total_rounds(), 0);
+    }
+
+    #[test]
+    fn charge_saturates_instead_of_wrapping() {
+        let mut l = RoundLedger::new();
+        l.charge(CostCategory::Routing, u64::MAX - 1);
+        assert!(!l.saturated());
+        l.charge(CostCategory::Routing, 5);
+        assert!(l.saturated());
+        assert_eq!(l.rounds(CostCategory::Routing), u64::MAX);
+        // Totals never wrap either, even with several pinned categories.
+        l.charge(CostCategory::MatMul, u64::MAX);
+        assert_eq!(l.total_rounds(), u64::MAX);
+    }
+
+    #[test]
+    fn add_words_saturates_instead_of_wrapping() {
+        let mut l = RoundLedger::new();
+        l.add_words(CostCategory::Gather, u64::MAX);
+        l.add_words(CostCategory::Gather, u64::MAX);
+        assert!(l.saturated());
+        assert_eq!(l.words(CostCategory::Gather), u64::MAX);
+        assert_eq!(l.total_words(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_propagates_saturation() {
+        let mut poisoned = RoundLedger::new();
+        poisoned.charge(CostCategory::Misc, u64::MAX);
+        poisoned.charge(CostCategory::Misc, 1);
+        assert!(poisoned.saturated());
+        let mut clean = RoundLedger::new();
+        clean.charge(CostCategory::Misc, 2);
+        clean.merge(&poisoned);
+        assert!(clean.saturated());
+        assert_eq!(clean.rounds(CostCategory::Misc), u64::MAX);
+        // take() carries the flag out and resets it.
+        let taken = clean.take();
+        assert!(taken.saturated());
+        assert!(!clean.saturated());
     }
 
     #[test]

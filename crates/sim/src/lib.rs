@@ -20,6 +20,13 @@
 //! `O(n^{1/3})`-round [`SemiringEngine`] and the `O(n^α)` cost-model
 //! [`FastOracleEngine`] (see DESIGN.md on this substitution).
 //!
+//! Local computation can run *concurrently* across machines — matching
+//! the model, where rounds are synchronous but machines compute in
+//! parallel — via the [`MachineProgram`] / [`ParallelClique`] round
+//! engine: per-machine steps are sharded over a scoped worker pool, and
+//! the exchange (plus every ledger charge) stays single-threaded, so
+//! round costs and outputs are identical at any thread count.
+//!
 //! # Examples
 //!
 //! ```
@@ -39,9 +46,11 @@
 mod clique;
 mod ledger;
 mod matmul;
+mod parallel;
 
 pub use clique::{Clique, Envelope};
 pub use ledger::{CostCategory, RoundLedger};
 pub use matmul::{
     distributed_powers, FastOracleEngine, MatMulEngine, SemiringEngine, UnitCostEngine, ALPHA,
 };
+pub use parallel::{machine_seed, par_map, MachineProgram, ParallelClique, Workers};

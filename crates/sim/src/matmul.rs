@@ -19,13 +19,18 @@
 //! Both engines produce numerically identical products up to accumulation
 //! order (tested), so swapping engines changes only the ledger.
 
-use crate::{Clique, CostCategory, Envelope};
+use crate::{Clique, CostCategory, Envelope, MachineProgram, ParallelClique};
 use cct_linalg::{FixedPoint, Matrix};
 
-/// Step-1 message: (operand tag A=0/B=1, source row, row piece).
-type OperandPiece = (u8, usize, Vec<f64>);
-/// Step-2 message: (destination row, block column offset, partial row).
-type PartialRow = (usize, usize, Vec<f64>);
+/// Messages of the semiring machine program.
+#[derive(Debug, Clone)]
+enum SemiringMsg {
+    /// Round-0 operand shipment: (tag A=0/B=1, source row, row piece).
+    Operand(u8, usize, Vec<f64>),
+    /// Round-1 partial result: (destination row, block column offset,
+    /// partial row).
+    Partial(usize, usize, Vec<f64>),
+}
 
 /// A distributed square-matrix multiplication engine.
 ///
@@ -70,10 +75,152 @@ pub struct SemiringEngine {
 }
 
 impl SemiringEngine {
-    /// Creates the engine; `threads` bounds local-compute parallelism.
+    /// Creates the engine; `threads` is the worker-pool width used to run
+    /// the per-machine local steps concurrently (see [`ParallelClique`]).
+    /// Output and ledger are identical at every thread count.
     pub fn new(threads: usize) -> Self {
         SemiringEngine {
             threads: threads.max(1),
+        }
+    }
+}
+
+/// One machine of the semiring algorithm, as a [`MachineProgram`]:
+/// round 0 ships this row owner's operand pieces to the cube, round 1
+/// multiplies the blocks this cube machine received and ships partial
+/// rows back, round 2 (terminal) accumulates the partials of the owned
+/// output row.
+struct SemiringMachine<'m> {
+    id: usize,
+    n: usize,
+    c: usize,
+    s: usize,
+    a: &'m Matrix,
+    b: &'m Matrix,
+    /// Row `id` of the product, filled by the terminal round.
+    row: Vec<f64>,
+}
+
+impl SemiringMachine<'_> {
+    fn blocks(&self, idx: usize) -> (usize, usize) {
+        (idx * self.s, ((idx + 1) * self.s).min(self.n))
+    }
+
+    fn cube(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.c + j) * self.c + k
+    }
+
+    /// Round 0: row owner `id` ships its A-pieces to machines
+    /// `(bi, *, k)` and its B-pieces to machines `(*, j, bk)`.
+    fn ship_operands(&self) -> Vec<Envelope<SemiringMsg>> {
+        let (r, c, n) = (self.id, self.c, self.n);
+        let bi = r / self.s;
+        let mut outbox = Vec::new();
+        for k in 0..c {
+            let (lo, hi) = self.blocks(k);
+            if lo >= n {
+                continue;
+            }
+            let piece: Vec<f64> = self.a.row(r)[lo..hi].to_vec();
+            for j in 0..c {
+                outbox.push(Envelope::new(
+                    self.cube(bi, j, k),
+                    piece.len(),
+                    SemiringMsg::Operand(0, r, piece.clone()),
+                ));
+            }
+        }
+        let bk = r / self.s;
+        for j in 0..c {
+            let (lo, hi) = self.blocks(j);
+            if lo >= n {
+                continue;
+            }
+            let piece: Vec<f64> = self.b.row(r)[lo..hi].to_vec();
+            for i in 0..c {
+                outbox.push(Envelope::new(
+                    self.cube(i, j, bk),
+                    piece.len(),
+                    SemiringMsg::Operand(1, r, piece.clone()),
+                ));
+            }
+        }
+        outbox
+    }
+
+    /// Round 1: cube machine `(i, j, k)` reassembles its operand blocks,
+    /// multiplies them, and ships each partial `C` row to its owner.
+    fn multiply_blocks(&self, inbox: Vec<Envelope<SemiringMsg>>) -> Vec<Envelope<SemiringMsg>> {
+        let (c, n) = (self.c, self.n);
+        if self.id >= c * c * c {
+            return Vec::new();
+        }
+        let (i, j, k) = (self.id / (c * c), (self.id / c) % c, self.id % c);
+        let (ilo, ihi) = self.blocks(i);
+        let (jlo, jhi) = self.blocks(j);
+        let (klo, khi) = self.blocks(k);
+        if ilo >= n || jlo >= n || klo >= n {
+            return Vec::new();
+        }
+        let mut a_block = vec![vec![0.0f64; khi - klo]; ihi - ilo];
+        let mut b_block = vec![vec![0.0f64; jhi - jlo]; khi - klo];
+        for env in &inbox {
+            if let SemiringMsg::Operand(which, r, ref piece) = env.payload {
+                if which == 0 {
+                    if (ilo..ihi).contains(&r) {
+                        a_block[r - ilo].clone_from(piece);
+                    }
+                } else if (klo..khi).contains(&r) {
+                    b_block[r - klo].clone_from(piece);
+                }
+            }
+        }
+        let mut outbox = Vec::with_capacity(ihi - ilo);
+        for (il, a_row) in a_block.iter().enumerate() {
+            let mut acc = vec![0.0f64; jhi - jlo];
+            for (kl, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (jl, o) in acc.iter_mut().enumerate() {
+                    *o += av * b_block[kl][jl];
+                }
+            }
+            outbox.push(Envelope::new(
+                ilo + il,
+                acc.len(),
+                SemiringMsg::Partial(ilo + il, jlo, acc),
+            ));
+        }
+        outbox
+    }
+}
+
+impl MachineProgram for SemiringMachine<'_> {
+    type Msg = SemiringMsg;
+
+    fn round(
+        &mut self,
+        round: usize,
+        inbox: Vec<Envelope<SemiringMsg>>,
+    ) -> Vec<Envelope<SemiringMsg>> {
+        match round {
+            0 => self.ship_operands(),
+            1 => self.multiply_blocks(inbox),
+            _ => {
+                // Terminal round: accumulate the owned output row. The
+                // inbox order is route's deterministic (sender, send
+                // order), matching the sequential accumulation exactly.
+                for env in inbox {
+                    if let SemiringMsg::Partial(r, jlo, piece) = env.payload {
+                        debug_assert_eq!(r, self.id);
+                        for (off, v) in piece.into_iter().enumerate() {
+                            self.row[jlo + off] += v;
+                        }
+                    }
+                }
+                Vec::new()
+            }
         }
     }
 }
@@ -89,111 +236,34 @@ impl MatMulEngine for SemiringEngine {
         let n = clique.n();
         assert_eq!(a.shape(), (n, n), "operand A must be n × n");
         assert_eq!(b.shape(), (n, n), "operand B must be n × n");
-        let c = (n as f64).cbrt().floor() as usize;
-        let c = c.max(1);
+        let c = ((n as f64).cbrt().floor() as usize).max(1);
         let s = n.div_ceil(c); // block side (last blocks may be smaller)
-        let blocks = |idx: usize| (idx * s, ((idx + 1) * s).min(n));
-        let cube = |i: usize, j: usize, k: usize| (i * c + j) * c + k;
 
-        // ── Step 1: row owners ship operand block rows to cube machines.
-        // Machine r owns row r of A and of B. The A-piece of row r in
-        // block-column k goes to machines (i, *, k) where i = block of r;
-        // the B-piece of row r (r in block-row k) in block-column j goes
-        // to machines (*, j, k).
-        let mut outboxes: Vec<Vec<Envelope<OperandPiece>>> = (0..n).map(|_| Vec::new()).collect();
-        for (r, outbox) in outboxes.iter_mut().enumerate() {
-            let bi = r / s;
-            for k in 0..c {
-                let (lo, hi) = blocks(k);
-                if lo >= n {
-                    continue;
-                }
-                let piece: Vec<f64> = a.row(r)[lo..hi].to_vec();
-                for j in 0..c {
-                    outbox.push(Envelope::new(
-                        cube(bi, j, k),
-                        piece.len(),
-                        (0u8, r, piece.clone()),
-                    ));
-                }
-            }
-            // Row r of B lives in block-row bk = r / s.
-            let bk = r / s;
-            for j in 0..c {
-                let (lo, hi) = blocks(j);
-                if lo >= n {
-                    continue;
-                }
-                let piece: Vec<f64> = b.row(r)[lo..hi].to_vec();
-                for i in 0..c {
-                    outbox.push(Envelope::new(
-                        cube(i, j, bk),
-                        piece.len(),
-                        (1u8, r, piece.clone()),
-                    ));
-                }
-            }
-        }
-        let inboxes = clique.route(CostCategory::MatMul, outboxes);
+        // Machine r owns row r of A, B, and C; machine (i, j, k) of the
+        // c × c × c cube multiplies block A[i,k] · B[k,j]. The three
+        // rounds (ship operands, multiply blocks, accumulate partials)
+        // run through the parallel round engine: local steps concurrent,
+        // exchange and ledger charges single-threaded.
+        let mut machines: Vec<SemiringMachine> = (0..n)
+            .map(|id| SemiringMachine {
+                id,
+                n,
+                c,
+                s,
+                a,
+                b,
+                row: vec![0.0f64; n],
+            })
+            .collect();
+        let mut driver = ParallelClique::new(clique, self.threads);
+        let inboxes = driver.step(CostCategory::MatMul, &mut machines, 0, Vec::new());
+        let inboxes = driver.step(CostCategory::MatMul, &mut machines, 1, inboxes);
+        driver.finish(&mut machines, 2, inboxes);
 
-        // ── Step 2: local block products; ship partial C rows to owners.
-        let mut outboxes: Vec<Vec<Envelope<PartialRow>>> = (0..n).map(|_| Vec::new()).collect();
-        for i in 0..c {
-            for j in 0..c {
-                for k in 0..c {
-                    let m = cube(i, j, k);
-                    let (ilo, ihi) = blocks(i);
-                    let (jlo, jhi) = blocks(j);
-                    let (klo, khi) = blocks(k);
-                    if ilo >= n || jlo >= n || klo >= n {
-                        continue;
-                    }
-                    // Reassemble blocks from this machine's inbox.
-                    let mut a_block = vec![vec![0.0f64; khi - klo]; ihi - ilo];
-                    let mut b_block = vec![vec![0.0f64; jhi - jlo]; khi - klo];
-                    for env in &inboxes[m] {
-                        let (which, r, ref piece) = env.payload;
-                        if which == 0 {
-                            if (ilo..ihi).contains(&r) {
-                                a_block[r - ilo].clone_from(piece);
-                            }
-                        } else if (klo..khi).contains(&r) {
-                            b_block[r - klo].clone_from(piece);
-                        }
-                    }
-                    // partial[i_local][j_local] = Σ_k a_block · b_block
-                    for (il, a_row) in a_block.iter().enumerate() {
-                        let mut acc = vec![0.0f64; jhi - jlo];
-                        for (kl, &av) in a_row.iter().enumerate() {
-                            if av == 0.0 {
-                                continue;
-                            }
-                            for (jl, o) in acc.iter_mut().enumerate() {
-                                *o += av * b_block[kl][jl];
-                            }
-                        }
-                        // Ship this partial row piece to the owner of row
-                        // ilo + il of C.
-                        outboxes[m].push(Envelope::new(ilo + il, acc.len(), (ilo + il, jlo, acc)));
-                    }
-                }
-            }
-        }
-        let inboxes = clique.route(CostCategory::MatMul, outboxes);
-
-        // ── Step 3: row owners accumulate partials into C.
         let mut out = Matrix::zeros(n, n);
-        for (owner, inbox) in inboxes.into_iter().enumerate() {
-            for env in inbox {
-                let (r, jlo, piece) = env.payload;
-                debug_assert_eq!(r, owner);
-                let row = out.row_mut(r);
-                for (off, v) in piece.into_iter().enumerate() {
-                    row[jlo + off] += v;
-                }
-            }
+        for (r, machine) in machines.into_iter().enumerate() {
+            out.row_mut(r).copy_from_slice(&machine.row);
         }
-        let _ = self.threads; // local compute already block-parallel by structure
         out
     }
 
@@ -257,6 +327,9 @@ impl MatMulEngine for FastOracleEngine {
         clique
             .ledger_mut()
             .add_words(CostCategory::MatMul, (n * n * self.words_per_entry) as u64);
+        // Local compute, row-sharded: machine i owns output row i, so the
+        // row-parallel kernel is exactly the per-machine concurrent step
+        // (bit-identical to sequential at any thread count).
         a.matmul_parallel(b, self.threads)
     }
 
@@ -273,7 +346,8 @@ impl MatMulEngine for FastOracleEngine {
 /// exercise protocol logic without caring about matmul cost.
 #[derive(Debug, Clone, Default)]
 pub struct UnitCostEngine {
-    /// Local-compute thread count.
+    /// Worker-pool width for the row-sharded local compute (machine i
+    /// owns output row i); results are thread-count invariant.
     pub threads: usize,
 }
 
@@ -387,6 +461,26 @@ mod tests {
             (r2 as f64) / (r0 as f64) < (n2 as f64) / (n0 as f64),
             "semiring cost not sublinear: {rounds:?}"
         );
+    }
+
+    #[test]
+    fn semiring_is_bit_identical_at_every_thread_count() {
+        for n in [5usize, 27, 30] {
+            let a = random_stochastic(n, 20);
+            let b = random_stochastic(n, 21);
+            let mut base = Clique::new(n);
+            let reference = SemiringEngine::new(1).multiply(&mut base, &a, &b);
+            for threads in [2usize, 4, 8] {
+                let mut clique = Clique::new(n);
+                let prod = SemiringEngine::new(threads).multiply(&mut clique, &a, &b);
+                assert_eq!(prod, reference, "n = {n}, threads = {threads}");
+                assert_eq!(
+                    clique.ledger(),
+                    base.ledger(),
+                    "n = {n}, threads = {threads}"
+                );
+            }
+        }
     }
 
     #[test]

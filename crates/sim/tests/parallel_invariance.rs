@@ -1,0 +1,67 @@
+//! Ledger-invariance regression tests for the parallel round engine:
+//! the Lenzen routing charge `⌈L/n⌉` for skewed traffic patterns must
+//! not depend on how machines are sharded across worker threads, and is
+//! pinned here with exact expected round counts.
+
+use cct_sim::{Clique, CostCategory, Envelope, ParallelClique};
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Every machine sends `words` words to the single hot receiver `hot`;
+/// returns the resulting ledger.
+fn hot_receiver_ledger(n: usize, hot: usize, words: usize, workers: usize) -> cct_sim::RoundLedger {
+    let mut clique = Clique::new(n);
+    let inboxes = ParallelClique::new(&mut clique, workers).map_route(CostCategory::Routing, |m| {
+        vec![Envelope::new(hot, words, m as u64)]
+    });
+    assert_eq!(inboxes[hot].len(), n, "hot receiver must get every message");
+    clique.ledger().clone()
+}
+
+#[test]
+fn skewed_hot_receiver_costs_ceil_l_over_n_at_any_shard_count() {
+    // n = 8 machines each sending 13 words to machine 5: the receive
+    // load is L = 8 · 13 = 104 words, so Lenzen routing charges exactly
+    // ⌈104/8⌉ = 13 rounds — no matter how the senders were sharded.
+    let reference = hot_receiver_ledger(8, 5, 13, 1);
+    assert_eq!(reference.total_rounds(), 13);
+    assert_eq!(reference.total_words(), 104);
+    for workers in WORKER_SWEEP {
+        let ledger = hot_receiver_ledger(8, 5, 13, workers);
+        assert_eq!(ledger, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn hot_receiver_cost_is_exact_across_loads() {
+    // Pinned (load → rounds) pairs on a 6-machine clique: each of the 6
+    // senders ships `w` words to machine 0, so L = 6w and the charge is
+    // ⌈6w/6⌉ = w — exactly, at every worker count.
+    for (w, expect) in [(1usize, 1u64), (2, 2), (7, 7), (100, 100)] {
+        for workers in WORKER_SWEEP {
+            let ledger = hot_receiver_ledger(6, 0, w, workers);
+            assert_eq!(
+                ledger.rounds(CostCategory::Routing),
+                expect,
+                "w = {w}, workers = {workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_hot_sender_matches_send_side_bound() {
+    // Inverse skew: machine 3 sends 9 words to everyone on a 4-machine
+    // clique. Send load L = 4 · 9 = 36 → ⌈36/4⌉ = 9 rounds.
+    for workers in WORKER_SWEEP {
+        let mut clique = Clique::new(4);
+        ParallelClique::new(&mut clique, workers).map_route(CostCategory::Routing, |m| {
+            if m == 3 {
+                (0..4).map(|to| Envelope::new(to, 9, 0u8)).collect()
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(clique.ledger().total_rounds(), 9, "workers = {workers}");
+    }
+}

@@ -8,7 +8,7 @@
 //! cct --help
 //! ```
 
-use cct::core::{direction4_sample, CliqueTreeSampler, SamplerConfig};
+use cct::core::{direction4_sample, CliqueTreeSampler, SamplerConfig, Workers};
 use cct::graph::{generators, Graph, SpanningTree};
 use cct::prelude::*;
 use cct::sim::Clique;
@@ -39,6 +39,11 @@ OPTIONS:
                    (size parameters are capped at 8192)
     --seed N       RNG seed (default 2025)
     --trials N     sample N trees (default 1)
+    --parallel     run thm1/exact on the parallel round engine (worker
+                   count auto-detected; CCT_WORKERS overrides)
+    --workers N    parallel round engine with exactly N workers
+                   (implies --parallel; same seed gives the same tree
+                   and round counts at every worker count)
     --dot          print the tree as Graphviz instead of an edge list
     --help         this text
 ";
@@ -179,10 +184,27 @@ fn run() -> Result<(), String> {
     let mut seed = 2025u64;
     let mut trials = 1usize;
     let mut dot = false;
+    let mut workers = Workers::Sequential;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--graph" => graph_spec = it.next().ok_or("--graph needs a value")?,
+            "--parallel" => {
+                if workers == Workers::Sequential {
+                    workers = Workers::Auto;
+                }
+            }
+            "--workers" => {
+                let k: usize = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "bad worker count")?;
+                if k == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                workers = Workers::Fixed(k);
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -201,6 +223,15 @@ fn run() -> Result<(), String> {
             other if !other.starts_with("--") => algorithm = other.to_string(),
             other => return Err(format!("unknown option '{other}' (see --help)")),
         }
+    }
+
+    // The parallel round engine backs the phase samplers only; reject
+    // the flags elsewhere rather than silently running sequentially.
+    if workers != Workers::Sequential && !matches!(algorithm.as_str(), "thm1" | "exact") {
+        return Err(format!(
+            "--parallel/--workers only apply to the phase samplers (thm1, exact); \
+             '{algorithm}' is not parallelized (see --help)"
+        ));
     }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -227,7 +258,14 @@ fn run() -> Result<(), String> {
                 } else {
                     SamplerConfig::new()
                 };
-                let sampler = CliqueTreeSampler::new(config.threads(4));
+                // The effective engine width is max(threads, workers):
+                // an explicit worker policy must be exact, so only the
+                // sequential default keeps the legacy 4-thread matmul.
+                let config = match workers {
+                    Workers::Sequential => config.threads(4),
+                    _ => config.threads(1),
+                };
+                let sampler = CliqueTreeSampler::new(config.workers(workers));
                 let report = sampler.sample(&g, &mut rng).map_err(|e| e.to_string())?;
                 print_tree(&report.tree, dot);
                 eprintln!(

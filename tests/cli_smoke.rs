@@ -85,6 +85,65 @@ fn seeded_runs_are_reproducible() {
 }
 
 #[test]
+fn parallel_flag_gives_the_same_tree_as_sequential() {
+    let seq = run_cct(&["thm1", "--graph", "petersen", "--seed", "7"]);
+    assert!(seq.status.success());
+    for workers in ["1", "2", "4"] {
+        let par = run_cct(&[
+            "thm1",
+            "--graph",
+            "petersen",
+            "--seed",
+            "7",
+            "--workers",
+            workers,
+        ]);
+        assert!(
+            par.status.success(),
+            "--workers {workers} failed: {}",
+            String::from_utf8_lossy(&par.stderr)
+        );
+        assert_eq!(
+            par.stdout, seq.stdout,
+            "same seed must give the same tree at {workers} workers"
+        );
+    }
+    let auto = run_cct(&["thm1", "--graph", "petersen", "--seed", "7", "--parallel"]);
+    assert!(auto.status.success());
+    assert_eq!(
+        auto.stdout, seq.stdout,
+        "--parallel must not change the tree"
+    );
+}
+
+#[test]
+fn workers_zero_is_rejected() {
+    let out = run_cct(&["thm1", "--graph", "petersen", "--workers", "0"]);
+    assert!(!out.status.success(), "--workers 0 must exit nonzero");
+}
+
+#[test]
+fn parallel_flag_is_rejected_for_sequential_algorithms() {
+    for alg in [
+        "wilson",
+        "aldous-broder",
+        "doubling",
+        "direction4",
+        "mst-strawman",
+    ] {
+        let out = run_cct(&[alg, "--graph", "petersen", "--parallel"]);
+        assert!(
+            !out.status.success(),
+            "`{alg} --parallel` must exit nonzero, not run silently sequential"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("only apply"),
+            "{alg}: expected a scope error message"
+        );
+    }
+}
+
+#[test]
 fn help_exits_zero_and_lists_algorithms() {
     let out = run_cct(&["--help"]);
     assert!(out.status.success());

@@ -1,0 +1,146 @@
+//! Bit-identical equivalence of the sequential and parallel round
+//! engines: for a fixed seed, every algorithm in the repertoire must
+//! produce the same spanning tree and identical `RoundLedger` totals
+//! whether machines run on 1, 2, 4, or 8 worker threads (the cct-sim
+//! determinism contract). Property-tested over random graph specs.
+
+use cct::core::{
+    direction4_sample, CliqueTreeSampler, EngineChoice, SamplerConfig, Variant, WalkLength, Workers,
+};
+use cct::graph::{generators, Graph};
+use cct::prelude::{aldous_broder, sample_tree_via_doubling, wilson, Clique};
+use cct::walks::random_weight_mst;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The worker-thread sweep of the equivalence contract: 1/2/4/8 by
+/// default; when `CCT_WORKERS` is set (the CI thread-count matrix), the
+/// sweep narrows to {1, max(CCT_WORKERS, 2)} so every matrix leg checks
+/// a real sequential-vs-parallel pairing (never 1-vs-1) without
+/// repeating the full sweep.
+fn worker_sweep() -> Vec<usize> {
+    match std::env::var("CCT_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+    {
+        Some(w) => vec![1, w.max(2)],
+        None => vec![1, 2, 4, 8],
+    }
+}
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A random small connected graph drawn from a spec id + seed.
+fn build_graph(kind: u8, n: usize, seed: u64) -> Graph {
+    match kind % 5 {
+        0 => generators::erdos_renyi_connected(n, 0.5, &mut rng(seed)),
+        1 => generators::complete(n),
+        2 => generators::cycle(n.max(3)),
+        3 => generators::wheel(n.max(4)),
+        _ => generators::complete_bipartite(2, (n - 2).max(1)),
+    }
+}
+
+fn any_engine() -> impl Strategy<Value = EngineChoice> {
+    prop_oneof![
+        Just(EngineChoice::UnitCost),
+        Just(EngineChoice::Semiring),
+        Just(EngineChoice::FastOracle {
+            alpha: cct::sim::ALPHA
+        }),
+    ]
+}
+
+/// Runs the phase sampler at a given worker count and returns the
+/// (tree, full ledger) pair.
+fn run_phase_sampler(
+    g: &Graph,
+    engine: EngineChoice,
+    exact: bool,
+    workers: usize,
+    seed: u64,
+) -> (cct::graph::SpanningTree, cct::sim::RoundLedger) {
+    let base = if exact {
+        SamplerConfig::exact_variant()
+    } else {
+        SamplerConfig::new()
+    };
+    let config = base
+        .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+        .engine(engine)
+        .variant(Variant::LasVegas) // no Monte Carlo breakouts: full coverage
+        .workers(Workers::Fixed(workers));
+    let report = CliqueTreeSampler::new(config)
+        .sample(g, &mut rng(seed))
+        .expect("connected input");
+    (report.tree, report.rounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1 sampler and the Appendix exact variant: same seed ⇒
+    /// same tree and byte-identical ledger at every worker count.
+    #[test]
+    fn phase_samplers_are_worker_count_invariant(
+        kind in 0u8..5,
+        n in 4usize..=10,
+        graph_seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+        engine in any_engine(),
+    ) {
+        let g = build_graph(kind, n, graph_seed);
+        for exact in [false, true] {
+            let reference = run_phase_sampler(&g, engine, exact, 1, sample_seed);
+            for workers in worker_sweep() {
+                let got = run_phase_sampler(&g, engine, exact, workers, sample_seed);
+                prop_assert_eq!(
+                    &got.0, &reference.0,
+                    "tree mismatch: exact={} workers={}", exact, workers
+                );
+                prop_assert_eq!(
+                    &got.1, &reference.1,
+                    "ledger mismatch: exact={} workers={}", exact, workers
+                );
+            }
+        }
+    }
+
+    /// The other five algorithms (doubling, direction4, and the three
+    /// sequential baselines) take no worker knob — they never touch the
+    /// parallel engine, so "sequential vs parallel" is the same code
+    /// path and their contract reduces to seed-determinism: repeated
+    /// runs must agree exactly on tree (and ledger, where one exists).
+    #[test]
+    fn remaining_algorithms_are_seed_deterministic(
+        kind in 0u8..5,
+        n in 4usize..=10,
+        graph_seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+    ) {
+        let g = build_graph(kind, n, graph_seed);
+
+        let doubling = || {
+            let mut clique = Clique::new(g.n());
+            let (tree, _) =
+                sample_tree_via_doubling(&mut clique, &g, 2.0, 100_000, &mut rng(sample_seed));
+            (tree, clique.ledger().clone())
+        };
+        let direction4 = || {
+            let report = direction4_sample(&g, 1.0, &mut rng(sample_seed)).expect("connected");
+            (report.tree, report.rounds)
+        };
+        let ab = || aldous_broder(&g, 0, &mut rng(sample_seed)).expect("connected");
+        let wi = || wilson(&g, 0, &mut rng(sample_seed)).expect("connected");
+        let mst = || random_weight_mst(&g, &mut rng(sample_seed)).expect("connected");
+
+        prop_assert_eq!(doubling(), doubling(), "doubling not seed-deterministic");
+        prop_assert_eq!(direction4(), direction4(), "direction4 not seed-deterministic");
+        prop_assert_eq!(ab(), ab(), "aldous-broder not seed-deterministic");
+        prop_assert_eq!(wi(), wi(), "wilson not seed-deterministic");
+        prop_assert_eq!(mst(), mst(), "mst-strawman not seed-deterministic");
+    }
+}
