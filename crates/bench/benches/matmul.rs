@@ -22,6 +22,12 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("local", n), &n, |bench, _| {
             bench.iter(|| a.matmul(&b_mat));
         });
+        group.bench_with_input(BenchmarkId::new("local_into_scratch", n), &n, |bench, _| {
+            // The allocation-free kernel: the scratch buffer lives across
+            // iterations, as it does in the power pipelines.
+            let mut scratch = Matrix::zeros(n, n);
+            bench.iter(|| a.matmul_into(&b_mat, &mut scratch));
+        });
         group.bench_with_input(BenchmarkId::new("local_4threads", n), &n, |bench, _| {
             bench.iter(|| a.matmul_parallel(&b_mat, 4));
         });
@@ -43,5 +49,22 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul);
+/// Micro-benches for the slice-based [`Matrix::transpose`] and
+/// [`Matrix::col`] rewrites (formerly `from_fn`/per-element indexing
+/// with a bounds check per access).
+fn bench_transpose_col(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose_col");
+    for n in [64usize, 256, 512] {
+        let a = random_stochastic(n, 3);
+        group.bench_with_input(BenchmarkId::new("transpose", n), &n, |bench, _| {
+            bench.iter(|| a.transpose());
+        });
+        group.bench_with_input(BenchmarkId::new("col", n), &n, |bench, _| {
+            bench.iter(|| a.col(n / 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_transpose_col);
 criterion_main!(benches);

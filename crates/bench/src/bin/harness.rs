@@ -4,22 +4,32 @@
 //! ```sh
 //! cargo run -p cct-bench --release --bin harness -- all [--quick]
 //! cargo run -p cct-bench --release --bin harness -- e1 e4 e6
+//! cargo run -p cct-bench --release --bin harness -- e18 --quick \
+//!     --json out.json --baseline BENCH_e18.json
 //! ```
 
 use cct_bench::experiments as ex;
+use cct_bench::{gate, json::Json};
 
 const HELP: &str = "\
-harness — regenerate the experiment tables (E1–E17, aux)
+harness — regenerate the experiment tables (E1–E18, aux)
 
 USAGE:
     harness [EXPERIMENT...] [OPTIONS]
 
 ARGUMENTS:
-    EXPERIMENT    experiments to run: e1 … e17, aux, or all (default all)
+    EXPERIMENT    experiments to run: e1 … e18, aux, or all (default all)
 
 OPTIONS:
-    --quick       reduced-size sweep for fast iteration
-    --help        this text
+    --quick           reduced-size sweep for fast iteration
+    --json PATH       write e18's machine-readable report to PATH (the
+                      file is re-parsed after writing; malformed output
+                      is a hard error). Only e18 emits JSON today.
+    --baseline PATH   compare e18's fresh report against a committed
+                      baseline (BENCH_e18.json): exit non-zero if
+                      prepared-mode throughput regressed more than 2x
+                      below the baseline on any overlapping row
+    --help            this text
 ";
 
 fn main() {
@@ -27,22 +37,41 @@ fn main() {
 }
 
 fn run() -> i32 {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
         print!("{HELP}");
         return 0;
     }
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
-        eprintln!("error: unknown option '{bad}' (see --help)");
-        return 2;
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("error: --json needs a path (see --help)");
+                    return 2;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p),
+                None => {
+                    eprintln!("error: --baseline needs a path (see --help)");
+                    return 2;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown option '{other}' (see --help)");
+                return 2;
+            }
+            other => selected.push(other.to_string()),
+        }
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let run_all = selected.is_empty() || selected.contains(&"all");
+    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
 
     type Experiment = (&'static str, fn(bool));
     let experiments: Vec<Experiment> = vec![
@@ -65,12 +94,17 @@ fn run() -> i32 {
         ("e17", ex::e17),
         ("aux", ex::failure_probe),
     ];
-
-    if let Some(bad) = selected
-        .iter()
-        .find(|s| **s != "all" && !experiments.iter().any(|(name, _)| name == *s))
-    {
+    // e18 returns a report consumed by --json/--baseline, so it lives
+    // outside the fn(bool) table.
+    let known = |s: &str| s == "all" || s == "e18" || experiments.iter().any(|(n, _)| *n == s);
+    if let Some(bad) = selected.iter().find(|s| !known(s)) {
         eprintln!("error: unknown experiment '{bad}' (see --help)");
+        return 2;
+    }
+    if (json_path.is_some() || baseline_path.is_some())
+        && !(run_all || selected.iter().any(|s| s == "e18"))
+    {
+        eprintln!("error: --json/--baseline require e18 to be selected (see --help)");
         return 2;
     }
 
@@ -80,10 +114,72 @@ fn run() -> i32 {
     );
     let started = std::time::Instant::now();
     for (name, f) in &experiments {
-        if run_all || selected.contains(name) {
+        if run_all || selected.iter().any(|s| s == name) {
             let t = std::time::Instant::now();
             f(quick);
             println!("[{name} done in {:.1?}]", t.elapsed());
+        }
+    }
+    if run_all || selected.iter().any(|s| s == "e18") {
+        let t = std::time::Instant::now();
+        let report = ex::e18(quick);
+        println!("[e18 done in {:.1?}]", t.elapsed());
+        if let Some(path) = &json_path {
+            let text = report.pretty();
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return 1;
+            }
+            // Self-check: re-read and re-parse what landed on disk, so a
+            // malformed report can never slip into a committed baseline.
+            let reread = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot re-read {path}: {e}");
+                    return 1;
+                }
+            };
+            if let Err(e) = Json::parse(&reread) {
+                eprintln!("error: {path} is malformed JSON: {e}");
+                return 1;
+            }
+            println!("e18 report written to {path}");
+        }
+        if let Some(path) = &baseline_path {
+            let text = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    return 1;
+                }
+            };
+            let baseline = match Json::parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("error: baseline {path} is malformed JSON: {e}");
+                    return 1;
+                }
+            };
+            match gate::check_e18_against_baseline(&report, &baseline) {
+                Ok(result) => {
+                    println!("\nbaseline gate ({path}, 2x band):");
+                    for line in &result.compared {
+                        println!("  {line}");
+                    }
+                    if !result.passed() {
+                        eprintln!("error: throughput regressed beyond the 2x band:");
+                        for line in &result.regressions {
+                            eprintln!("  {line}");
+                        }
+                        return 1;
+                    }
+                    println!("baseline gate passed");
+                }
+                Err(e) => {
+                    eprintln!("error: baseline comparison failed: {e}");
+                    return 1;
+                }
+            }
         }
     }
     println!(

@@ -842,6 +842,146 @@ pub fn e17(quick: bool) {
     }
 }
 
+/// E18 — the linear-algebra hot path: block-structured absorbing-chain
+/// squaring vs the dense `2n × 2n` reference, and prepare-once/sample-many
+/// throughput vs cold sampling. Returns the machine-readable report the
+/// harness can write as `BENCH_e18.json` and gate against a committed
+/// baseline (`--json` / `--baseline`).
+pub fn e18(quick: bool) -> crate::json::Json {
+    use crate::json::Json;
+    use cct_schur::{shortcut_by_squaring, shortcut_by_squaring_dense};
+    banner(
+        "E18",
+        "Hot path — block (Q,R)→(Q², QR+R) squaring vs dense 2n×2n; PreparedSampler throughput",
+    );
+
+    // ── Part A: the Corollary-2 squaring kernel. S is half the vertex
+    // set (a representative mid-phase shape); both routes produce
+    // bit-identical Q, so only wall-clock differs.
+    let squaring_ns: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let reps = 3usize;
+    println!(
+        "\nshortcut_by_squaring, tol = 1e-12 ({reps} reps, ER graph, |S| = n/2):\n{:>6} {:>10} {:>12} {:>12} {:>9}",
+        "n", "squarings", "dense ms", "block ms", "speedup"
+    );
+    let mut squaring_rows = Vec::new();
+    for &n in squaring_ns {
+        let g = er_graph(n, 4200 + n as u64);
+        let s = VertexSubset::new(n, &(0..n / 2).collect::<Vec<_>>());
+        let t = std::time::Instant::now();
+        let mut used = 0;
+        for _ in 0..reps {
+            let (q, u) = shortcut_by_squaring_dense(&g, &s, 1e-12, 64);
+            used = u;
+            std::hint::black_box(q);
+        }
+        let dense_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            let (q, u) = shortcut_by_squaring(&g, &s, 1e-12, 64);
+            assert_eq!(u, used, "block/dense squaring count diverged");
+            std::hint::black_box(q);
+        }
+        let block_ms = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let speedup = dense_ms / block_ms.max(1e-9);
+        println!("{n:>6} {used:>10} {dense_ms:>12.2} {block_ms:>12.2} {speedup:>8.2}x");
+        squaring_rows.push(Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("squarings".into(), Json::Num(used as f64)),
+            ("dense_ms".into(), Json::Num(dense_ms)),
+            ("block_ms".into(), Json::Num(block_ms)),
+            ("speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+
+    // ── Part B: many-sample throughput, prepared vs cold, on a
+    // phase-1-dominated configuration (ρ = n/2 + 1 makes phase 1 build
+    // the full doubling table and every later phase run leader-local).
+    // Trees are asserted bit-identical between the two paths.
+    let samples = 6usize;
+    let suite: Vec<(&str, Graph)> = if quick {
+        vec![("er", er_graph(64, 4300 + 64))]
+    } else {
+        vec![
+            ("er", er_graph(64, 4300 + 64)),
+            ("er", er_graph(128, 4300 + 128)),
+            ("er", er_graph(256, 4300 + 256)),
+            (
+                "regular",
+                generators::random_regular(64, 4, &mut rng(4400 + 64)),
+            ),
+            (
+                "regular",
+                generators::random_regular(128, 4, &mut rng(4400 + 128)),
+            ),
+            ("petersen", generators::petersen()),
+        ]
+    };
+    println!(
+        "\nprepared vs cold, {samples} samples each (FastOracle, ρ = n/2+1, paper ℓ):\n{:<10} {:>6} {:>11} {:>13} {:>9} {:>14} {:>10}",
+        "graph", "n", "cold ms", "prepared ms", "speedup", "prepared／s", "identical"
+    );
+    let mut throughput_rows = Vec::new();
+    for (name, g) in &suite {
+        let n = g.n();
+        let config = SamplerConfig::new()
+            .engine(EngineChoice::FastOracle { alpha: ALPHA })
+            .walk_length(WalkLength::Paper { epsilon: 1e-2 })
+            .rho((n / 2 + 1).max(2))
+            .threads(1);
+        let sampler = CliqueTreeSampler::new(config);
+        let seed = 4500 + n as u64;
+
+        let t = std::time::Instant::now();
+        let mut cold_trees = Vec::with_capacity(samples);
+        let mut r = rng(seed);
+        for _ in 0..samples {
+            cold_trees.push(sampler.sample(g, &mut r).expect("connected input").tree);
+        }
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = std::time::Instant::now();
+        let prepared = sampler.prepare(g).expect("connected input");
+        let mut prep_trees = Vec::with_capacity(samples);
+        let mut r = rng(seed);
+        for _ in 0..samples {
+            prep_trees.push(prepared.sample(&mut r).expect("prepared sample").tree);
+        }
+        let prepared_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let identical = cold_trees == prep_trees;
+        let speedup = cold_ms / prepared_ms.max(1e-9);
+        let per_sec = samples as f64 / (prepared_ms / 1e3).max(1e-9);
+        println!(
+            "{name:<10} {n:>6} {cold_ms:>11.1} {prepared_ms:>13.1} {speedup:>8.2}x {per_sec:>14.2} {identical:>10}"
+        );
+        assert!(identical, "prepared trees diverged from cold trees");
+        throughput_rows.push(Json::Obj(vec![
+            ("graph".into(), Json::Str((*name).into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("samples".into(), Json::Num(samples as f64)),
+            ("cold_ms".into(), Json::Num(cold_ms)),
+            ("prepared_ms".into(), Json::Num(prepared_ms)),
+            ("speedup".into(), Json::Num(speedup)),
+            ("prepared_per_sec".into(), Json::Num(per_sec)),
+            ("identical".into(), Json::Bool(identical)),
+        ]));
+    }
+    println!(
+        "\n(block squaring does 2 n×n multiplies per squaring instead of the dense route's 8-equivalent;\n prepared sampling pays the phase-1 doubling table once instead of once per draw)"
+    );
+
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e18".into())),
+        (
+            "mode".into(),
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("schur_squaring".into(), Json::Arr(squaring_rows)),
+        ("throughput".into(), Json::Arr(throughput_rows)),
+    ])
+}
+
 /// Variant trio used by `harness all`: Monte Carlo failure-rate probe —
 /// complements E2 by measuring how often the ℓ-budget fails at small ℓ.
 pub fn failure_probe(quick: bool) {

@@ -1,0 +1,169 @@
+//! The CI bench-smoke gate: compares a fresh `e18` report against the
+//! committed `BENCH_e18.json` baseline.
+//!
+//! The gate is deliberately loose — machines differ — and fails only when
+//! prepared-mode throughput drops more than [`REGRESSION_FACTOR`]× below
+//! the baseline for a configuration present in both reports. Rows only in
+//! one report (e.g. a `--quick` run against the full baseline) are
+//! skipped; a run that overlaps the baseline nowhere passes vacuously but
+//! reports so.
+
+use crate::json::Json;
+
+/// A current value may be at most this factor below the baseline.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Result of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Human-readable lines, one per compared row.
+    pub compared: Vec<String>,
+    /// Failures (empty = gate passes).
+    pub regressions: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no compared row regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Row identity in the `throughput` array: `(graph, n, samples)`.
+fn throughput_key(row: &Json) -> Option<(String, i64, i64)> {
+    Some((
+        row.get("graph")?.as_str()?.to_string(),
+        row.get("n")?.as_f64()? as i64,
+        row.get("samples")?.as_f64()? as i64,
+    ))
+}
+
+/// Compares `current` against `baseline` (both `e18` reports).
+///
+/// Gated metric: `throughput[].prepared_per_sec` — the serving-path
+/// number the tentpole optimizes. The block-squaring rows are reported
+/// but not gated (their *ratio* is asserted inside `e18` itself; absolute
+/// kernel times are too machine-dependent even for a 2× band).
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed `e18`
+/// report.
+pub fn check_e18_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("e18") {
+            return Err(format!("{label} report is not an e18 document"));
+        }
+    }
+    let current_rows = current
+        .get("throughput")
+        .and_then(Json::as_arr)
+        .ok_or("current report lacks a throughput array")?;
+    let baseline_rows = baseline
+        .get("throughput")
+        .and_then(Json::as_arr)
+        .ok_or("baseline report lacks a throughput array")?;
+
+    let mut report = GateReport {
+        compared: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for row in current_rows {
+        let Some(key) = throughput_key(row) else {
+            return Err("current throughput row missing graph/n/samples".into());
+        };
+        let Some(base_row) = baseline_rows
+            .iter()
+            .find(|b| throughput_key(b).as_ref() == Some(&key))
+        else {
+            continue; // not in the baseline (e.g. quick vs full sweep)
+        };
+        let cur = row
+            .get("prepared_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("current row missing prepared_per_sec")?;
+        let base = base_row
+            .get("prepared_per_sec")
+            .and_then(Json::as_f64)
+            .ok_or("baseline row missing prepared_per_sec")?;
+        let floor = base / REGRESSION_FACTOR;
+        let line = format!(
+            "{}/n={}/k={}: prepared {:.2}/s vs baseline {:.2}/s (floor {:.2}/s)",
+            key.0, key.1, key.2, cur, base, floor
+        );
+        if cur < floor {
+            report.regressions.push(line.clone());
+        }
+        report.compared.push(line);
+    }
+    if report.compared.is_empty() {
+        report
+            .compared
+            .push("no overlapping throughput rows — nothing gated".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, f64, f64, f64)]) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e18".into())),
+            (
+                "throughput".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(g, n, k, per_sec)| {
+                            Json::Obj(vec![
+                                ("graph".into(), Json::Str(g.into())),
+                                ("n".into(), Json::Num(n)),
+                                ("samples".into(), Json::Num(k)),
+                                ("prepared_per_sec".into(), Json::Num(per_sec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn passes_within_band_fails_below() {
+        let baseline = report(&[("er", 64.0, 6.0, 100.0)]);
+        let ok =
+            check_e18_against_baseline(&report(&[("er", 64.0, 6.0, 51.0)]), &baseline).unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        let bad =
+            check_e18_against_baseline(&report(&[("er", 64.0, 6.0, 49.0)]), &baseline).unwrap();
+        assert!(!bad.passed());
+        assert_eq!(bad.regressions.len(), 1);
+    }
+
+    #[test]
+    fn quick_subset_compares_only_overlap() {
+        let baseline = report(&[("er", 64.0, 6.0, 100.0), ("er", 256.0, 6.0, 10.0)]);
+        let quick = report(&[("er", 64.0, 6.0, 80.0)]);
+        let out = check_e18_against_baseline(&quick, &baseline).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.compared.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_rows_pass_vacuously() {
+        let baseline = report(&[("er", 512.0, 6.0, 1.0)]);
+        let out =
+            check_e18_against_baseline(&report(&[("er", 64.0, 6.0, 9.0)]), &baseline).unwrap();
+        assert!(out.passed());
+        assert!(out.compared[0].contains("nothing gated"));
+    }
+
+    #[test]
+    fn rejects_non_e18_documents() {
+        let good = report(&[]);
+        let bad = Json::Obj(vec![("experiment".into(), Json::Str("e1".into()))]);
+        assert!(check_e18_against_baseline(&good, &bad).is_err());
+        assert!(check_e18_against_baseline(&bad, &good).is_err());
+    }
+}

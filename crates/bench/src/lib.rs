@@ -19,4 +19,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
+pub mod json;
 pub mod util;

@@ -53,4 +53,4 @@ pub use config::{
 pub use direction4::{direction4_sample, Direction4Report};
 pub use phase::PhaseError;
 pub use report::{PhaseMethod, PhaseReport, SampleReport};
-pub use sampler::{CliqueTreeSampler, SampleTreeError};
+pub use sampler::{CliqueTreeSampler, PreparedSampler, SampleTreeError};

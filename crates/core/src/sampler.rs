@@ -19,14 +19,15 @@ use crate::report::{PhaseReport, SampleReport};
 use cct_graph::{Graph, SpanningTree};
 use cct_linalg::Matrix;
 use cct_schur::{
-    sample_first_visit_edge, schur_transition_from_shortcut, shortcut_by_squaring, shortcut_exact,
-    VertexSubset,
+    sample_first_visit_edge_with, schur_transition_from_shortcut, shortcut_by_squaring,
+    shortcut_exact, VertexSubset,
 };
 use cct_sim::{
     distributed_powers, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
     SemiringEngine, UnitCostEngine,
 };
 use rand::Rng;
+use std::borrow::Cow;
 
 /// Error returned by [`CliqueTreeSampler::sample`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,111 +107,261 @@ impl CliqueTreeSampler {
         g: &Graph,
         rng: &mut R,
     ) -> Result<SampleReport, SampleTreeError> {
-        let n = g.n();
-        if n == 0 {
-            return Err(SampleTreeError::EmptyGraph);
-        }
-        if !g.is_connected() {
-            return Err(SampleTreeError::Disconnected);
-        }
-        if n == 1 {
-            return Ok(SampleReport {
-                tree: SpanningTree::new(1, Vec::new()).expect("trivial"),
-                rounds: RoundLedger::new(),
-                phases: Vec::new(),
-                monte_carlo_failure: false,
-            });
-        }
+        sample_with(&self.config, g, None, rng)
+    }
 
-        let config = &self.config;
-        // `workers` drives every parallel section the round engine owns
-        // (the phase fan-out); the matmul engines additionally honor the
-        // legacy `threads` knob for their local kernels, which have
-        // their own small-size sequential fallback. Results are
-        // identical at any width (the cct-sim determinism contract) —
-        // only wall-clock changes.
-        let workers = config.workers.resolve(n);
-        let threads = workers.max(config.threads);
-        let engine: Box<dyn MatMulEngine> = match config.engine {
-            EngineChoice::FastOracle { alpha } => {
-                let wpe = match config.precision {
-                    Precision::Fixed(fp) => fp.words_per_entry(n),
-                    Precision::Float64 => 1,
-                };
-                Box::new(FastOracleEngine::new(alpha, wpe, threads))
-            }
-            EngineChoice::Semiring => Box::new(SemiringEngine::new(threads)),
-            EngineChoice::UnitCost => Box::new(UnitCostEngine { threads }),
-        };
-        let fp = match config.precision {
-            Precision::Fixed(fp) => Some(fp),
-            Precision::Float64 => None,
-        };
-        let rho = config.resolve_rho(n);
-        // Footnote 1: with integer weights ≤ W the cover time is
-        // O(W·|V|·|E|), so the paper's ℓ budget scales by W (this is the
-        // very reason the weights must be polynomially bounded).
-        let ell0 = match config.walk_length {
-            WalkLength::Paper { .. } => {
-                let w = g.max_weight().max(1.0).round() as u64;
-                (config.walk_length.resolve(n).saturating_mul(w)).next_power_of_two()
-            }
-            _ => config.walk_length.resolve(n),
-        };
-        let rounds_per_mult = engine.rounds_for_multiply(n);
+    /// Preprocesses `g` for repeated sampling: validates the input once,
+    /// builds the transition matrix, and precomputes the phase-1 power
+    /// table (phase 1 always walks on `G` itself, since
+    /// `Schur(G, V) = G`). The returned [`PreparedSampler`] serves
+    /// `sample()` calls without redoing any graph-global work, with trees
+    /// and ledgers bit-identical to this sampler's.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleTreeError::EmptyGraph`] / [`SampleTreeError::Disconnected`]
+    /// for invalid inputs.
+    pub fn prepare(&self, g: &Graph) -> Result<PreparedSampler, SampleTreeError> {
+        PreparedSampler::new(self.config.clone(), g)
+    }
+}
 
-        let mut clique = Clique::new(n);
-        let p = g.transition_matrix();
-        let mut visited = vec![false; n];
-        visited[0] = true; // W[0] = s: the leader's vertex (§2.1, Alg. 1)
-        let mut vf = 0usize;
-        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
-        let mut phases: Vec<PhaseReport> = Vec::new();
-        let mut total = RoundLedger::new();
-        let mut failure = false;
+/// Resolved per-run pieces shared by the cold and prepared paths.
+struct ResolvedConfig {
+    workers: usize,
+    engine: Box<dyn MatMulEngine>,
+    fp: Option<cct_linalg::FixedPoint>,
+    rho: usize,
+    ell0: u64,
+}
 
-        while visited.iter().any(|&v| !v) {
-            let s_vertices: Vec<usize> = (0..n)
-                .filter(|&v| !visited[v])
-                .chain(std::iter::once(vf))
-                .collect();
-            let s = VertexSubset::new(n, &s_vertices);
-            let rho_phase = rho.min(s.len());
-
-            // ── Derivative graphs for this phase (§2.4). Phase 1 uses G
-            // itself: Schur(G, V) = G and the shortcut matrix is the
-            // identity (a walk's pre-S vertex is its previous vertex).
-            let (t0, q) = if s.len() == n {
-                (p.clone(), Matrix::identity(n))
-            } else {
-                let q = match config.schur {
-                    SchurComputation::ExactSolve => shortcut_exact(g, &s),
-                    SchurComputation::IteratedSquaring { tol } => {
-                        shortcut_by_squaring(g, &s, tol, 64).0
-                    }
-                };
-                // Corollary 2's chain is 2n × 2n: charge the paper's
-                // iterated-squaring count at 4× the n × n multiply cost.
-                let squarings = charged_schur_squarings(n);
-                clique
-                    .ledger_mut()
-                    .charge(CostCategory::MatMul, squarings * 4 * rounds_per_mult);
-                let trans_local = schur_transition_from_shortcut(g, &s, &q);
-                // Corollary 3: one more product (Q·R) plus local
-                // normalization.
-                clique
-                    .ledger_mut()
-                    .charge(CostCategory::MatMul, rounds_per_mult);
-                (pad_to_global(&trans_local, &s, n), q)
+fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
+    let n = g.n();
+    // `workers` drives every parallel section the round engine owns
+    // (the phase fan-out); the matmul engines additionally honor the
+    // legacy `threads` knob for their local kernels, which have
+    // their own small-size sequential fallback. Results are
+    // identical at any width (the cct-sim determinism contract) —
+    // only wall-clock changes.
+    let workers = config.workers.resolve(n);
+    let threads = workers.max(config.threads);
+    let engine: Box<dyn MatMulEngine> = match config.engine {
+        EngineChoice::FastOracle { alpha } => {
+            let wpe = match config.precision {
+                Precision::Fixed(fp) => fp.words_per_entry(n),
+                Precision::Float64 => 1,
             };
+            Box::new(FastOracleEngine::new(alpha, wpe, threads))
+        }
+        EngineChoice::Semiring => Box::new(SemiringEngine::new(threads)),
+        EngineChoice::UnitCost => Box::new(UnitCostEngine { threads }),
+    };
+    let fp = match config.precision {
+        Precision::Fixed(fp) => Some(fp),
+        Precision::Float64 => None,
+    };
+    let rho = config.resolve_rho(n);
+    // Footnote 1: with integer weights ≤ W the cover time is
+    // O(W·|V|·|E|), so the paper's ℓ budget scales by W (this is the
+    // very reason the weights must be polynomially bounded).
+    let ell0 = match config.walk_length {
+        WalkLength::Paper { .. } => {
+            let w = g.max_weight().max(1.0).round() as u64;
+            (config.walk_length.resolve(n).saturating_mul(w)).next_power_of_two()
+        }
+        _ => config.walk_length.resolve(n),
+    };
+    ResolvedConfig {
+        workers,
+        engine,
+        fp,
+        rho,
+        ell0,
+    }
+}
 
-            // ── Walk generation: leader-local for final phases
-            // (|S| ≤ ρ, where the whole S-matrix fits in the O(1)-round
-            // submatrix budget) and for degenerate bipartite phase
-            // graphs; the full top-down machinery otherwise.
-            let use_direct = s.len() <= rho || is_degenerate_bipartite(&t0, &s, vf, rho_phase);
-            let walk_res: PhaseWalkResult = if use_direct {
-                direct_local_phase(
+/// The phase-1 work a [`PreparedSampler`] hoists out of the per-sample
+/// loop: the doubling table of `P` (phase 1 walks on `G` itself) and the
+/// exact ledger charges its distributed construction incurred, replayed
+/// verbatim on every sample so round counts stay bit-identical to the
+/// cold path.
+#[derive(Debug)]
+struct Phase1Cache {
+    powers: Vec<Matrix>,
+    ledger: RoundLedger,
+}
+
+/// The shortcut matrix `Q` of a phase. Phase 1 has `S = V`, where a
+/// walk's pre-`S` vertex is simply its previous vertex: `Q` is the
+/// identity, represented symbolically instead of as a dense `n × n`
+/// allocation that is read `O(deg)` times.
+enum PhaseShortcut {
+    Identity,
+    Dense(Matrix),
+}
+
+impl PhaseShortcut {
+    fn weight(&self, u0: usize, u: usize) -> f64 {
+        match self {
+            PhaseShortcut::Identity => f64::from(u0 == u),
+            PhaseShortcut::Dense(q) => q[(u0, u)],
+        }
+    }
+}
+
+/// What a [`PreparedSampler`] carries into the shared loop: the graph's
+/// transition matrix and (when phase 1 takes the distributed top-down
+/// route) the cached phase-1 doubling table.
+#[derive(Debug)]
+struct PreparedData {
+    p: Matrix,
+    phase1: Option<Phase1Cache>,
+}
+
+/// The shared sampling loop. `prepared` carries a [`PreparedSampler`]'s
+/// cached graph-global work (with its ledger charges); `None` is the
+/// cold path that recomputes everything per call.
+fn sample_with<R: Rng + ?Sized>(
+    config: &SamplerConfig,
+    g: &Graph,
+    prepared: Option<&PreparedData>,
+    rng: &mut R,
+) -> Result<SampleReport, SampleTreeError> {
+    let n = g.n();
+    if n == 0 {
+        return Err(SampleTreeError::EmptyGraph);
+    }
+    if !g.is_connected() {
+        return Err(SampleTreeError::Disconnected);
+    }
+    if n == 1 {
+        return Ok(SampleReport {
+            tree: SpanningTree::new(1, Vec::new()).expect("trivial"),
+            rounds: RoundLedger::new(),
+            phases: Vec::new(),
+            monte_carlo_failure: false,
+        });
+    }
+
+    let ResolvedConfig {
+        workers,
+        engine,
+        fp,
+        rho,
+        ell0,
+    } = resolve_config(config, g);
+    let rounds_per_mult = engine.rounds_for_multiply(n);
+
+    let mut clique = Clique::new(n);
+    // The prepared path borrows the transition matrix computed once in
+    // `prepare()`; the cold path builds it per call.
+    let p: Cow<'_, Matrix> = match prepared {
+        Some(d) => Cow::Borrowed(&d.p),
+        None => Cow::Owned(g.transition_matrix()),
+    };
+    let p = p.as_ref();
+    let mut visited = vec![false; n];
+    visited[0] = true; // W[0] = s: the leader's vertex (§2.1, Alg. 1)
+    let mut vf = 0usize;
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n - 1);
+    let mut phases: Vec<PhaseReport> = Vec::new();
+    let mut total = RoundLedger::new();
+    let mut failure = false;
+
+    while visited.iter().any(|&v| !v) {
+        let s_vertices: Vec<usize> = (0..n)
+            .filter(|&v| !visited[v])
+            .chain(std::iter::once(vf))
+            .collect();
+        let s = VertexSubset::new(n, &s_vertices);
+        let rho_phase = rho.min(s.len());
+
+        // ── Derivative graphs for this phase (§2.4). Phase 1 uses G
+        // itself: Schur(G, V) = G (the transition matrix is borrowed, not
+        // cloned) and the shortcut matrix is the symbolic identity (a
+        // walk's pre-S vertex is its previous vertex) — phase 1 allocates
+        // no n² scratch at all.
+        let (t0, q): (Cow<'_, Matrix>, PhaseShortcut) = if s.len() == n {
+            (Cow::Borrowed(p), PhaseShortcut::Identity)
+        } else {
+            let q = match config.schur {
+                SchurComputation::ExactSolve => shortcut_exact(g, &s),
+                SchurComputation::IteratedSquaring { tol } => {
+                    shortcut_by_squaring(g, &s, tol, 64).0
+                }
+            };
+            // Corollary 2's chain is 2n × 2n: charge the paper's
+            // iterated-squaring count at 4× the n × n multiply cost.
+            // This figure is *analytic* (the distributed protocol's
+            // published bill), not measured from the local computation:
+            // the local route exploits the chain's block structure
+            // ([[T, A], [0, I]] squares in two n × n products — see
+            // `cct_schur::shortcut_by_squaring`), an optimization of the
+            // simulation, not of the simulated network algorithm.
+            let squarings = charged_schur_squarings(n);
+            clique
+                .ledger_mut()
+                .charge(CostCategory::MatMul, squarings * 4 * rounds_per_mult);
+            let trans_local = schur_transition_from_shortcut(g, &s, &q);
+            // Corollary 3: one more product (Q·R) plus local
+            // normalization.
+            clique
+                .ledger_mut()
+                .charge(CostCategory::MatMul, rounds_per_mult);
+            (
+                Cow::Owned(pad_to_global(&trans_local, &s, n)),
+                PhaseShortcut::Dense(q),
+            )
+        };
+
+        // ── Walk generation: leader-local for final phases
+        // (|S| ≤ ρ, where the whole S-matrix fits in the O(1)-round
+        // submatrix budget) and for degenerate bipartite phase
+        // graphs; the full top-down machinery otherwise.
+        let use_direct = s.len() <= rho || is_degenerate_bipartite(&t0, &s, vf, rho_phase);
+        let walk_res: PhaseWalkResult = if use_direct {
+            direct_local_phase(
+                &mut clique,
+                &t0,
+                &s,
+                vf,
+                rho_phase,
+                ell0,
+                config.variant,
+                rng,
+            )?
+        } else {
+            let levels = ell0.trailing_zeros() as usize;
+            // Phase 1's table is the doubling table of P itself —
+            // graph-global work the prepared path computed once.
+            // Replaying the cached ledger keeps the round accounting
+            // bit-identical to the cold recomputation.
+            let cached = if s.len() == n {
+                prepared.and_then(|d| d.phase1.as_ref())
+            } else {
+                None
+            };
+            let mut powers = match cached {
+                Some(cache) => {
+                    clique.ledger_mut().merge(&cache.ledger);
+                    cache.powers.clone()
+                }
+                None => distributed_powers(&mut clique, engine.as_ref(), &t0, levels + 1, fp),
+            };
+            match top_down_phase(
+                &mut clique,
+                engine.as_ref(),
+                &mut powers,
+                &s,
+                vf,
+                rho_phase,
+                ell0,
+                config,
+                workers,
+                rng,
+            ) {
+                Ok(r) => r,
+                Err(PhaseError::GridCapExceeded) => direct_local_phase(
                     &mut clique,
                     &t0,
                     &s,
@@ -219,100 +370,186 @@ impl CliqueTreeSampler {
                     ell0,
                     config.variant,
                     rng,
-                )?
-            } else {
-                let levels = ell0.trailing_zeros() as usize;
-                let mut powers =
-                    distributed_powers(&mut clique, engine.as_ref(), &t0, levels + 1, fp);
-                match top_down_phase(
-                    &mut clique,
-                    engine.as_ref(),
-                    &mut powers,
-                    &s,
-                    vf,
-                    rho_phase,
-                    ell0,
-                    config,
-                    workers,
-                    rng,
-                ) {
-                    Ok(r) => r,
-                    Err(PhaseError::GridCapExceeded) => direct_local_phase(
-                        &mut clique,
-                        &t0,
-                        &s,
-                        vf,
-                        rho_phase,
-                        ell0,
-                        config.variant,
-                        rng,
-                    )?,
-                    Err(e) => return Err(e.into()),
-                }
-            };
-
-            // ── Algorithm 4: sample first-visit edges in G for every
-            // newly visited vertex. O(1) rounds: the leader scatters each
-            // v's predecessor, machine v polls its neighbors for
-            // Q[prev,u]/deg_S(u), and the sampled edges are gathered.
-            let mut fv_words = 2 * walk_res.first_visits.len() as u64;
-            for &(v, _) in &walk_res.first_visits {
-                fv_words += 2 * g.num_neighbors(v) as u64;
+                )?,
+                Err(e) => return Err(e.into()),
             }
-            clique.ledger_mut().charge(CostCategory::FirstVisit, 3);
-            clique
-                .ledger_mut()
-                .add_words(CostCategory::FirstVisit, fv_words);
-            for &(v, prev) in &walk_res.first_visits {
-                debug_assert!(!visited[v], "vertex {v} visited twice");
-                let (u, vv) = sample_first_visit_edge(g, &s, &q, prev, v, rng)
-                    .ok_or(SampleTreeError::Phase(PhaseError::DegenerateDistribution))?;
-                debug_assert_eq!(vv, v);
-                edges.push((u, vv));
-                visited[v] = true;
-            }
-            vf = walk_res.last;
-            debug_assert_eq!(
-                walk_res.distinct,
-                walk_res.first_visits.len() + 1,
-                "every distinct non-start vertex must get a first-visit edge"
-            );
-
-            let phase_ledger = clique.take_ledger();
-            total.merge(&phase_ledger);
-            phases.push(PhaseReport {
-                s_size: s.len(),
-                rho: rho_phase,
-                method: walk_res.method,
-                ell: walk_res.ell_final,
-                tau: walk_res.tau,
-                new_vertices: walk_res.first_visits.len(),
-                extensions: walk_res.extensions,
-                rounds: phase_ledger,
-                pi_words: walk_res.pi_words,
-                placement_words: walk_res.placement_words,
-            });
-
-            if !walk_res.reached {
-                debug_assert_eq!(config.variant, Variant::MonteCarlo);
-                failure = true;
-                break;
-            }
-        }
-
-        let tree = if failure {
-            // Theorem 1's Monte Carlo semantics: emit an arbitrary
-            // spanning tree (flagged) when a phase misses its budget.
-            bfs_tree(g)
-        } else {
-            SpanningTree::new(n, edges).expect("first-visit edges of a covering walk span")
         };
-        Ok(SampleReport {
-            tree,
-            rounds: total,
-            phases,
-            monte_carlo_failure: failure,
+
+        // ── Algorithm 4: sample first-visit edges in G for every
+        // newly visited vertex. O(1) rounds: the leader scatters each
+        // v's predecessor, machine v polls its neighbors for
+        // Q[prev,u]/deg_S(u), and the sampled edges are gathered.
+        let mut fv_words = 2 * walk_res.first_visits.len() as u64;
+        for &(v, _) in &walk_res.first_visits {
+            fv_words += 2 * g.num_neighbors(v) as u64;
+        }
+        clique.ledger_mut().charge(CostCategory::FirstVisit, 3);
+        clique
+            .ledger_mut()
+            .add_words(CostCategory::FirstVisit, fv_words);
+        for &(v, prev) in &walk_res.first_visits {
+            debug_assert!(!visited[v], "vertex {v} visited twice");
+            let (u, vv) = sample_first_visit_edge_with(g, &s, |a, b| q.weight(a, b), prev, v, rng)
+                .ok_or(SampleTreeError::Phase(PhaseError::DegenerateDistribution))?;
+            debug_assert_eq!(vv, v);
+            edges.push((u, vv));
+            visited[v] = true;
+        }
+        vf = walk_res.last;
+        debug_assert_eq!(
+            walk_res.distinct,
+            walk_res.first_visits.len() + 1,
+            "every distinct non-start vertex must get a first-visit edge"
+        );
+
+        let phase_ledger = clique.take_ledger();
+        total.merge(&phase_ledger);
+        phases.push(PhaseReport {
+            s_size: s.len(),
+            rho: rho_phase,
+            method: walk_res.method,
+            ell: walk_res.ell_final,
+            tau: walk_res.tau,
+            new_vertices: walk_res.first_visits.len(),
+            extensions: walk_res.extensions,
+            rounds: phase_ledger,
+            pi_words: walk_res.pi_words,
+            placement_words: walk_res.placement_words,
+        });
+
+        if !walk_res.reached {
+            debug_assert_eq!(config.variant, Variant::MonteCarlo);
+            failure = true;
+            break;
+        }
+    }
+
+    let tree = if failure {
+        // Theorem 1's Monte Carlo semantics: emit an arbitrary
+        // spanning tree (flagged) when a phase misses its budget.
+        bfs_tree(g)
+    } else {
+        SpanningTree::new(n, edges).expect("first-visit edges of a covering walk span")
+    };
+    Ok(SampleReport {
+        tree,
+        rounds: total,
+        phases,
+        monte_carlo_failure: failure,
+    })
+}
+
+/// A prepare-once / sample-many handle: the graph-global preprocessing
+/// (input validation, the transition matrix, and the phase-1 power table
+/// where `Schur(G, V) = G`) is done once, and every [`PreparedSampler::sample`]
+/// call reuses it. Trees and round ledgers are bit-identical to the cold
+/// [`CliqueTreeSampler::sample`] path for the same seed — the cache also
+/// replays the exact ledger charges its construction incurred.
+///
+/// This is the serving-path API: amortizing preprocessing across repeated
+/// `sample()` calls on the same graph is a measured multi-× throughput
+/// win (experiment `e18`, `BENCH_e18.json`).
+///
+/// # Examples
+///
+/// ```
+/// use cct_core::{CliqueTreeSampler, SamplerConfig, WalkLength};
+/// use cct_graph::generators;
+/// use rand::SeedableRng;
+///
+/// let g = generators::complete(8);
+/// let sampler = CliqueTreeSampler::new(
+///     SamplerConfig::new().walk_length(WalkLength::Fixed(1 << 12)),
+/// );
+/// let prepared = sampler.prepare(&g)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// for _ in 0..3 {
+///     let report = prepared.sample(&mut rng)?;
+///     assert_eq!(report.tree.edges().len(), 7);
+/// }
+/// # Ok::<(), cct_core::SampleTreeError>(())
+/// ```
+#[derive(Debug)]
+pub struct PreparedSampler {
+    config: SamplerConfig,
+    graph: Graph,
+    data: PreparedData,
+}
+
+impl PreparedSampler {
+    /// Validates `g` and hoists the graph-global work out of the sampling
+    /// loop. Prefer [`CliqueTreeSampler::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// [`SampleTreeError::EmptyGraph`] / [`SampleTreeError::Disconnected`]
+    /// for invalid inputs.
+    pub fn new(config: SamplerConfig, g: &Graph) -> Result<Self, SampleTreeError> {
+        let n = g.n();
+        if n == 0 {
+            return Err(SampleTreeError::EmptyGraph);
+        }
+        if !g.is_connected() {
+            return Err(SampleTreeError::Disconnected);
+        }
+        let p = g.transition_matrix();
+        let phase1 = if n > 1 {
+            let ResolvedConfig {
+                engine,
+                fp,
+                rho,
+                ell0,
+                ..
+            } = resolve_config(&config, g);
+            // Phase 1 has S = V (all vertices unvisited except the
+            // leader, which doubles as v_f), so whether it takes the
+            // distributed top-down route is a pure function of the graph
+            // and config — decided here exactly as the loop decides it.
+            let s = VertexSubset::full(n);
+            let rho_phase = rho.min(n);
+            let use_direct = n <= rho || is_degenerate_bipartite(&p, &s, 0, rho_phase);
+            if use_direct {
+                None
+            } else {
+                // Build the phase-1 doubling table on a scratch clique and
+                // capture the exact ledger charges for per-sample replay.
+                let levels = ell0.trailing_zeros() as usize;
+                let mut scratch = Clique::new(n);
+                let powers = distributed_powers(&mut scratch, engine.as_ref(), &p, levels + 1, fp);
+                Some(Phase1Cache {
+                    powers,
+                    ledger: scratch.take_ledger(),
+                })
+            }
+        } else {
+            None
+        };
+        Ok(PreparedSampler {
+            config,
+            graph: g.clone(),
+            data: PreparedData { p, phase1 },
         })
+    }
+
+    /// The prepared graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SamplerConfig {
+        &self.config
+    }
+
+    /// Samples a spanning tree, reusing the prepared graph-global work.
+    /// Same seed ⇒ same tree and same ledger as the cold path.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleTreeError::Phase`] if fixed-point precision was configured
+    /// too low to keep the distributions alive.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SampleReport, SampleTreeError> {
+        sample_with(&self.config, &self.graph, Some(&self.data), rng)
     }
 }
 
@@ -413,6 +650,104 @@ mod tests {
         // 15 vertices need first-visit edges in total.
         let total_new: usize = report.phases.iter().map(|p| p.new_vertices).sum();
         assert_eq!(total_new, 15);
+    }
+
+    #[test]
+    fn prepared_sampler_is_bit_identical_to_cold() {
+        // Same seed ⇒ same tree AND same ledger, across graphs, engines,
+        // and repeated draws from one prepared handle.
+        for engine in [
+            EngineChoice::UnitCost,
+            EngineChoice::FastOracle {
+                alpha: cct_sim::ALPHA,
+            },
+            EngineChoice::Semiring,
+        ] {
+            for g in [
+                generators::complete(12),
+                generators::petersen(),
+                generators::lollipop(5, 4),
+            ] {
+                let config = quick_config().engine(engine);
+                let sampler = CliqueTreeSampler::new(config);
+                let prepared = sampler.prepare(&g).unwrap();
+                let mut r_cold = rng(300);
+                let mut r_prep = rng(300);
+                for draw in 0..3 {
+                    let cold = sampler.sample(&g, &mut r_cold).unwrap();
+                    let prep = prepared.sample(&mut r_prep).unwrap();
+                    assert_eq!(cold.tree, prep.tree, "{engine:?}, draw {draw}");
+                    assert_eq!(cold.rounds, prep.rounds, "{engine:?}, draw {draw}");
+                    assert_eq!(
+                        cold.phases.len(),
+                        prep.phases.len(),
+                        "{engine:?}, draw {draw}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_sampler_works_at_every_worker_count() {
+        let g = generators::complete(16);
+        let reference = {
+            let sampler = CliqueTreeSampler::new(quick_config());
+            sampler.sample(&g, &mut rng(301)).unwrap()
+        };
+        for workers in [1usize, 4] {
+            let sampler =
+                CliqueTreeSampler::new(quick_config().workers(cct_sim::Workers::Fixed(workers)));
+            let prepared = sampler.prepare(&g).unwrap();
+            let report = prepared.sample(&mut rng(301)).unwrap();
+            assert_eq!(report.tree, reference.tree, "workers = {workers}");
+            assert_eq!(report.rounds, reference.rounds, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn prepared_sampler_validates_input() {
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(
+            CliqueTreeSampler::new(quick_config())
+                .prepare(&disconnected)
+                .unwrap_err(),
+            SampleTreeError::Disconnected
+        );
+        let trivial = Graph::from_edges(1, &[]).unwrap();
+        let prepared = CliqueTreeSampler::new(quick_config())
+            .prepare(&trivial)
+            .unwrap();
+        assert!(prepared
+            .sample(&mut rng(302))
+            .unwrap()
+            .tree
+            .edges()
+            .is_empty());
+        assert_eq!(prepared.graph().n(), 1);
+    }
+
+    #[test]
+    fn prepared_sampler_las_vegas_extensions_match_cold() {
+        // Las Vegas phase-1 extensions mutate a *clone* of the cached
+        // table; the cache must stay pristine and results identical.
+        let g = generators::complete(12);
+        let config = SamplerConfig::new()
+            .rho(6)
+            .walk_length(WalkLength::Fixed(4))
+            .variant(Variant::LasVegas)
+            .engine(EngineChoice::UnitCost);
+        let sampler = CliqueTreeSampler::new(config);
+        let prepared = sampler.prepare(&g).unwrap();
+        let mut r_cold = rng(303);
+        let mut r_prep = rng(303);
+        for _ in 0..2 {
+            let cold = sampler.sample(&g, &mut r_cold).unwrap();
+            let prep = prepared.sample(&mut r_prep).unwrap();
+            assert!(prep.phases.iter().any(|p| p.extensions > 0));
+            assert_eq!(cold.tree, prep.tree);
+            assert_eq!(cold.rounds, prep.rounds);
+        }
     }
 
     #[test]

@@ -129,7 +129,16 @@ impl Matrix {
             "col {j} out of bounds for {} cols",
             self.cols
         );
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        // One strided pass over the backing storage — no per-element
+        // bounds checks. `get(j..)` keeps zero-row matrices (empty
+        // backing store) returning an empty column instead of panicking.
+        self.data
+            .get(j..)
+            .unwrap_or(&[])
+            .iter()
+            .step_by(self.cols)
+            .copied()
+            .collect()
     }
 
     /// Borrows the backing row-major storage.
@@ -139,7 +148,17 @@ impl Matrix {
 
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+        // Cache-friendly slice walk: stream the source row-major (one pass,
+        // sequential reads) and scatter each row into a column of the
+        // output, instead of per-element `(i, j)` indexing with bounds
+        // checks on every access.
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for (i, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (o, &x) in out.data[i..].iter_mut().step_by(self.rows).zip(row) {
+                *o = x;
+            }
+        }
+        out
     }
 
     /// Multiplies by a scalar, returning a new matrix.
@@ -190,17 +209,77 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
-    /// Matrix product `self · rhs`, sequential `i-k-j` kernel.
+    /// Matrix product `self · rhs`, sequential cache-tiled kernel.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
-        let (n, k, m) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(n, m);
-        matmul_rows_into(&self.data, &rhs.data, &mut out.data, k, m, 0, n);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
         out
+    }
+
+    /// Matrix product `self · rhs` written into a caller-owned buffer —
+    /// the allocation-free kernel beneath every power pipeline in the
+    /// workspace. `out` is zeroed and overwritten; reusing one scratch
+    /// matrix across a doubling table keeps the hot loop free of `n²`
+    /// allocations.
+    ///
+    /// Numerically identical to [`Matrix::matmul`] (it *is* the same
+    /// kernel): every output entry accumulates over the inner index in
+    /// increasing order, regardless of cache tiling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cct_linalg::Matrix;
+    ///
+    /// let a = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+    /// let mut scratch = Matrix::zeros(3, 3);
+    /// a.matmul_into(&a, &mut scratch);
+    /// assert_eq!(scratch, a.matmul(&a));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
+        out.data.fill(0.0);
+        matmul_rows_into(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            rhs.cols,
+            0,
+            self.rows,
+        );
+    }
+
+    /// Squares the matrix into a caller-owned buffer: `out = self · self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `out` has a different shape.
+    pub fn square_into(&self, out: &mut Matrix) {
+        assert!(self.is_square(), "square_into requires a square matrix");
+        self.matmul_into(self, out);
+    }
+
+    /// Entry-wise in-place addition `self += rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_in_place(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "shape mismatch");
+        for (o, &x) in self.data.iter_mut().zip(&rhs.data) {
+            *o += x;
+        }
     }
 
     /// Matrix product using scoped threads for large operands.
@@ -214,12 +293,30 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul_parallel(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_parallel_into(rhs, &mut out, threads);
+        out
+    }
+
+    /// [`Matrix::matmul_parallel`] into a caller-owned buffer (the
+    /// threaded twin of [`Matrix::matmul_into`]): `out` is zeroed and
+    /// overwritten, rows are sharded across `threads` scoped threads, and
+    /// the result is bit-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_parallel_into(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
         if threads <= 1 || n < 64 {
-            return self.matmul(rhs);
+            out.data.fill(0.0);
+            matmul_rows_into(&self.data, &rhs.data, &mut out.data, k, m, 0, n);
+            return;
         }
-        let mut out = Matrix::zeros(n, m);
+        out.data.fill(0.0);
         let chunk = n.div_ceil(threads);
         let a = &self.data;
         let b = &rhs.data;
@@ -232,7 +329,6 @@ impl Matrix {
                 });
             }
         });
-        out
     }
 
     /// Frobenius norm `√(Σ a_ij²)`.
@@ -248,9 +344,21 @@ impl Matrix {
     }
 }
 
-/// Computes rows `lo..hi` of `A·B` into `out` (which holds those rows only).
+/// Inner-dimension tile: `KC` rows of `B` occupy `KC · m · 8` bytes
+/// (≈ 128 KiB at `m = 256`), small enough to stay L2-resident while the
+/// tile is swept once per output row.
+const KC: usize = 64;
+
+/// Computes rows `lo..hi` of `A·B` into `out` (which holds those rows
+/// only), accumulating in place (`out` must be pre-zeroed).
 ///
-/// `A` is `? × k` row-major, `B` is `k × m` row-major.
+/// `A` is `? × k` row-major, `B` is `k × m` row-major. The kernel is
+/// cache-tiled over the inner dimension: the `k` loop is blocked in `KC`
+/// chunks so the touched rows of `B` stay hot across consecutive output
+/// rows. Tiling never reorders the per-entry accumulation — `out[i][j]`
+/// still sums `a[i][kk]·b[kk][j]` over strictly increasing `kk` (blocks
+/// in order, indices within a block in order), so the result is
+/// bit-identical to the untiled `i-k-j` loop.
 fn matmul_rows_into(
     a: &[f64],
     b: &[f64],
@@ -260,16 +368,19 @@ fn matmul_rows_into(
     lo: usize,
     hi: usize,
 ) {
-    for i in lo..hi {
-        let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
-        let a_row = &a[i * k..(i + 1) * k];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * m..(kk + 1) * m];
-            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                *o += aik * bkj;
+    for k0 in (0..k).step_by(KC.max(1)) {
+        let k1 = (k0 + KC).min(k);
+        for i in lo..hi {
+            let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
+            let a_row = &a[i * k + k0..i * k + k1];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
+                }
             }
         }
     }
@@ -382,6 +493,13 @@ mod tests {
     }
 
     #[test]
+    fn col_and_transpose_handle_zero_rows() {
+        let m = Matrix::zeros(0, 3);
+        assert!(m.col(1).is_empty());
+        assert_eq!(m.transpose().shape(), (3, 0));
+    }
+
+    #[test]
     fn from_rows_roundtrip() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m[(0, 1)], 2.0);
@@ -419,6 +537,92 @@ mod tests {
         assert_eq!(c.shape(), (2, 4));
         // c[1][2] = sum_k a[1][k] * b[k][2] = 1*0 + 2*2 + 3*4 = 16
         assert_eq!(c[(1, 2)], 16.0);
+    }
+
+    /// The pre-tiling reference kernel: plain `i-k-j` with the same
+    /// zero-skip, used to pin the tiled kernel's bit-exactness.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for kk in 0..a.cols() {
+                let aik = a[(i, kk)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += aik * b[(kk, j)];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_to_naive() {
+        // Sizes straddling the KC = 64 tile boundary, including awkward
+        // remainders; irrational-ish entries so any reassociation would
+        // change low-order bits.
+        for n in [1usize, 7, 63, 64, 65, 130, 200] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0 + 1e-9);
+            let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
+            assert_eq!(a.matmul(&b), matmul_naive(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let b = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        let mut out = Matrix::from_fn(5, 4, |_, _| 99.0); // stale garbage
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Re-use for a second product: the buffer must be re-zeroed.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn square_into_matches_matmul() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * j + 3) % 5) as f64 / 5.0);
+        let mut out = Matrix::zeros(6, 6);
+        a.square_into(&mut out);
+        assert_eq!(out, a.matmul(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn square_into_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 3);
+        a.square_into(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape")]
+    fn matmul_into_rejects_bad_output_shape() {
+        let a = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(3, 2);
+        a.matmul_into(&a.clone(), &mut out);
+    }
+
+    #[test]
+    fn add_in_place_adds() {
+        let mut a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::identity(2);
+        let expect = &a + &b;
+        a.add_in_place(&b);
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn matmul_parallel_into_matches_and_rezeroes() {
+        let a = Matrix::from_fn(97, 97, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+        let seq = a.matmul(&a);
+        let mut out = Matrix::from_fn(97, 97, |_, _| -1.0);
+        for threads in [1usize, 3, 8] {
+            a.matmul_parallel_into(&a, &mut out, threads);
+            assert_eq!(out, seq, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -93,8 +93,15 @@ impl FixedPoint {
     /// `round(M)`).
     pub fn truncate_matrix(&self, m: &Matrix) -> Matrix {
         let mut out = m.clone();
-        out.map_inplace(|x| self.truncate(x));
+        self.truncate_matrix_inplace(&mut out);
         out
+    }
+
+    /// Truncates every entry toward zero in place — the allocation-free
+    /// twin of [`FixedPoint::truncate_matrix`], used by the power
+    /// pipelines so rounding between squarings stops cloning `n²` buffers.
+    pub fn truncate_matrix_inplace(&self, m: &mut Matrix) {
+        m.map_inplace(|x| self.truncate(x));
     }
 }
 
@@ -111,11 +118,17 @@ impl FixedPoint {
 pub fn powers_rounded(m: &Matrix, levels: usize, fp: FixedPoint, threads: usize) -> Vec<Matrix> {
     assert!(m.is_square(), "powers require a square matrix");
     assert!(levels > 0, "need at least one level");
+    let n = m.rows();
     let mut out = Vec::with_capacity(levels);
     out.push(fp.truncate_matrix(m));
     for _ in 1..levels {
+        // Square into the retained table slot and truncate it in place:
+        // one allocation per level (the slot itself), no intermediates.
+        let mut next = Matrix::zeros(n, n);
         let last = out.last().expect("non-empty");
-        out.push(fp.truncate_matrix(&last.matmul_parallel(last, threads)));
+        last.matmul_parallel_into(last, &mut next, threads);
+        fp.truncate_matrix_inplace(&mut next);
+        out.push(next);
     }
     out
 }

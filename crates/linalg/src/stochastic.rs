@@ -126,11 +126,16 @@ pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
 pub fn powers_of_two(m: &Matrix, levels: usize, threads: usize) -> Vec<Matrix> {
     assert!(m.is_square(), "powers require a square matrix");
     assert!(levels > 0, "need at least one level");
+    let n = m.rows();
     let mut out = Vec::with_capacity(levels);
     out.push(m.clone());
     for _ in 1..levels {
+        // Each table entry is allocated exactly once (it is retained), and
+        // the product is written straight into it — no intermediate.
+        let mut next = Matrix::zeros(n, n);
         let last = out.last().expect("non-empty");
-        out.push(last.matmul_parallel(last, threads));
+        last.matmul_parallel_into(last, &mut next, threads);
+        out.push(next);
     }
     out
 }
@@ -148,12 +153,22 @@ pub fn power_from_table(table: &[Matrix], e: u64, threads: usize) -> Matrix {
         bits <= table.len(),
         "power table too short for exponent {e}"
     );
+    // Ping-pong between the accumulator and one scratch buffer instead of
+    // allocating a fresh product per set bit of `e`.
     let mut acc: Option<Matrix> = None;
+    let mut scratch: Option<Matrix> = None;
     for (k, item) in table.iter().enumerate().take(bits) {
         if (e >> k) & 1 == 1 {
             acc = Some(match acc {
                 None => item.clone(),
-                Some(a) => a.matmul_parallel(item, threads),
+                Some(a) => {
+                    let mut out = scratch
+                        .take()
+                        .unwrap_or_else(|| Matrix::zeros(a.rows(), item.cols()));
+                    a.matmul_parallel_into(item, &mut out, threads);
+                    scratch = Some(a);
+                    out
+                }
             });
         }
     }

@@ -42,6 +42,7 @@ pub use schur::{
     schur_transition_from_shortcut,
 };
 pub use shortcut::{
-    absorbing_chain, sample_first_visit_edge, shortcut_by_squaring, shortcut_exact,
+    absorbing_chain, absorbing_chain_blocks, sample_first_visit_edge, sample_first_visit_edge_with,
+    shortcut_by_squaring, shortcut_by_squaring_dense, shortcut_exact,
 };
 pub use subset::VertexSubset;

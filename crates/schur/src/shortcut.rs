@@ -75,10 +75,46 @@ pub fn absorbing_chain(g: &Graph, s: &VertexSubset) -> Matrix {
     r
 }
 
+/// The two live blocks of the Corollary-2 absorbing chain: the transient
+/// block `T = R[L, L]` (walk stays outside `S`) and the absorption block
+/// `A = R[L, R]` (mass that has arrived in `S`, indexed by the pre-entry
+/// vertex). The bottom half `[0, I]` is constant under squaring and never
+/// materialized.
+pub fn absorbing_chain_blocks(g: &Graph, s: &VertexSubset) -> (Matrix, Matrix) {
+    let n = g.n();
+    assert_eq!(s.universe(), n, "subset universe must match graph");
+    let p = g.transition_matrix();
+    let mut t = Matrix::zeros(n, n);
+    let mut a = Matrix::zeros(n, n);
+    for u in 0..n {
+        for v in 0..n {
+            if p[(u, v)] == 0.0 {
+                continue;
+            }
+            if s.contains(v) {
+                a[(u, u)] += p[(u, v)];
+            } else {
+                t[(u, v)] += p[(u, v)];
+            }
+        }
+    }
+    (t, a)
+}
+
 /// Corollary 2: computes `Q` by iterated squaring of the absorbing chain
 /// until the transient mass drops below `tol` (or `max_squarings` is
 /// reached). Returns `(Q, squarings_used)` — the caller charges
-/// `squarings_used` matrix multiplications of a `2n × 2n` matrix.
+/// `squarings_used` matrix multiplications of a `2n × 2n` matrix (the
+/// *analytic* figure of the distributed protocol, 4× an `n × n` multiply;
+/// see `cct-core`'s ledger charges).
+///
+/// The chain `R = [[T, A], [0, I]]` is block triangular with a constant
+/// bottom half, so `R² = [[T², TA + A], [0, I]]`: each squaring is two
+/// `n × n` products — `(T, A) ← (T², TA + A)` — written into reused
+/// scratch buffers, instead of the eight-`n × n`-multiply-equivalent
+/// dense `2n × 2n` square. The result is bit-identical to the dense route
+/// ([`shortcut_by_squaring_dense`], kept as the reference): every entry
+/// accumulates the same products in the same order.
 ///
 /// The result under-approximates the true `Q` by at most the residual
 /// transient mass (a subtractive error, as §2.4 requires).
@@ -93,18 +129,58 @@ pub fn shortcut_by_squaring(
     max_squarings: usize,
 ) -> (Matrix, usize) {
     let n = g.n();
+    assert!(!s.is_empty(), "S must be non-empty");
+    let (mut t, mut a) = absorbing_chain_blocks(g, s);
+    let mut t_next = Matrix::zeros(n, n);
+    let mut a_next = Matrix::zeros(n, n);
+    let mut used = 0;
+    while used < max_squarings {
+        // Largest remaining transient mass: max over rows of `T`'s total.
+        let worst: f64 = (0..n)
+            .map(|u| t.row(u).iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        if worst <= tol {
+            break;
+        }
+        // (T, A) ← (T², T·A + A). The dense 2n × 2n kernel accumulates
+        // the `T·A` inner products first (inner index < n) and the lone
+        // `A·I` term last — matched here by `matmul_into` then
+        // `add_in_place`, so the blocks stay bit-identical to it.
+        t.square_into(&mut t_next);
+        t.matmul_into(&a, &mut a_next);
+        a_next.add_in_place(&a);
+        std::mem::swap(&mut t, &mut t_next);
+        std::mem::swap(&mut a, &mut a_next);
+        used += 1;
+    }
+    (a, used)
+}
+
+/// The pre-block-decomposition reference: dense iterated squaring of the
+/// full `2n × 2n` absorbing chain. Kept for the equivalence test suite
+/// and the `e18` benchmark; [`shortcut_by_squaring`] returns bit-identical
+/// results at a quarter of the flops.
+pub fn shortcut_by_squaring_dense(
+    g: &Graph,
+    s: &VertexSubset,
+    tol: f64,
+    max_squarings: usize,
+) -> (Matrix, usize) {
+    let n = g.n();
     let mut r = absorbing_chain(g, s);
+    let mut scratch = Matrix::zeros(2 * n, 2 * n);
     let mut used = 0;
     while used < max_squarings {
         // Largest remaining transient mass: max over L-rows of the total
         // probability still on L-columns.
         let worst: f64 = (0..n)
-            .map(|u| (0..n).map(|v| r[(u, v)]).sum::<f64>())
+            .map(|u| r.row(u)[..n].iter().sum::<f64>())
             .fold(0.0, f64::max);
         if worst <= tol {
             break;
         }
-        r = r.matmul(&r);
+        r.square_into(&mut scratch);
+        std::mem::swap(&mut r, &mut scratch);
         used += 1;
     }
     let q = Matrix::from_fn(n, n, |u, v| r[(u, n + v)]);
@@ -132,6 +208,28 @@ pub fn sample_first_visit_edge<R: rand::Rng + ?Sized>(
     v: usize,
     rng: &mut R,
 ) -> Option<(usize, usize)> {
+    sample_first_visit_edge_with(g, s, |u0, u| q[(u0, u)], prev, v, rng)
+}
+
+/// [`sample_first_visit_edge`] with the shortcut matrix supplied as a
+/// lookup `q(u0, u) = Q[u0, u]` instead of a materialized [`Matrix`].
+///
+/// This lets phase 1 of the sampler (where `S = V` and `Q` is the
+/// identity — a walk's pre-`S` vertex *is* its previous vertex) pass
+/// `|u0, u| f64::from(u0 == u)` instead of allocating a dense `n × n`
+/// identity it reads `O(deg)` entries of.
+///
+/// # Panics
+///
+/// Panics if `v` has no neighbors.
+pub fn sample_first_visit_edge_with<R: rand::Rng + ?Sized>(
+    g: &Graph,
+    s: &VertexSubset,
+    q: impl Fn(usize, usize) -> f64,
+    prev: usize,
+    v: usize,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
     let nbrs = g.neighbors(v);
     assert!(!nbrs.is_empty(), "vertex {v} has no neighbors");
     let weights: Vec<f64> = nbrs
@@ -144,7 +242,7 @@ pub fn sample_first_visit_edge<R: rand::Rng + ?Sized>(
                 .map(|&(_, w)| w)
                 .sum();
             if wdeg_s > 0.0 {
-                q[(prev, u)] * w_uv / wdeg_s
+                q(prev, u) * w_uv / wdeg_s
             } else {
                 0.0
             }
@@ -205,6 +303,69 @@ mod tests {
                 for v in 0..g.n() {
                     assert!(approx[(u, v)] <= exact[(u, v)] + 1e-12);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn block_squaring_is_bit_identical_to_dense() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for g in [
+            generators::complete(6),
+            generators::lollipop(4, 3),
+            generators::grid(2, 4),
+            generators::petersen(),
+            generators::erdos_renyi_connected(12, 0.4, &mut rng),
+        ] {
+            let s = VertexSubset::new(g.n(), &[0, 1, 2]);
+            for tol in [1e-3, 1e-12] {
+                let (block, used_b) = shortcut_by_squaring(&g, &s, tol, 64);
+                let (dense, used_d) = shortcut_by_squaring_dense(&g, &s, tol, 64);
+                assert_eq!(used_b, used_d, "n = {}, tol = {tol}", g.n());
+                // Same products, same accumulation order: exactly equal,
+                // not merely close.
+                assert_eq!(block, dense, "n = {}, tol = {tol}", g.n());
+            }
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_blocks_match_full_chain() {
+        let (g, s) = figure2();
+        let full = absorbing_chain(&g, &s);
+        let (t, a) = absorbing_chain_blocks(&g, &s);
+        let n = g.n();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(t[(u, v)], full[(u, v)]);
+                assert_eq!(a[(u, v)], full[(u, n + v)]);
+                assert_eq!(full[(n + u, v)], 0.0);
+                assert_eq!(full[(n + u, n + v)], f64::from(u == v));
+            }
+        }
+    }
+
+    #[test]
+    fn first_visit_edge_with_identity_matches_matrix() {
+        // With S = V, Q = I: the closure form must consume the same rng
+        // stream and return the same edges as the materialized identity.
+        let g = generators::petersen();
+        let s = VertexSubset::full(10);
+        let id = Matrix::identity(10);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(21);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(21);
+        for prev in 0..10 {
+            for &(v, _) in g.neighbors(prev) {
+                let a = sample_first_visit_edge(&g, &s, &id, prev, v, &mut r1);
+                let b = sample_first_visit_edge_with(
+                    &g,
+                    &s,
+                    |u0, u| f64::from(u0 == u),
+                    prev,
+                    v,
+                    &mut r2,
+                );
+                assert_eq!(a, b);
             }
         }
     }

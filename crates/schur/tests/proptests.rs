@@ -6,7 +6,7 @@ use cct_graph::generators;
 use cct_linalg::is_row_stochastic;
 use cct_schur::{
     entry_matrix, schur_laplacian, schur_transition_exact, schur_transition_from_shortcut,
-    shortcut_by_squaring, shortcut_exact, VertexSubset,
+    shortcut_by_squaring, shortcut_by_squaring_dense, shortcut_exact, VertexSubset,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -80,6 +80,28 @@ proptest! {
             }
         }
         prop_assert!(exact.max_abs_diff(&approx) < 1e-7);
+    }
+
+    #[test]
+    fn block_squaring_agrees_with_dense_2n((g, s) in graph_and_subset()) {
+        // The block update (Q, R) → (Q², QR + R) must reproduce the
+        // generic dense 2n × 2n squaring of the absorbing chain on random
+        // graphs/subsets, at both a loose (fixed-point-scale) and a tight
+        // tolerance, with the same squaring count. (The implementation is
+        // in fact bit-identical — asserted exactly in the unit suite —
+        // but the property pins the contract at the 1e-12 tolerance the
+        // sampler's fixed-point pipeline relies on.)
+        for tol in [1e-4, 1e-12] {
+            let (block, used_b) = shortcut_by_squaring(&g, &s, tol, 64);
+            let (dense, used_d) = shortcut_by_squaring_dense(&g, &s, tol, 64);
+            prop_assert_eq!(used_b, used_d, "squaring counts diverged at tol {}", tol);
+            prop_assert!(
+                block.max_abs_diff(&dense) <= 1e-12,
+                "tol {}: diff {}",
+                tol,
+                block.max_abs_diff(&dense)
+            );
+        }
     }
 
     #[test]

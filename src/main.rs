@@ -39,6 +39,10 @@ OPTIONS:
                    (size parameters are capped at 8192)
     --seed N       RNG seed (default 2025)
     --trials N     sample N trees (default 1)
+    --samples N    thm1/exact only: prepare the graph once and draw N
+                   trees from the PreparedSampler (same trees as N
+                   sequential --trials runs, without re-doing the
+                   per-graph preprocessing each time)
     --parallel     run thm1/exact on the parallel round engine (worker
                    count auto-detected; CCT_WORKERS overrides)
     --workers N    parallel round engine with exactly N workers
@@ -156,6 +160,26 @@ fn parse_graph(spec: &str, rng: &mut rand::rngs::StdRng) -> Result<Graph, String
     )
 }
 
+/// The phase sampler (`thm1` / `exact`) the CLI runs — one construction
+/// site shared by the `--trials` and `--samples` paths, so they can never
+/// drift apart (the prepared path's contract is "same trees as N
+/// sequential --trials runs").
+fn phase_sampler(algorithm: &str, workers: Workers) -> CliqueTreeSampler {
+    let config = if algorithm == "exact" {
+        SamplerConfig::exact_variant()
+    } else {
+        SamplerConfig::new()
+    };
+    // The effective engine width is max(threads, workers): an explicit
+    // worker policy must be exact, so only the sequential default keeps
+    // the legacy 4-thread matmul.
+    let config = match workers {
+        Workers::Sequential => config.threads(4),
+        _ => config.threads(1),
+    };
+    CliqueTreeSampler::new(config.workers(workers))
+}
+
 fn print_tree(tree: &SpanningTree, dot: bool) {
     if dot {
         println!("graph spanning_tree {{");
@@ -183,6 +207,7 @@ fn run() -> Result<(), String> {
     let mut graph_spec = "complete:16".to_string();
     let mut seed = 2025u64;
     let mut trials = 1usize;
+    let mut samples: Option<usize> = None;
     let mut dot = false;
     let mut workers = Workers::Sequential;
     let mut it = args.into_iter();
@@ -219,6 +244,17 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad trial count")?
             }
+            "--samples" => {
+                let k: usize = it
+                    .next()
+                    .ok_or("--samples needs a value")?
+                    .parse()
+                    .map_err(|_| "bad sample count")?;
+                if k == 0 {
+                    return Err("--samples must be at least 1".into());
+                }
+                samples = Some(k);
+            }
             "--dot" => dot = true,
             other if !other.starts_with("--") => algorithm = other.to_string(),
             other => return Err(format!("unknown option '{other}' (see --help)")),
@@ -232,6 +268,17 @@ fn run() -> Result<(), String> {
             "--parallel/--workers only apply to the phase samplers (thm1, exact); \
              '{algorithm}' is not parallelized (see --help)"
         ));
+    }
+    // PreparedSampler serves the phase samplers; elsewhere the flag would
+    // silently degrade to --trials, so reject it instead.
+    if samples.is_some() && !matches!(algorithm.as_str(), "thm1" | "exact") {
+        return Err(format!(
+            "--samples only applies to the phase samplers (thm1, exact); \
+             use --trials for '{algorithm}' (see --help)"
+        ));
+    }
+    if samples.is_some() && trials != 1 {
+        return Err("--samples and --trials are mutually exclusive (see --help)".into());
     }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -247,25 +294,39 @@ fn run() -> Result<(), String> {
     }
     eprintln!("graph: {} — n = {}, m = {}", graph_spec, g.n(), g.m());
 
+    // Prepare-once/sample-many path: the graph-global preprocessing
+    // (transition matrix + phase-1 power table) runs a single time; every
+    // draw is bit-identical to the equivalent cold run at the same point
+    // of the seed stream.
+    if let Some(k) = samples {
+        let sampler = phase_sampler(&algorithm, workers);
+        let prepared = sampler.prepare(&g).map_err(|e| e.to_string())?;
+        for t in 0..k {
+            if k > 1 {
+                eprintln!("— sample {}", t + 1);
+            }
+            let report = prepared.sample(&mut rng).map_err(|e| e.to_string())?;
+            print_tree(&report.tree, dot);
+            eprintln!(
+                "rounds: {} over {} phases ({})",
+                report.total_rounds(),
+                report.num_phases(),
+                report.rounds
+            );
+            if report.monte_carlo_failure {
+                eprintln!("WARNING: Monte Carlo failure — arbitrary tree emitted");
+            }
+        }
+        return Ok(());
+    }
+
     for t in 0..trials {
         if trials > 1 {
             eprintln!("— trial {}", t + 1);
         }
         match algorithm.as_str() {
             "thm1" | "exact" => {
-                let config = if algorithm == "exact" {
-                    SamplerConfig::exact_variant()
-                } else {
-                    SamplerConfig::new()
-                };
-                // The effective engine width is max(threads, workers):
-                // an explicit worker policy must be exact, so only the
-                // sequential default keeps the legacy 4-thread matmul.
-                let config = match workers {
-                    Workers::Sequential => config.threads(4),
-                    _ => config.threads(1),
-                };
-                let sampler = CliqueTreeSampler::new(config.workers(workers));
+                let sampler = phase_sampler(&algorithm, workers);
                 let report = sampler.sample(&g, &mut rng).map_err(|e| e.to_string())?;
                 print_tree(&report.tree, dot);
                 eprintln!(
