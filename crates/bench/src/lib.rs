@@ -20,5 +20,9 @@
 
 pub mod experiments;
 pub mod gate;
-pub mod json;
 pub mod util;
+
+// The JSON module grew a second consumer (the `cct-serve` wire protocol)
+// and moved to its own crate; this alias keeps `cct_bench::json::Json`
+// working for the harness and the baseline-gate callers.
+pub use cct_json as json;

@@ -551,7 +551,56 @@ impl PreparedSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<SampleReport, SampleTreeError> {
         sample_with(&self.config, &self.graph, Some(&self.data), rng)
     }
+
+    /// Wraps the prepared state for sharing across threads — the serving
+    /// path's shape, where many workers draw from one preparation.
+    ///
+    /// [`PreparedSampler`] holds only immutable plain data (the config,
+    /// the graph, the transition matrix, and the phase-1 power table
+    /// with its ledger); `sample` takes `&self` and every per-call
+    /// mutation (Las Vegas extensions, scratch cliques) happens on
+    /// clones. It is therefore `Send + Sync` by construction — a
+    /// compile-time assertion in this crate keeps that true — and
+    /// `Arc<PreparedSampler>` can be handed to any number of concurrent
+    /// samplers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cct_core::{CliqueTreeSampler, SamplerConfig, WalkLength};
+    /// use cct_graph::generators;
+    /// use rand::SeedableRng;
+    ///
+    /// let sampler = CliqueTreeSampler::new(
+    ///     SamplerConfig::new().walk_length(WalkLength::Fixed(1 << 12)),
+    /// );
+    /// let shared = sampler.prepare(&generators::complete(8))?.into_shared();
+    /// std::thread::scope(|s| {
+    ///     for seed in 0..2u64 {
+    ///         let shared = std::sync::Arc::clone(&shared);
+    ///         s.spawn(move || {
+    ///             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ///             shared.sample(&mut rng).unwrap()
+    ///         });
+    ///     }
+    /// });
+    /// # Ok::<(), cct_core::SampleTreeError>(())
+    /// ```
+    pub fn into_shared(self) -> std::sync::Arc<PreparedSampler> {
+        std::sync::Arc::new(self)
+    }
 }
+
+/// Compile-time audit that the prepare-once/sample-many handle stays
+/// shareable across threads: adding a `Cell`, `Rc`, or raw pointer to
+/// any field (or to `Graph`/`Matrix`/`RoundLedger` below it) breaks this
+/// function, not a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedSampler>();
+    assert_send_sync::<CliqueTreeSampler>();
+    assert_send_sync::<SampleTreeError>();
+};
 
 /// The iterated-squaring count charged for computing `Q` (Corollary 2):
 /// `k = O(n³ log 1/δ)` steps of the absorbing chain need `⌈log₂ k⌉`
@@ -702,6 +751,29 @@ mod tests {
             let report = prepared.sample(&mut rng(301)).unwrap();
             assert_eq!(report.tree, reference.tree, "workers = {workers}");
             assert_eq!(report.rounds, reference.rounds, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn shared_prepared_sampler_is_bit_identical_across_threads() {
+        // One Arc'd preparation, many concurrent samplers: each thread's
+        // draw must equal the cold single-threaded run at its own seed.
+        let g = generators::complete(12);
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let shared = sampler.prepare(&g).unwrap().into_shared();
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let shared = std::sync::Arc::clone(&shared);
+                    s.spawn(move || shared.sample(&mut rng(400 + i)).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, prep) in results.iter().enumerate() {
+            let cold = sampler.sample(&g, &mut rng(400 + i as u64)).unwrap();
+            assert_eq!(cold.tree, prep.tree, "thread {i}");
+            assert_eq!(cold.rounds, prep.rounds, "thread {i}");
         }
     }
 

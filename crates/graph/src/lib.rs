@@ -34,6 +34,7 @@ pub mod generators;
 #[allow(clippy::module_inception)]
 mod graph;
 mod resistance;
+pub mod spec;
 mod tree;
 
 pub use count::{

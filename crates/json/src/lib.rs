@@ -1,12 +1,38 @@
-//! A dependency-free JSON value, writer, and parser — just enough for
-//! the committed `BENCH_*.json` baselines.
+//! # cct-json
 //!
-//! The build environment is offline (no serde), and the baseline files
-//! need three operations: serialize an experiment report, re-parse it to
-//! prove the file is well-formed, and look up numeric fields for the CI
-//! regression gate. This module implements exactly that: a small value
-//! tree, a canonical pretty-printer, and a strict recursive-descent
-//! parser that rejects trailing garbage.
+//! A dependency-free JSON value, writer, and parser shared across the
+//! workspace: the committed `BENCH_*.json` baselines (`cct-bench`) and
+//! the line-delimited wire protocol of the sampling service
+//! (`cct-serve`).
+//!
+//! The build environment is offline (no serde), and both consumers need
+//! the same operations: serialize a report or frame, re-parse it to
+//! prove it is well-formed, and look up fields. This crate implements
+//! exactly that: a small value tree, a canonical pretty-printer plus a
+//! single-line [`Json::compact`] writer for line-delimited framing, and
+//! a strict recursive-descent parser that rejects trailing garbage.
+//!
+//! Numbers are stored as `f64`. For values that must round-trip
+//! *exactly* at full `u64` range (RNG seeds), use [`Json::from_u64`] /
+//! [`Json::as_u64`], which fall back to a decimal string above `2^53`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cct_json::Json;
+//!
+//! let frame = Json::Obj(vec![
+//!     ("seed".into(), Json::from_u64(u64::MAX)),
+//!     ("count".into(), Json::Num(3.0)),
+//! ]);
+//! let line = frame.compact();
+//! assert!(!line.contains('\n'));
+//! let parsed = Json::parse(&line).unwrap();
+//! assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Write as _;
 
@@ -61,12 +87,82 @@ impl Json {
         }
     }
 
+    /// Encodes a `u64` so it round-trips exactly through the `f64`-backed
+    /// number representation: a plain number up to `2^53`, a decimal
+    /// string above (where `f64` would silently round).
+    pub fn from_u64(v: u64) -> Json {
+        if v <= (1u64 << 53) {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(v.to_string())
+        }
+    }
+
+    /// Decodes a `u64` written by [`Json::from_u64`] — or by any client
+    /// that sends a non-negative integral number (≤ `2^53`) or a decimal
+    /// string. `None` if this is neither, is negative, is fractional, or
+    /// overflows.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) => {
+                if *x >= 0.0 && x.fract() == 0.0 && *x <= (1u64 << 53) as f64 {
+                    Some(*x as u64)
+                } else {
+                    None
+                }
+            }
+            Json::Str(s) => s.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
     /// Serializes with 2-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes to a single line with no whitespace — the framing used
+    /// by the line-delimited wire protocol, where one value is one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -77,15 +173,7 @@ impl Json {
             Json::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
-            Json::Num(x) => {
-                // Emit integers without a fractional part; everything
-                // else with enough digits to round-trip the gate math.
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    let _ = write!(out, "{}", *x as i64);
-                } else {
-                    let _ = write!(out, "{x:.6}");
-                }
-            }
+            Json::Num(x) => write_num(out, *x),
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
                 if items.is_empty() {
@@ -134,6 +222,16 @@ impl Json {
             return Err(format!("trailing garbage at byte {pos}"));
         }
         Ok(value)
+    }
+}
+
+/// Emit integers without a fractional part; everything else with enough
+/// digits to round-trip the gate math.
+fn write_num(out: &mut String, x: f64) {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x:.6}");
     }
 }
 
@@ -210,6 +308,16 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("invalid number '{text}' at byte {start}"))
 }
 
+/// Reads the 4 hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(
+        std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?,
+        16,
+    )
+    .map_err(|_| "invalid \\u escape".to_string())
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
@@ -230,16 +338,31 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?,
-                            16,
-                        )
-                        .map_err(|_| "invalid \\u escape")?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        let scalar = if (0xD800..=0xDBFF).contains(&code) {
+                            // UTF-16 high surrogate: standard encoders
+                            // (ensure_ascii JSON) ship non-BMP characters
+                            // as a \uHHHH\uHHHH pair; decode it as one
+                            // scalar rather than two lone halves.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                return Err(format!(
+                                    "unpaired high surrogate at byte {}",
+                                    *pos - 4
+                                ));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(format!("invalid low surrogate at byte {}", *pos + 3));
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err(format!("unpaired low surrogate at byte {}", *pos - 4));
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(scalar).ok_or("invalid \\u escape")?);
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -360,5 +483,60 @@ mod tests {
     fn integers_print_without_fraction() {
         assert_eq!(Json::Num(42.0).pretty(), "42\n");
         assert!(Json::Num(1.5).pretty().starts_with("1.5"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // ensure_ascii-style encoders ship non-BMP chars as UTF-16
+        // pairs; they must come back as the original character.
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // BMP escapes are unaffected.
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        // Literal (already-UTF-8) non-BMP characters also pass through.
+        assert_eq!(Json::parse("\"😀\"").unwrap().as_str(), Some("😀"));
+        // Lone or malformed halves are errors, not U+FFFD mangling.
+        for bad in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ud83dA""#, r#""\ude00""#] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn compact_is_one_line_and_reparses() {
+        let doc = Json::Obj(vec![
+            ("a".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+            ("s".into(), Json::Str("x\ny".into())),
+            ("b".into(), Json::Bool(false)),
+            ("o".into(), Json::Obj(vec![])),
+        ]);
+        let line = doc.compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert!(!line.contains(' '), "compact output has no padding");
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn u64_roundtrips_exactly_at_full_range() {
+        for v in [0u64, 1, 42, 1 << 53, (1 << 53) + 1, u64::MAX - 1, u64::MAX] {
+            let j = Json::from_u64(v);
+            assert_eq!(j.as_u64(), Some(v), "direct helper roundtrip of {v}");
+            let reparsed = Json::parse(&j.compact()).unwrap();
+            assert_eq!(reparsed.as_u64(), Some(v), "wire roundtrip of {v}");
+        }
+        // Values above 2^53 travel as strings, below as plain numbers.
+        assert!(matches!(Json::from_u64(u64::MAX), Json::Str(_)));
+        assert!(matches!(Json::from_u64(7), Json::Num(_)));
+    }
+
+    #[test]
+    fn as_u64_rejects_lossy_inputs() {
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(2.0f64.powi(54)).as_u64(), None);
+        assert_eq!(Json::Str("not a number".into()).as_u64(), None);
+        assert_eq!(Json::Str("-3".into()).as_u64(), None);
+        assert_eq!(Json::Bool(true).as_u64(), None);
+        assert_eq!(Json::Null.as_u64(), None);
     }
 }

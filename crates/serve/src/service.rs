@@ -1,0 +1,488 @@
+//! The in-process service: a `std::thread::scope` worker pool pulling
+//! [`SampleRequest`] jobs off a channel, serving draws from the shared
+//! [`PreparedCache`].
+//!
+//! The entry point is [`serve`]: it owns the workers' lifetime, so there
+//! is no detached state — when the closure returns and every
+//! [`ServeHandle`] clone is dropped, the job channel closes, the workers
+//! drain and exit, and the scope joins them.
+
+use crate::cache::{CacheInfo, CacheKey, CacheStats, PreparedCache};
+use crate::request::{spec_seed, Algorithm, SampleRequest};
+use cct_core::{CliqueTreeSampler, SamplerConfig};
+use cct_json::Json;
+use cct_sim::{RoundLedger, Workers};
+use rand::SeedableRng;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// A request the service could not serve: invalid values, an unknown or
+/// unbuildable graph spec, a disconnected graph, or a phase failure.
+/// Carried on the wire as `{"ok": false, "error": …}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    message: String,
+}
+
+impl ServeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ServeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One served tree: the draw's derived seed, the sampled edges, and the
+/// full round ledger of the run (byte-identical to a cold
+/// single-threaded run at [`SampleRequest::draw_seed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Draw {
+    /// The derived RNG seed this draw ran with.
+    pub draw_seed: u64,
+    /// The sampled spanning tree's edges.
+    pub edges: Vec<(usize, usize)>,
+    /// The run's round/traffic ledger.
+    pub ledger: RoundLedger,
+    /// Theorem 1's Monte Carlo failure flag (an arbitrary tree was
+    /// emitted; probability ≤ ε).
+    pub monte_carlo_failure: bool,
+}
+
+impl Draw {
+    /// The draw's wire value.
+    pub fn to_json(&self) -> Json {
+        let breakdown = Json::Obj(
+            self.ledger
+                .breakdown()
+                .into_iter()
+                .map(|(c, r)| (c.to_string(), Json::Num(r as f64)))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("seed".into(), Json::from_u64(self.draw_seed)),
+            (
+                "edges".into(),
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|&(u, v)| Json::Arr(vec![Json::Num(u as f64), Json::Num(v as f64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "rounds".into(),
+                Json::Num(self.ledger.total_rounds() as f64),
+            ),
+            ("words".into(), Json::Num(self.ledger.total_words() as f64)),
+            ("breakdown".into(), breakdown),
+        ];
+        if self.monte_carlo_failure {
+            fields.push(("failure".into(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A served request: the echoed request, cache metadata, and `count`
+/// draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleResponse {
+    /// The request this answers.
+    pub request: SampleRequest,
+    /// Cache metadata (excluded from the determinism contract — see
+    /// [`CacheInfo`]).
+    pub cache: CacheInfo,
+    /// The draws, in draw-index order.
+    pub draws: Vec<Draw>,
+}
+
+impl SampleResponse {
+    /// The response's wire value:
+    /// `{"ok": true, "graph": …, "algorithm": …, "seed": …, "cache": …,
+    /// "draws": […]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("graph".into(), Json::Str(self.request.graph_spec.clone())),
+            (
+                "algorithm".into(),
+                Json::Str(self.request.algorithm.as_str().into()),
+            ),
+            ("seed".into(), Json::from_u64(self.request.seed)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hit".into(), Json::Bool(self.cache.hit)),
+                    ("prepares".into(), Json::Num(self.cache.prepares as f64)),
+                ]),
+            ),
+            (
+                "draws".into(),
+                Json::Arr(self.draws.iter().map(Draw::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The wire frame for any failed request.
+pub fn error_frame(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(message.into())),
+    ])
+}
+
+/// Service configuration: worker-pool width, cache capacity, and the
+/// sampler configuration behind each [`Algorithm`].
+///
+/// The default configs match the CLI's sequential `thm1` / `exact`
+/// paths, so for *fixed* graph families a served draw replays exactly
+/// as `cct <algorithm> --graph <spec> --seed <derived>`. Randomized
+/// families (`er:N:P`, `regular:N:D`) still replay bit for bit, but
+/// not through that CLI one-liner: the CLI derives the graph from its
+/// `--seed` while the service derives it from [`crate::spec_seed`] —
+/// rebuild the graph with `parse_spec(spec, StdRng(spec_seed(spec)))`
+/// and run `CliqueTreeSampler` at the derived draw seed instead (what
+/// the stress suite's cold reference does).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    workers: usize,
+    cache_capacity: usize,
+    thm1: SamplerConfig,
+    exact: SamplerConfig,
+}
+
+impl ServeOptions {
+    /// Defaults: worker count from `CCT_WORKERS` (else the machine's
+    /// parallelism), a 16-entry cache, and the CLI's sampler configs.
+    pub fn new() -> Self {
+        ServeOptions {
+            // Reuse the round engine's policy resolution: CCT_WORKERS
+            // overrides, hardware parallelism otherwise. The `usize::MAX`
+            // argument is the "machine count" cap, irrelevant here.
+            workers: Workers::Auto.resolve(usize::MAX),
+            cache_capacity: 16,
+            thm1: SamplerConfig::new().threads(4),
+            exact: SamplerConfig::exact_variant().threads(4),
+        }
+    }
+
+    /// Sets the worker-pool width (floored at 1). Workers parallelize
+    /// *across* jobs; each sampler runs its configured (default
+    /// sequential) engine, so the pool width never changes any result.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the prepared-sampler cache capacity (floored at 1).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the sampler configuration behind one algorithm.
+    /// Changing a config changes the served streams — it is part of the
+    /// determinism contract's "(graph, config) key", fixed per service.
+    pub fn config(mut self, algorithm: Algorithm, config: SamplerConfig) -> Self {
+        match algorithm {
+            Algorithm::Thm1 => self.thm1 = config,
+            Algorithm::Exact => self.exact = config,
+        }
+        self
+    }
+
+    fn config_for(&self, algorithm: Algorithm) -> &SamplerConfig {
+        match algorithm {
+            Algorithm::Thm1 => &self.thm1,
+            Algorithm::Exact => &self.exact,
+        }
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions::new()
+    }
+}
+
+struct Job {
+    request: SampleRequest,
+    reply: mpsc::Sender<Result<SampleResponse, ServeError>>,
+}
+
+struct Shared {
+    options: ServeOptions,
+    cache: PreparedCache,
+}
+
+/// A client's handle to a running service: submit jobs, read cache
+/// stats. Clone freely across client threads — every clone must be
+/// dropped before the closure passed to [`serve`] returns, or the
+/// worker scope cannot join.
+///
+/// # Examples
+///
+/// ```
+/// use cct_serve::{serve, SampleRequest, ServeOptions};
+///
+/// serve(ServeOptions::new().workers(2), |handle| {
+///     let response = handle
+///         .request(SampleRequest::new("petersen").seed(7).count(2))
+///         .unwrap();
+///     assert_eq!(response.draws.len(), 2);
+///     assert_eq!(response.draws[0].edges.len(), 9);
+///     // Same request again: served from cache, identical draws.
+///     let replay = handle
+///         .request(SampleRequest::new("petersen").seed(7).count(2))
+///         .unwrap();
+///     assert_eq!(replay.draws, response.draws);
+///     assert!(replay.cache.hit);
+/// });
+/// ```
+#[derive(Clone)]
+pub struct ServeHandle {
+    jobs: mpsc::Sender<Job>,
+    shared: Arc<Shared>,
+}
+
+/// A submitted job's future response (blocking).
+pub struct Pending {
+    reply: mpsc::Receiver<Result<SampleResponse, ServeError>>,
+}
+
+impl Pending {
+    /// Blocks until the job is served.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] if the request was invalid or sampling failed.
+    pub fn wait(self) -> Result<SampleResponse, ServeError> {
+        self.reply
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::new("service shut down before replying")))
+    }
+}
+
+impl ServeHandle {
+    /// Enqueues a request without waiting.
+    pub fn submit(&self, request: SampleRequest) -> Pending {
+        let (tx, rx) = mpsc::channel();
+        if let Err(e) = self.jobs.send(Job {
+            request,
+            reply: tx.clone(),
+        }) {
+            // The pool is gone (all workers exited); surface that as a
+            // served error rather than a panic.
+            let _ = tx.send(Err(ServeError::new(format!("service unavailable: {e}"))));
+        }
+        Pending { reply: rx }
+    }
+
+    /// Submits and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] if the request was invalid or sampling failed.
+    pub fn request(&self, request: SampleRequest) -> Result<SampleResponse, ServeError> {
+        self.submit(request).wait()
+    }
+
+    /// A snapshot of the prepared-sampler cache's counters (the
+    /// prepare-counter hook the single-flight tests assert on).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+}
+
+/// Runs a service for the duration of `f`: spawns the worker pool on a
+/// [`std::thread::scope`], hands `f` a [`ServeHandle`], and joins every
+/// worker when `f` returns (the handle and all clones must be dropped by
+/// then). Returns `f`'s result.
+///
+/// See [`ServeHandle`] for a usage example; the wire layer
+/// ([`crate::serve_endpoint`]) is built on this same entry point.
+pub fn serve<R>(options: ServeOptions, f: impl FnOnce(ServeHandle) -> R) -> R {
+    let cache = PreparedCache::new(options.cache_capacity);
+    let workers = options.workers;
+    let shared = Arc::new(Shared { options, cache });
+    let (tx, rx) = mpsc::channel::<Job>();
+    let rx = Arc::new(Mutex::new(rx));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            s.spawn(move || worker_loop(&rx, &shared));
+        }
+        f(ServeHandle {
+            jobs: tx,
+            shared: Arc::clone(&shared),
+        })
+    })
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Take the next job with the receiver lock released before the
+        // (long) sampling work, so other workers keep pulling.
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => break, // every handle dropped: drain complete
+        };
+        // A client that gave up on its Pending just drops the receiver;
+        // the send error is not the worker's problem.
+        let _ = job.reply.send(process(shared, job.request));
+    }
+}
+
+/// Serves one request: resolve the prepared sampler through the cache
+/// (single-flight), then draw `count` trees from derived RNG streams.
+fn process(shared: &Shared, request: SampleRequest) -> Result<SampleResponse, ServeError> {
+    request
+        .validate()
+        .map_err(|e| ServeError::new(e.to_string()))?;
+    let key = CacheKey {
+        algorithm: request.algorithm,
+        graph_spec: request.graph_spec.clone(),
+    };
+    let config = shared.options.config_for(request.algorithm).clone();
+    let (prepared, cache) = shared.cache.get_or_prepare(&key, || {
+        // The graph is a pure function of the spec string (the cache
+        // key's half of the determinism contract).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec_seed(&key.graph_spec));
+        let graph = cct_graph::spec::parse_spec(&key.graph_spec, &mut rng)
+            .map_err(|e| format!("bad graph spec: {e}"))?;
+        CliqueTreeSampler::new(config)
+            .prepare(&graph)
+            .map_err(|e| e.to_string())
+    });
+    let prepared = prepared.map_err(ServeError::new)?;
+    let mut draws = Vec::with_capacity(request.count as usize);
+    for i in 0..request.count {
+        let draw_seed = request.draw_seed(i);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(draw_seed);
+        let report = prepared
+            .sample(&mut rng)
+            .map_err(|e| ServeError::new(e.to_string()))?;
+        draws.push(Draw {
+            draw_seed,
+            edges: report.tree.edges().to_vec(),
+            ledger: report.rounds,
+            monte_carlo_failure: report.monte_carlo_failure,
+        });
+    }
+    Ok(SampleResponse {
+        request,
+        cache,
+        draws,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cct_core::{EngineChoice, WalkLength};
+    use cct_graph::generators;
+
+    fn quick_options() -> ServeOptions {
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost);
+        ServeOptions::new()
+            .workers(2)
+            .cache_capacity(4)
+            .config(Algorithm::Thm1, config.clone())
+            .config(Algorithm::Exact, config)
+    }
+
+    #[test]
+    fn serves_draws_matching_cold_runs() {
+        let options = quick_options();
+        let config = options.config_for(Algorithm::Thm1).clone();
+        serve(options, |handle| {
+            let req = SampleRequest::new("petersen").seed(9).count(3);
+            let response = handle.request(req.clone()).unwrap();
+            assert_eq!(response.draws.len(), 3);
+            let g = generators::petersen();
+            let sampler = CliqueTreeSampler::new(config);
+            for (i, draw) in response.draws.iter().enumerate() {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(req.draw_seed(i as u32));
+                let cold = sampler.sample(&g, &mut rng).unwrap();
+                assert_eq!(draw.edges, cold.tree.edges(), "draw {i}");
+                assert_eq!(draw.ledger, cold.rounds, "draw {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        serve(quick_options(), |handle| {
+            let req = SampleRequest::new("complete:8").seed(1);
+            let first = handle.request(req.clone()).unwrap();
+            assert!(!first.cache.hit);
+            let second = handle.request(req).unwrap();
+            assert!(second.cache.hit);
+            assert_eq!(first.draws, second.draws);
+            let stats = handle.cache_stats();
+            assert_eq!(stats.misses, 1);
+            assert_eq!(stats.hits, 1);
+        });
+    }
+
+    #[test]
+    fn errors_are_served_not_panicked() {
+        serve(quick_options(), |handle| {
+            for (req, needle) in [
+                (SampleRequest::new("no-such-family:4"), "bad graph spec"),
+                (SampleRequest::new("petersen").count(0), "'count'"),
+                (SampleRequest::new(""), "empty"),
+            ] {
+                let err = handle.request(req).unwrap_err();
+                assert!(err.to_string().contains(needle), "{err}");
+            }
+            // The pool is still alive afterwards.
+            assert!(handle.request(SampleRequest::new("petersen")).is_ok());
+        });
+    }
+
+    #[test]
+    fn submit_overlaps_jobs() {
+        serve(quick_options(), |handle| {
+            let pendings: Vec<Pending> = (0..6u64)
+                .map(|i| handle.submit(SampleRequest::new("complete:8").seed(i)))
+                .collect();
+            let responses: Vec<_> = pendings.into_iter().map(|p| p.wait().unwrap()).collect();
+            assert_eq!(responses.len(), 6);
+            // One preparation served all six (same key).
+            assert_eq!(handle.cache_stats().total_prepares(), 1);
+        });
+    }
+
+    #[test]
+    fn algorithms_do_not_share_cache_entries() {
+        serve(quick_options(), |handle| {
+            let a = handle
+                .request(SampleRequest::new("petersen").seed(3))
+                .unwrap();
+            let b = handle
+                .request(
+                    SampleRequest::new("petersen")
+                        .seed(3)
+                        .algorithm(Algorithm::Exact),
+                )
+                .unwrap();
+            assert_eq!(handle.cache_stats().misses, 2, "distinct keys");
+            // Same derived seeds, different samplers — and the exact
+            // variant can never flag a Monte Carlo failure.
+            assert_eq!(a.draws[0].draw_seed, b.draws[0].draw_seed);
+            assert!(!b.draws[0].monte_carlo_failure);
+        });
+    }
+}

@@ -1,0 +1,482 @@
+//! The wire layer: line-delimited JSON over a Unix or TCP socket.
+//!
+//! Framing is one JSON value per `\n`-terminated line, both directions.
+//! Each request line gets exactly one response line: `{"ok": true, …}`
+//! (see [`crate::SampleResponse::to_json`]) or
+//! `{"ok": false, "error": …}`.
+//! Malformed frames produce an error response on the same connection —
+//! never a disconnect or a panic — so a client can pipeline requests
+//! and recover from its own bad input. Blank lines are ignored.
+
+use crate::request::SampleRequest;
+use crate::service::{error_frame, serve, ServeHandle, ServeOptions};
+use cct_json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+use crate::service::ServeError;
+
+/// Where a service listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address (`host:port`; port 0 binds an ephemeral port).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:PATH` or a TCP `host:port`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] for an empty address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cct_serve::Endpoint;
+    ///
+    /// assert!(matches!(Endpoint::parse("unix:/tmp/cct.sock"), Ok(Endpoint::Unix(_))));
+    /// assert!(matches!(Endpoint::parse("127.0.0.1:0"), Ok(Endpoint::Tcp(_))));
+    /// ```
+    pub fn parse(s: &str) -> Result<Endpoint, ServeError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ServeError::new("unix endpoint needs a path after 'unix:'"));
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if s.is_empty() {
+            Err(ServeError::new("empty endpoint address"))
+        } else {
+            Ok(Endpoint::Tcp(s.to_string()))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Serves one connection: reads request lines until EOF, writing one
+/// response line each. I/O errors end the connection; request errors do
+/// not.
+///
+/// # Errors
+///
+/// The underlying stream's I/O errors.
+pub fn serve_connection<R: BufRead, W: Write>(
+    mut reader: R,
+    writer: &mut W,
+    handle: &ServeHandle,
+) -> std::io::Result<()> {
+    let mut buf = Vec::new();
+    loop {
+        // Read raw bytes rather than `lines()`: a non-UTF-8 line must be
+        // answered with an error frame like any other malformed frame,
+        // not turned into an InvalidData error that drops the
+        // connection (and any pipelined requests behind it).
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(()); // EOF
+        }
+        let parsed = match std::str::from_utf8(&buf) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => SampleRequest::parse_line(line.trim_end_matches(['\n', '\r'])),
+            Err(_) => Err(crate::ProtocolError::new("request line is not valid UTF-8")),
+        };
+        let frame = match parsed {
+            Ok(request) => match handle.request(request) {
+                Ok(response) => response.to_json(),
+                Err(e) => error_frame(&e.to_string()),
+            },
+            Err(e) => error_frame(&e.to_string()),
+        };
+        writer.write_all(frame.compact().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Client half of one request/response exchange on an established
+/// stream.
+///
+/// # Errors
+///
+/// [`ServeError`] for I/O failures, unparseable response frames, and
+/// `{"ok": false}` responses (carrying the server's error message).
+pub fn exchange<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    request: &SampleRequest,
+) -> Result<Json, ServeError> {
+    let io_err = |e: std::io::Error| ServeError::new(format!("connection error: {e}"));
+    writer
+        .write_all(request.to_json().compact().as_bytes())
+        .map_err(io_err)?;
+    writer.write_all(b"\n").map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(io_err)?;
+    if n == 0 {
+        return Err(ServeError::new("server closed the connection"));
+    }
+    let frame = Json::parse(line.trim_end())
+        .map_err(|e| ServeError::new(format!("unparseable response frame: {e}")))?;
+    match frame.get("ok") {
+        Some(Json::Bool(true)) => Ok(frame),
+        Some(Json::Bool(false)) => Err(ServeError::new(
+            frame
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error"),
+        )),
+        _ => Err(ServeError::new("response frame missing 'ok' field")),
+    }
+}
+
+/// Binds `endpoint`, runs a service, and accepts connections (each on
+/// its own scoped thread) until `max_conns` connections have been
+/// accepted (forever if `None`). `on_ready` runs once with the bound
+/// address — for TCP with port 0, the *resolved* address — before the
+/// first accept, so callers can print it or connect from another
+/// thread.
+///
+/// `max_conns` counts *accepted connections*, including empty ones
+/// (e.g. another instance's liveness probe of a Unix path), so treat it
+/// as a shutdown valve for scripts and tests, not an exact request
+/// quota.
+///
+/// # Errors
+///
+/// [`ServeError`] for bind failures. Per-connection I/O errors only end
+/// that connection.
+pub fn serve_endpoint(
+    endpoint: &Endpoint,
+    options: ServeOptions,
+    max_conns: Option<u64>,
+    on_ready: impl FnOnce(&str),
+) -> Result<(), ServeError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr)
+                .map_err(|e| ServeError::new(format!("bind {addr}: {e}")))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| ServeError::new(format!("local_addr: {e}")))?;
+            serve(options, |handle| {
+                on_ready(&local.to_string());
+                accept_loop(
+                    || listener.accept().map(|(s, _)| s),
+                    tcp_split,
+                    &handle,
+                    max_conns,
+                );
+            });
+            Ok(())
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            // A dead server's leftover socket file would make bind fail
+            // with AddrInUse — but only reclaim the path if nothing is
+            // actually listening, so a second instance errors out
+            // instead of silently hijacking a live server's address.
+            if path.exists() {
+                if UnixStream::connect(path).is_ok() {
+                    return Err(ServeError::new(format!(
+                        "{} already has a live server listening",
+                        path.display()
+                    )));
+                }
+                let _ = std::fs::remove_file(path);
+            }
+            let listener = UnixListener::bind(path)
+                .map_err(|e| ServeError::new(format!("bind {}: {e}", path.display())))?;
+            serve(options, |handle| {
+                on_ready(&format!("unix:{}", path.display()));
+                accept_loop(
+                    || listener.accept().map(|(s, _)| s),
+                    unix_split,
+                    &handle,
+                    max_conns,
+                );
+            });
+            let _ = std::fs::remove_file(path);
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(ServeError::new(
+            "unix endpoints are not supported on this platform",
+        )),
+    }
+}
+
+fn tcp_split(stream: TcpStream) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    Ok((BufReader::new(stream.try_clone()?), stream))
+}
+
+#[cfg(unix)]
+fn unix_split(stream: UnixStream) -> std::io::Result<(BufReader<UnixStream>, UnixStream)> {
+    Ok((BufReader::new(stream.try_clone()?), stream))
+}
+
+/// Accepts up to `max_conns` connections, serving each on a scoped
+/// thread so slow clients do not block the accept loop; joins them all
+/// before returning.
+fn accept_loop<S, R, W>(
+    mut accept: impl FnMut() -> std::io::Result<S>,
+    split: impl Fn(S) -> std::io::Result<(R, W)> + Copy + Send,
+    handle: &ServeHandle,
+    max_conns: Option<u64>,
+) where
+    S: Send,
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    std::thread::scope(|s| {
+        let mut accepted = 0u64;
+        let mut consecutive_errors = 0u32;
+        loop {
+            if let Some(max) = max_conns {
+                if accepted >= max {
+                    break;
+                }
+            }
+            let stream = match accept() {
+                Ok(stream) => stream,
+                Err(e) => {
+                    // Transient errors (a client aborting mid-handshake)
+                    // are worth retrying with a breather; a listener
+                    // that fails persistently (fd exhaustion, closed
+                    // socket) would otherwise spin this loop at 100%
+                    // CPU forever — give up instead.
+                    consecutive_errors += 1;
+                    if consecutive_errors >= 16 {
+                        eprintln!("accept failing persistently, shutting down: {e}");
+                        break;
+                    }
+                    eprintln!("accept error: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        10 << consecutive_errors.min(6),
+                    ));
+                    continue;
+                }
+            };
+            consecutive_errors = 0;
+            accepted += 1;
+            let handle = handle.clone();
+            s.spawn(move || {
+                // Disconnects mid-request are the client's business.
+                if let Ok((reader, mut writer)) = split(stream) {
+                    let _ = serve_connection(reader, &mut writer, &handle);
+                }
+            });
+        }
+    });
+}
+
+/// Connects to a served endpoint, performs one request/response
+/// exchange, and returns the parsed `{"ok": true}` frame.
+///
+/// # Errors
+///
+/// [`ServeError`] for connect/I-O failures and error responses.
+pub fn request_endpoint(endpoint: &Endpoint, request: &SampleRequest) -> Result<Json, ServeError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| ServeError::new(format!("connect {addr}: {e}")))?;
+            let (mut reader, mut writer) =
+                tcp_split(stream).map_err(|e| ServeError::new(format!("connection error: {e}")))?;
+            exchange(&mut reader, &mut writer, request)
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            let stream = UnixStream::connect(path)
+                .map_err(|e| ServeError::new(format!("connect {}: {e}", path.display())))?;
+            let (mut reader, mut writer) = unix_split(stream)
+                .map_err(|e| ServeError::new(format!("connection error: {e}")))?;
+            exchange(&mut reader, &mut writer, request)
+        }
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(ServeError::new(
+            "unix endpoints are not supported on this platform",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Algorithm;
+    use cct_core::{EngineChoice, SamplerConfig, WalkLength};
+
+    fn quick_options() -> ServeOptions {
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost);
+        ServeOptions::new()
+            .workers(2)
+            .config(Algorithm::Thm1, config.clone())
+            .config(Algorithm::Exact, config)
+    }
+
+    /// Drives `serve_connection` over in-memory buffers: each input
+    /// line must yield exactly one response line.
+    fn roundtrip_lines(input: &str) -> Vec<Json> {
+        let mut out: Vec<u8> = Vec::new();
+        serve(quick_options(), |handle| {
+            serve_connection(input.as_bytes(), &mut out, &handle).unwrap();
+        });
+        let text = String::from_utf8(out).unwrap();
+        text.lines().map(|l| Json::parse(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn one_response_line_per_request_line() {
+        let frames = roundtrip_lines(
+            "{\"graph\": \"petersen\", \"seed\": 7, \"count\": 2}\n\
+             \n\
+             not json at all\n\
+             {\"graph\": \"complete:8\"}\n",
+        );
+        assert_eq!(frames.len(), 3, "blank line ignored, bad line answered");
+        assert_eq!(frames[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(frames[0].get("draws").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(frames[1].get("ok"), Some(&Json::Bool(false)));
+        assert!(frames[1].get("error").unwrap().as_str().is_some());
+        assert_eq!(frames[2].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn tcp_endpoint_serves_and_replays_identically() {
+        let endpoint = Endpoint::parse("127.0.0.1:0").unwrap();
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                serve_endpoint(&endpoint, quick_options(), Some(2), move |addr| {
+                    addr_tx.send(addr.to_string()).unwrap();
+                })
+                .unwrap();
+            });
+            let bound = Endpoint::Tcp(addr_rx.recv().unwrap());
+            let request = SampleRequest::new("petersen").seed(42).count(2);
+            let a = request_endpoint(&bound, &request).unwrap();
+            let b = request_endpoint(&bound, &request).unwrap();
+            // The determinism contract covers the draws; cache metadata
+            // legitimately differs between the two connections.
+            assert_eq!(a.get("draws"), b.get("draws"));
+            assert_eq!(a.get("cache").unwrap().get("hit"), Some(&Json::Bool(false)));
+            assert_eq!(b.get("cache").unwrap().get("hit"), Some(&Json::Bool(true)));
+        });
+    }
+
+    #[test]
+    fn invalid_utf8_lines_get_an_error_frame_not_a_disconnect() {
+        // A bogus-bytes line followed by a valid request: both answered
+        // on the same connection.
+        let mut input: Vec<u8> = vec![0xFF, 0xFE, 0x01, b'\n'];
+        input.extend_from_slice(
+            SampleRequest::new("complete:4")
+                .to_json()
+                .compact()
+                .as_bytes(),
+        );
+        input.push(b'\n');
+        let mut out: Vec<u8> = Vec::new();
+        serve(quick_options(), |handle| {
+            serve_connection(&input[..], &mut out, &handle).unwrap();
+        });
+        let frames: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].get("ok"), Some(&Json::Bool(false)));
+        assert!(frames[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("UTF-8"));
+        assert_eq!(frames[1].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_bind_refuses_live_sockets_but_reclaims_stale_files() {
+        let path =
+            std::env::temp_dir().join(format!("cct-serve-bind-test-{}.sock", std::process::id()));
+        // Live listener on the path: a second server must refuse.
+        let live = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let err = serve_endpoint(
+            &Endpoint::Unix(path.clone()),
+            quick_options(),
+            Some(0),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("live server"), "{err}");
+        assert!(path.exists(), "the live socket must be left alone");
+        // Dead listener, stale file: the next server reclaims it.
+        drop(live);
+        assert!(path.exists(), "dropping the listener leaves the file");
+        serve_endpoint(
+            &Endpoint::Unix(path.clone()),
+            quick_options(),
+            Some(0),
+            |_| {},
+        )
+        .unwrap();
+        assert!(!path.exists(), "served and cleaned up");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_endpoint_serves_and_cleans_up() {
+        let path = std::env::temp_dir().join(format!("cct-serve-test-{}.sock", std::process::id()));
+        let endpoint = Endpoint::Unix(path.clone());
+        std::thread::scope(|s| {
+            let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+            let ep = endpoint.clone();
+            s.spawn(move || {
+                serve_endpoint(&ep, quick_options(), Some(1), move |_| {
+                    ready_tx.send(()).unwrap();
+                })
+                .unwrap();
+            });
+            ready_rx.recv().unwrap();
+            let frame =
+                request_endpoint(&endpoint, &SampleRequest::new("complete:8").seed(3)).unwrap();
+            assert_eq!(frame.get("ok"), Some(&Json::Bool(true)));
+        });
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn error_responses_carry_the_server_message() {
+        let endpoint = Endpoint::parse("127.0.0.1:0").unwrap();
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                serve_endpoint(&endpoint, quick_options(), Some(1), move |addr| {
+                    addr_tx.send(addr.to_string()).unwrap();
+                })
+                .unwrap();
+            });
+            let bound = Endpoint::Tcp(addr_rx.recv().unwrap());
+            let err =
+                request_endpoint(&bound, &SampleRequest::new("no-such-family:9")).unwrap_err();
+            assert!(err.to_string().contains("bad graph spec"), "{err}");
+        });
+    }
+}

@@ -40,6 +40,8 @@
 //! | [`walks`] | Aldous–Broder, Wilson, sequential top-down fill | §1.3, §2.1 |
 //! | [`graph`] | graphs, generators, Matrix–Tree counting | §1.1, §1.7 |
 //! | [`linalg`] | matrices, LU, permanents, fixed-point rounding | §2.4, §2.5 |
+//! | [`serve`] | batched sampling service: worker pool, PreparedSampler cache, wire protocol | — |
+//! | [`json`] | dependency-free JSON shared by the wire protocol and bench baselines | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,9 +49,11 @@
 pub use cct_core as core;
 pub use cct_doubling as doubling;
 pub use cct_graph as graph;
+pub use cct_json as json;
 pub use cct_linalg as linalg;
 pub use cct_matching as matching;
 pub use cct_schur as schur;
+pub use cct_serve as serve;
 pub use cct_sim as sim;
 pub use cct_walks as walks;
 

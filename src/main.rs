@@ -9,7 +9,7 @@
 //! ```
 
 use cct::core::{direction4_sample, CliqueTreeSampler, SamplerConfig, Workers};
-use cct::graph::{generators, Graph, SpanningTree};
+use cct::graph::{Graph, SpanningTree};
 use cct::prelude::*;
 use cct::sim::Clique;
 use rand::SeedableRng;
@@ -20,6 +20,8 @@ cct — sample spanning trees in the (simulated) Congested Clique
 
 USAGE:
     cct <ALGORITHM> [OPTIONS]
+    cct serve --listen ADDR [SERVE OPTIONS]
+    cct request --connect ADDR [REQUEST OPTIONS]
 
 ALGORITHMS:
     thm1           the paper's main sampler, Õ(n^{1/2+α}) rounds (default)
@@ -34,8 +36,8 @@ OPTIONS:
     --graph SPEC   input graph (default complete:16). SPECs:
                    complete:N  cycle:N  path:N  star:N  wheel:N
                    grid:RxC  torus:RxC  hypercube:D  binarytree:D
-                   petersen  barbell:K  lollipop:K:T  bipartite:AxB
-                   kdense:N  er:N:P  regular:N:D
+                   petersen  diamond  barbell:K  lollipop:K:T
+                   bipartite:AxB  kdense:N  er:N:P  regular:N:D
                    (size parameters are capped at 8192)
     --seed N       RNG seed (default 2025)
     --trials N     sample N trees (default 1)
@@ -50,114 +52,30 @@ OPTIONS:
                    and round counts at every worker count)
     --dot          print the tree as Graphviz instead of an edge list
     --help         this text
+
+SERVE OPTIONS (cct serve — the batched sampling service):
+    --listen ADDR    unix:PATH or HOST:PORT (port 0 binds ephemerally;
+                     the bound address is printed as 'serving on ADDR')
+    --workers N      service worker threads (default: CCT_WORKERS or
+                     the machine's parallelism)
+    --cache N        PreparedSampler LRU capacity (default 16)
+    --max-conns N    exit after serving N connections (default: forever)
+
+REQUEST OPTIONS (cct request — one request against a running service):
+    --connect ADDR   unix:PATH or HOST:PORT
+    --graph SPEC     graph spec (default complete:16)
+    --algorithm A    thm1 or exact (default thm1)
+    --seed N         master seed; draw i runs at machine_seed(N, i)
+    --count K        trees to draw (default 1)
+    Trees print to stdout ('tree: …' lines, identical across replays);
+    rounds and cache metadata print to stderr.
 ";
 
-/// Largest size parameter the CLI accepts in a graph spec. The simulator
-/// does `Θ(n²)` work per round and the dense generators allocate `Θ(n²)`
-/// edges, so larger requests would stall or exhaust memory rather than
-/// fail cleanly.
-const MAX_SPEC_SIZE: usize = 8192;
-
+/// Builds the graph a `--graph` spec describes; the grammar and all
+/// domain/size validation live in [`cct::graph::spec`], shared with the
+/// sampling service's `graph_spec` request field.
 fn parse_graph(spec: &str, rng: &mut rand::rngs::StdRng) -> Result<Graph, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<usize, String> {
-        let v = s
-            .parse::<usize>()
-            .map_err(|_| format!("bad number '{s}'"))?;
-        if v > MAX_SPEC_SIZE {
-            return Err(format!(
-                "size {v} is too large for the simulated clique (max {MAX_SPEC_SIZE})"
-            ));
-        }
-        Ok(v)
-    };
-    let pair = |s: &str| -> Result<(usize, usize), String> {
-        let (a, b) = s.split_once('x').ok_or(format!("expected RxC in '{s}'"))?;
-        Ok((num(a)?, num(b)?))
-    };
-    // The generators assert on their domains (library contract); the CLI
-    // checks user input up front so bad specs become errors, not panics.
-    let at_least = |v: usize, min: usize, what: &str| -> Result<usize, String> {
-        if v < min {
-            Err(format!(
-                "{what} must be at least {min}, got {v} (see --help)"
-            ))
-        } else {
-            Ok(v)
-        }
-    };
-    Ok(
-        match (
-            parts.first().copied().unwrap_or(""),
-            parts.get(1),
-            parts.get(2),
-        ) {
-            ("complete", Some(n), _) => generators::complete(at_least(num(n)?, 1, "N")?),
-            ("cycle", Some(n), _) => generators::cycle(at_least(num(n)?, 3, "N")?),
-            ("path", Some(n), _) => generators::path(at_least(num(n)?, 1, "N")?),
-            ("star", Some(n), _) => generators::star(at_least(num(n)?, 2, "N")?),
-            ("wheel", Some(n), _) => generators::wheel(at_least(num(n)?, 4, "N")?),
-            ("grid", Some(d), _) => {
-                let (r, c) = pair(d)?;
-                generators::grid(at_least(r, 1, "R")?, at_least(c, 1, "C")?)
-            }
-            ("torus", Some(d), _) => {
-                let (r, c) = pair(d)?;
-                generators::torus(at_least(r, 3, "R")?, at_least(c, 3, "C")?)
-            }
-            ("bipartite", Some(d), _) => {
-                let (a, b) = pair(d)?;
-                generators::complete_bipartite(at_least(a, 1, "A")?, at_least(b, 1, "B")?)
-            }
-            ("hypercube", Some(d), _) => {
-                let d = num(d)?;
-                if !(1..=20).contains(&d) {
-                    return Err(format!("hypercube dimension must be in 1..=20, got {d}"));
-                }
-                generators::hypercube(d as u32)
-            }
-            ("binarytree", Some(d), _) => {
-                let d = num(d)?;
-                if d > 20 {
-                    return Err(format!("binary tree depth must be at most 20, got {d}"));
-                }
-                generators::binary_tree(d as u32)
-            }
-            ("petersen", _, _) => generators::petersen(),
-            ("barbell", Some(k), _) => generators::barbell(at_least(num(k)?, 2, "K")?),
-            ("lollipop", Some(k), Some(t)) => {
-                generators::lollipop(at_least(num(k)?, 2, "K")?, num(t)?)
-            }
-            ("kdense", Some(n), _) => generators::k_dense_irregular(at_least(num(n)?, 4, "N")?),
-            ("er", Some(n), Some(p)) => {
-                let p: f64 = p.parse().map_err(|_| format!("bad probability '{p}'"))?;
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("probability must be in [0,1], got {p}"));
-                }
-                let n = at_least(num(n)?, 1, "N")?;
-                if p == 0.0 && n > 1 {
-                    return Err(format!("G({n}, 0) can never be connected; use P > 0"));
-                }
-                generators::try_erdos_renyi_connected(n, p, rng).ok_or(format!(
-                    "G({n}, {p}) failed to come out connected in 1000 attempts; \
-                     P is far below the connectivity threshold ln(N)/N"
-                ))?
-            }
-            ("regular", Some(n), Some(d)) => {
-                let (n, d) = (at_least(num(n)?, 2, "N")?, num(d)?);
-                if d == 0 || d >= n {
-                    return Err(format!("regular graph needs 1 ≤ D < N, got D={d}, N={n}"));
-                }
-                if n.checked_mul(d).is_none_or(|nd| nd % 2 != 0) {
-                    return Err(format!("regular graph needs N·D even, got N={n}, D={d}"));
-                }
-                generators::try_random_regular(n, d, rng).ok_or(format!(
-                    "failed to sample a connected {d}-regular graph on {n} vertices"
-                ))?
-            }
-            _ => return Err(format!("unknown graph spec '{spec}' (see --help)")),
-        },
-    )
+    cct::graph::spec::parse_spec(spec, rng).map_err(|e| format!("{e} (see --help)"))
 }
 
 /// The phase sampler (`thm1` / `exact`) the CLI runs — one construction
@@ -197,11 +115,138 @@ fn print_tree(tree: &SpanningTree, dot: bool) {
     }
 }
 
+/// `cct serve`: bind the endpoint and serve until `--max-conns` is
+/// reached (or forever).
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut listen: Option<String> = None;
+    let mut options = cct::serve::ServeOptions::new();
+    let mut max_conns: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>, what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = Some(value(&mut it, "--listen")?),
+            "--workers" => {
+                let k: usize = value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad worker count")?;
+                if k == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                options = options.workers(k);
+            }
+            "--cache" => {
+                let k: usize = value(&mut it, "--cache")?
+                    .parse()
+                    .map_err(|_| "bad cache capacity")?;
+                if k == 0 {
+                    return Err("--cache must be at least 1".into());
+                }
+                options = options.cache_capacity(k);
+            }
+            "--max-conns" => {
+                max_conns = Some(
+                    value(&mut it, "--max-conns")?
+                        .parse()
+                        .map_err(|_| "bad connection count")?,
+                );
+            }
+            other => return Err(format!("unknown serve option '{other}' (see --help)")),
+        }
+    }
+    let listen = listen.ok_or("serve needs --listen (see --help)")?;
+    let endpoint = cct::serve::Endpoint::parse(&listen).map_err(|e| e.to_string())?;
+    cct::serve::serve_endpoint(&endpoint, options, max_conns, |addr| {
+        // Printed on stdout (and flushed by println!'s line buffering)
+        // so scripts can scrape the resolved address.
+        println!("serving on {addr}");
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// `cct request`: one request/response exchange against a running
+/// service. Trees go to stdout (stable across replays); rounds and
+/// cache metadata go to stderr.
+fn run_request(args: &[String]) -> Result<(), String> {
+    let mut connect: Option<String> = None;
+    let mut request = cct::serve::SampleRequest::new("complete:16");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>, what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--connect" => connect = Some(value(&mut it, "--connect")?),
+            "--graph" => request.graph_spec = value(&mut it, "--graph")?,
+            "--algorithm" => {
+                let name = value(&mut it, "--algorithm")?;
+                request.algorithm = cct::serve::Algorithm::parse(&name)
+                    .ok_or(format!("unknown algorithm '{name}' (thm1 or exact)"))?;
+            }
+            "--seed" => {
+                request.seed = value(&mut it, "--seed")?.parse().map_err(|_| "bad seed")?;
+            }
+            "--count" => {
+                request.count = value(&mut it, "--count")?
+                    .parse()
+                    .map_err(|_| "bad count")?;
+            }
+            other => return Err(format!("unknown request option '{other}' (see --help)")),
+        }
+    }
+    let connect = connect.ok_or("request needs --connect (see --help)")?;
+    let endpoint = cct::serve::Endpoint::parse(&connect).map_err(|e| e.to_string())?;
+    let frame = cct::serve::request_endpoint(&endpoint, &request).map_err(|e| e.to_string())?;
+    let missing = || "malformed response frame".to_string();
+    let draws = frame
+        .get("draws")
+        .and_then(|d| d.as_arr())
+        .ok_or_else(missing)?;
+    for draw in draws {
+        let edges = draw
+            .get("edges")
+            .and_then(|e| e.as_arr())
+            .ok_or_else(missing)?;
+        let rendered: Vec<String> = edges
+            .iter()
+            .map(|e| {
+                let pair = e.as_arr().ok_or_else(missing)?;
+                let u = pair.first().and_then(|v| v.as_u64()).ok_or_else(missing)?;
+                let v = pair.get(1).and_then(|v| v.as_u64()).ok_or_else(missing)?;
+                Ok(format!("{u}-{v}"))
+            })
+            .collect::<Result<_, String>>()?;
+        println!("tree: {}", rendered.join(" "));
+        let rounds = draw.get("rounds").and_then(|r| r.as_u64()).unwrap_or(0);
+        eprintln!("rounds: {rounds}");
+        if draw.get("failure").is_some() {
+            eprintln!("WARNING: Monte Carlo failure — arbitrary tree emitted");
+        }
+    }
+    if let Some(cache) = frame.get("cache") {
+        eprintln!(
+            "cache: hit = {}, prepares = {}",
+            cache.get("hit").map_or("?".into(), |h| h.compact()),
+            cache.get("prepares").and_then(|p| p.as_u64()).unwrap_or(0)
+        );
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{HELP}");
         return Ok(());
+    }
+    // The service subcommands have their own option grammars; dispatch
+    // before the sampler CLI parses anything.
+    match args.first().map(String::as_str) {
+        Some("serve") => return run_serve(&args[1..]),
+        Some("request") => return run_request(&args[1..]),
+        _ => {}
     }
     let mut algorithm = "thm1".to_string();
     let mut graph_spec = "complete:16".to_string();
@@ -283,15 +328,6 @@ fn run() -> Result<(), String> {
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let g = parse_graph(&graph_spec, &mut rng)?;
-    // Product (grid:RxC) and exponential (hypercube:D) specs can satisfy
-    // the per-parameter cap yet still blow past what the O(n²) simulator
-    // can hold — bound the built graph too, before any sampler allocates.
-    if g.n() > MAX_SPEC_SIZE {
-        return Err(format!(
-            "graph '{graph_spec}' has {} vertices — too large for the simulated clique (max {MAX_SPEC_SIZE})",
-            g.n()
-        ));
-    }
     eprintln!("graph: {} — n = {}, m = {}", graph_spec, g.n(), g.m());
 
     // Prepare-once/sample-many path: the graph-global preprocessing

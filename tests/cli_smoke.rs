@@ -1,5 +1,10 @@
 //! CLI smoke tests: every algorithm listed in `main.rs` must produce a valid
-//! spanning tree of the Petersen graph and exit 0.
+//! spanning tree of the Petersen graph and exit 0 — and the seed-42
+//! default runs must print exactly the pinned trees of
+//! `tests/common/fixtures.rs` (shared with `pinned_trees.rs`).
+
+#[path = "common/fixtures.rs"]
+mod fixtures;
 
 use cct::graph::{generators, Graph, SpanningTree};
 use std::process::Command;
@@ -74,6 +79,68 @@ fn dot_output_is_graphviz() {
         "petersen tree has 9 edges"
     );
     assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn seed42_output_matches_the_shared_pinned_fixtures() {
+    // The CLI's stdout is pinned to the same fixtures the library-level
+    // pinned_trees suite asserts — the two can never drift apart. The
+    // round total is printed on stderr and pinned too.
+    for (spec, _, tree, rounds) in fixtures::standard_suite() {
+        let out = run_cct(&["thm1", "--graph", spec, "--seed", "42"]);
+        assert!(out.status.success(), "thm1 --graph {spec} --seed 42 failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            stdout.trim_end(),
+            fixtures::tree_line(&tree),
+            "CLI tree drifted from the pinned fixture on {spec}"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("rounds: {rounds} over")),
+            "CLI round total drifted on {spec}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn samples_flag_draws_the_same_trees_as_sequential_trials() {
+    // The PreparedSampler contract surfaced at the CLI: `--samples K`
+    // must print exactly what `--trials K` prints, and adding
+    // `--workers N` must change neither — the combination the smoke
+    // matrix was missing.
+    let trials = run_cct(&[
+        "thm1", "--graph", "petersen", "--seed", "42", "--trials", "3",
+    ]);
+    assert!(trials.status.success());
+    for extra in [&[][..], &["--workers", "2"][..], &["--workers", "4"][..]] {
+        let mut args = vec![
+            "thm1",
+            "--graph",
+            "petersen",
+            "--seed",
+            "42",
+            "--samples",
+            "3",
+        ];
+        args.extend_from_slice(extra);
+        let samples = run_cct(&args);
+        assert!(
+            samples.status.success(),
+            "{args:?} failed: {}",
+            String::from_utf8_lossy(&samples.stderr)
+        );
+        assert_eq!(
+            samples.stdout, trials.stdout,
+            "--samples diverged from --trials with {extra:?}"
+        );
+    }
+    // And the first sampled tree is the pinned seed-42 fixture.
+    let first = fixtures::tree_line(&fixtures::standard_suite()[0].2);
+    assert_eq!(
+        String::from_utf8_lossy(&trials.stdout).lines().next(),
+        Some(first.as_str())
+    );
 }
 
 #[test]

@@ -1,84 +1,22 @@
 //! Pinned-seed regression fixtures for the hot-path refactor.
 //!
-//! The trees and round totals below were captured from `main` *before*
-//! the block-squaring / scratch-kernel / `PreparedSampler` rewrite (CLI:
-//! `cct thm1 --graph <spec> --seed 42`, i.e. the default Theorem-1
-//! config with 4 local threads). The linear-algebra refactor must be
+//! The trees and round totals live in `tests/common/fixtures.rs`,
+//! shared with `cli_smoke.rs` (which pins the CLI's printed output to
+//! the same expectations). The linear-algebra refactor must be
 //! bit-transparent: same seed, same tree, same ledger total — on every
 //! graph of the standard suite, through both the cold and the prepared
 //! path, and under the iterated-squaring Schur route too.
 //!
 //! If a change legitimately alters the sampled stream (a *semantic*
-//! change, not an optimization), these fixtures must be regenerated and
+//! change, not an optimization), the fixtures must be regenerated and
 //! the change called out loudly in the PR.
 
-use cct::core::{CliqueTreeSampler, SamplerConfig, SchurComputation};
-use cct::graph::{generators, Graph};
+#[path = "common/fixtures.rs"]
+mod fixtures;
+
+use cct::core::{CliqueTreeSampler, SchurComputation};
+use fixtures::{cli_config, exact_suite, standard_suite};
 use rand::SeedableRng;
-
-/// The CLI's default thm1 configuration (`src/main.rs` sequential path).
-fn cli_config() -> SamplerConfig {
-    SamplerConfig::new().threads(4)
-}
-
-fn edges(spec: &str) -> Vec<(usize, usize)> {
-    spec.split_whitespace()
-        .map(|e| {
-            let (u, v) = e.split_once('-').expect("u-v");
-            (u.parse().unwrap(), v.parse().unwrap())
-        })
-        .collect()
-}
-
-/// `(name, graph, pinned tree at seed 42, pinned total rounds)`.
-type Fixture = (&'static str, Graph, Vec<(usize, usize)>, u64);
-
-fn standard_suite() -> Vec<Fixture> {
-    vec![
-        (
-            "petersen",
-            generators::petersen(),
-            edges("0-1 0-5 1-2 2-3 3-4 5-7 5-8 6-8 7-9"),
-            1625,
-        ),
-        (
-            "complete:9",
-            generators::complete(9),
-            edges("0-2 1-2 1-7 3-7 3-8 4-8 5-6 6-7"),
-            1146,
-        ),
-        (
-            "grid:3x3",
-            generators::grid(3, 3),
-            edges("0-1 0-3 1-2 2-5 3-6 4-5 4-7 7-8"),
-            1159,
-        ),
-        (
-            "lollipop:5:4",
-            generators::lollipop(5, 4),
-            edges("0-2 0-4 1-2 2-3 4-5 5-6 6-7 7-8"),
-            1190,
-        ),
-        (
-            "cycle:8",
-            generators::cycle(8),
-            edges("0-1 0-7 1-2 2-3 3-4 4-5 5-6"),
-            1912,
-        ),
-        (
-            "kdense:9",
-            generators::k_dense_irregular(9),
-            edges("0-6 0-7 0-8 1-7 2-6 3-7 4-7 5-7"),
-            1188,
-        ),
-        (
-            "wheel:9",
-            generators::wheel(9),
-            edges("0-1 0-8 2-3 3-4 4-5 5-6 6-7 7-8"),
-            1134,
-        ),
-    ]
-}
 
 #[test]
 fn thm1_trees_are_byte_identical_to_pre_refactor_fixtures() {
@@ -113,29 +51,8 @@ fn prepared_path_reproduces_the_same_fixtures() {
 
 #[test]
 fn exact_variant_fixtures_hold() {
-    // The Appendix variant at the same seed (CLI: `cct exact --seed 42`).
-    let sampler = CliqueTreeSampler::new(SamplerConfig::exact_variant().threads(4));
-    let fixtures = [
-        (
-            "petersen",
-            generators::petersen(),
-            edges("0-5 1-2 1-6 2-7 3-4 3-8 4-9 5-7 6-8"),
-            2684u64,
-        ),
-        (
-            "complete:9",
-            generators::complete(9),
-            edges("0-1 0-4 0-5 1-8 2-4 3-8 6-7 6-8"),
-            2244,
-        ),
-        (
-            "grid:3x3",
-            generators::grid(3, 3),
-            edges("0-1 0-3 1-2 1-4 2-5 5-8 6-7 7-8"),
-            2244,
-        ),
-    ];
-    for (name, g, tree, rounds) in fixtures {
+    let sampler = CliqueTreeSampler::new(cct::core::SamplerConfig::exact_variant().threads(4));
+    for (name, g, tree, rounds) in exact_suite() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let report = sampler.sample(&g, &mut rng).unwrap();
         assert_eq!(report.tree.edges(), &tree[..], "tree changed on {name}");
