@@ -12,23 +12,27 @@ use cct_bench::experiments as ex;
 use cct_bench::{gate, json::Json};
 
 const HELP: &str = "\
-harness — regenerate the experiment tables (E1–E18, aux)
+harness — regenerate the experiment tables (E1–E19, aux)
 
 USAGE:
     harness [EXPERIMENT...] [OPTIONS]
 
 ARGUMENTS:
-    EXPERIMENT    experiments to run: e1 … e18, aux, or all (default all)
+    EXPERIMENT    experiments to run: e1 … e19, aux, or all (default all)
 
 OPTIONS:
     --quick           reduced-size sweep for fast iteration
-    --json PATH       write e18's machine-readable report to PATH (the
+    --json PATH       write the machine-readable report to PATH (the
                       file is re-parsed after writing; malformed output
-                      is a hard error). Only e18 emits JSON today.
-    --baseline PATH   compare e18's fresh report against a committed
-                      baseline (BENCH_e18.json): exit non-zero if
-                      prepared-mode throughput regressed more than 2x
-                      below the baseline on any overlapping row
+                      is a hard error). e18 and e19 emit JSON; select
+                      exactly one of them with this flag ('all' keeps
+                      the legacy behavior of writing e18's report).
+    --baseline PATH   compare the fresh report against a committed
+                      baseline (BENCH_e18.json / BENCH_e19.json): exit
+                      non-zero on a >2x regression of the gated metric
+                      on any overlapping row (e18: prepared-mode
+                      throughput; e19: the sparse backend's bytes
+                      reduction and wall-clock ratio)
     --help            this text
 ";
 
@@ -94,17 +98,27 @@ fn run() -> i32 {
         ("e17", ex::e17),
         ("aux", ex::failure_probe),
     ];
-    // e18 returns a report consumed by --json/--baseline, so it lives
-    // outside the fn(bool) table.
-    let known = |s: &str| s == "all" || s == "e18" || experiments.iter().any(|(n, _)| *n == s);
+    // e18 and e19 return reports consumed by --json/--baseline, so they
+    // live outside the fn(bool) table.
+    let known = |s: &str| {
+        s == "all" || s == "e18" || s == "e19" || experiments.iter().any(|(n, _)| *n == s)
+    };
     if let Some(bad) = selected.iter().find(|s| !known(s)) {
         eprintln!("error: unknown experiment '{bad}' (see --help)");
         return 2;
     }
-    if (json_path.is_some() || baseline_path.is_some())
-        && !(run_all || selected.iter().any(|s| s == "e18"))
-    {
-        eprintln!("error: --json/--baseline require e18 to be selected (see --help)");
+    let run_e18 = run_all || selected.iter().any(|s| s == "e18");
+    let run_e19 = run_all || selected.iter().any(|s| s == "e19");
+    let flags = json_path.is_some() || baseline_path.is_some();
+    if flags && !run_e18 && !run_e19 {
+        eprintln!("error: --json/--baseline require e18 or e19 to be selected (see --help)");
+        return 2;
+    }
+    // Which report the flags apply to: an explicit lone selection wins;
+    // 'all' keeps the legacy behavior (e18's report).
+    let json_experiment = if run_e19 && !run_e18 { "e19" } else { "e18" };
+    if flags && !run_all && run_e18 && run_e19 {
+        eprintln!("error: select only one of e18/e19 with --json/--baseline (see --help)");
         return 2;
     }
 
@@ -120,10 +134,22 @@ fn run() -> i32 {
             println!("[{name} done in {:.1?}]", t.elapsed());
         }
     }
-    if run_all || selected.iter().any(|s| s == "e18") {
+    let mut gated_report: Option<Json> = None;
+    for (name, runner) in [
+        ("e18", ex::e18 as fn(bool) -> Json),
+        ("e19", ex::e19 as fn(bool) -> Json),
+    ] {
+        if (name == "e18" && !run_e18) || (name == "e19" && !run_e19) {
+            continue;
+        }
         let t = std::time::Instant::now();
-        let report = ex::e18(quick);
-        println!("[e18 done in {:.1?}]", t.elapsed());
+        let report = runner(quick);
+        println!("[{name} done in {:.1?}]", t.elapsed());
+        if name == json_experiment {
+            gated_report = Some(report);
+        }
+    }
+    if let Some(report) = gated_report {
         if let Some(path) = &json_path {
             let text = report.pretty();
             if let Err(e) = std::fs::write(path, &text) {
@@ -143,7 +169,7 @@ fn run() -> i32 {
                 eprintln!("error: {path} is malformed JSON: {e}");
                 return 1;
             }
-            println!("e18 report written to {path}");
+            println!("{json_experiment} report written to {path}");
         }
         if let Some(path) = &baseline_path {
             let text = match std::fs::read_to_string(path) {
@@ -160,14 +186,14 @@ fn run() -> i32 {
                     return 1;
                 }
             };
-            match gate::check_e18_against_baseline(&report, &baseline) {
+            match gate::check_against_baseline(&report, &baseline) {
                 Ok(result) => {
                     println!("\nbaseline gate ({path}, 2x band):");
                     for line in &result.compared {
                         println!("  {line}");
                     }
                     if !result.passed() {
-                        eprintln!("error: throughput regressed beyond the 2x band:");
+                        eprintln!("error: gated metric regressed beyond the 2x band:");
                         for line in &result.regressions {
                             eprintln!("  {line}");
                         }

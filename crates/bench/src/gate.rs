@@ -38,6 +38,118 @@ fn throughput_key(row: &Json) -> Option<(String, i64, i64)> {
     ))
 }
 
+/// Dispatches a baseline comparison on the report's `experiment` field
+/// (`e18` or `e19`); the two documents must name the same experiment.
+///
+/// # Errors
+///
+/// Returns a description for malformed documents or mismatched
+/// experiments.
+pub fn check_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    let experiment = |doc: &Json, label: &str| {
+        doc.get("experiment")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or(format!("{label} report lacks an experiment field"))
+    };
+    let (cur, base) = (
+        experiment(current, "current")?,
+        experiment(baseline, "baseline")?,
+    );
+    if cur != base {
+        return Err(format!(
+            "experiment mismatch: current is {cur}, baseline is {base}"
+        ));
+    }
+    match cur.as_str() {
+        "e18" => check_e18_against_baseline(current, baseline),
+        "e19" => check_e19_against_baseline(current, baseline),
+        other => Err(format!("no baseline gate for experiment {other}")),
+    }
+}
+
+/// Row identity in e19's `rows` array: `(family, n)`.
+fn e19_key(row: &Json) -> Option<(String, i64)> {
+    Some((
+        row.get("family")?.as_str()?.to_string(),
+        row.get("n")?.as_f64()? as i64,
+    ))
+}
+
+/// Compares `current` against `baseline` (both `e19` reports).
+///
+/// Gated metrics, both **ratios** (so the gate is machine-independent):
+///
+/// * `bytes_reduction_sparse` — the sparse backend's resident-matrix
+///   saving must stay within [`REGRESSION_FACTOR`]× of the baseline's
+///   (the memory win is the tentpole; losing half of it is a
+///   regression);
+/// * `wall_ratio_sparse` — sparse wall-clock relative to dense must not
+///   grow past [`REGRESSION_FACTOR`]× the baseline ratio (floored at 1,
+///   so a baseline where sparse was *faster* doesn't tighten the band
+///   beyond "no worse than 2× dense").
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed `e19`
+/// report.
+pub fn check_e19_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("e19") {
+            return Err(format!("{label} report is not an e19 document"));
+        }
+    }
+    let current_rows = current
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("current report lacks a rows array")?;
+    let baseline_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline report lacks a rows array")?;
+
+    let mut report = GateReport {
+        compared: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for row in current_rows {
+        let Some(key) = e19_key(row) else {
+            return Err("current e19 row missing family/n".into());
+        };
+        let Some(base_row) = baseline_rows
+            .iter()
+            .find(|b| e19_key(b).as_ref() == Some(&key))
+        else {
+            continue; // not in the baseline (e.g. quick vs full sweep)
+        };
+        let metric = |doc: &Json, name: &str| {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("e19 row missing {name}"))
+        };
+        let cur_bytes = metric(row, "bytes_reduction_sparse")?;
+        let base_bytes = metric(base_row, "bytes_reduction_sparse")?;
+        let cur_wall = metric(row, "wall_ratio_sparse")?;
+        let base_wall = metric(base_row, "wall_ratio_sparse")?;
+        let bytes_floor = base_bytes / REGRESSION_FACTOR;
+        let wall_ceiling = base_wall.max(1.0) * REGRESSION_FACTOR;
+        let line = format!(
+            "{}/n={}: bytes ÷{:.2} (baseline ÷{:.2}, floor ÷{:.2}); wall ×{:.2} (ceiling ×{:.2})",
+            key.0, key.1, cur_bytes, base_bytes, bytes_floor, cur_wall, wall_ceiling
+        );
+        if cur_bytes < bytes_floor || cur_wall > wall_ceiling {
+            report.regressions.push(line.clone());
+        }
+        report.compared.push(line);
+    }
+    if report.compared.is_empty() {
+        report
+            .compared
+            .push("no overlapping e19 rows — nothing gated".into());
+    }
+    Ok(report)
+}
+
 /// Compares `current` against `baseline` (both `e18` reports).
 ///
 /// Gated metric: `throughput[].prepared_per_sec` — the serving-path
@@ -165,5 +277,60 @@ mod tests {
         let bad = Json::Obj(vec![("experiment".into(), Json::Str("e1".into()))]);
         assert!(check_e18_against_baseline(&good, &bad).is_err());
         assert!(check_e18_against_baseline(&bad, &good).is_err());
+    }
+
+    fn e19_report(rows: &[(&str, f64, f64, f64)]) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e19".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(fam, n, bytes, wall)| {
+                            Json::Obj(vec![
+                                ("family".into(), Json::Str(fam.into())),
+                                ("n".into(), Json::Num(n)),
+                                ("bytes_reduction_sparse".into(), Json::Num(bytes)),
+                                ("wall_ratio_sparse".into(), Json::Num(wall)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e19_gate_checks_bytes_floor_and_wall_ceiling() {
+        let baseline = e19_report(&[("cycle", 1025.0, 2.1, 0.8)]);
+        // Within band: bytes still ≥ 1.05, wall ≤ 2.0 (ceiling floored at 1×2).
+        let ok = check_e19_against_baseline(&e19_report(&[("cycle", 1025.0, 1.1, 1.9)]), &baseline)
+            .unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        // Memory win halved below the floor: regression.
+        let bad_bytes =
+            check_e19_against_baseline(&e19_report(&[("cycle", 1025.0, 1.0, 0.8)]), &baseline)
+                .unwrap();
+        assert!(!bad_bytes.passed());
+        // Sparse became > 2× slower than dense: regression.
+        let bad_wall =
+            check_e19_against_baseline(&e19_report(&[("cycle", 1025.0, 2.1, 2.5)]), &baseline)
+                .unwrap();
+        assert!(!bad_wall.passed());
+        // Non-overlapping rows pass vacuously.
+        let disjoint =
+            check_e19_against_baseline(&e19_report(&[("er", 256.0, 1.2, 1.0)]), &baseline).unwrap();
+        assert!(disjoint.passed());
+        assert!(disjoint.compared[0].contains("nothing gated"));
+    }
+
+    #[test]
+    fn dispatcher_routes_by_experiment_and_rejects_mismatches() {
+        let e18 = report(&[("er", 64.0, 6.0, 100.0)]);
+        let e19 = e19_report(&[("cycle", 257.0, 1.8, 1.0)]);
+        assert!(check_against_baseline(&e18, &e18).unwrap().passed());
+        assert!(check_against_baseline(&e19, &e19).unwrap().passed());
+        assert!(check_against_baseline(&e18, &e19).is_err());
+        assert!(check_against_baseline(&e19, &e18).is_err());
     }
 }

@@ -8,8 +8,86 @@
 //! the Appendix §5 setting (`ρ = ⌊n^{1/3}⌋`, Las Vegas, per-pair shuffle
 //! placement).
 
-use cct_linalg::FixedPoint;
+use cct_graph::Graph;
+use cct_linalg::{FixedPoint, Repr};
 use cct_sim::{Workers, ALPHA};
+
+/// Which transition-matrix representation the pipeline uses
+/// (`cct_linalg::PMatrix`).
+///
+/// All three backends produce **byte-identical trees and round
+/// ledgers** for the same seed — the sparse kernels accumulate in the
+/// same order as the dense ones (the `cct-linalg` bit-identity
+/// contract), so the knob trades memory and wall-clock only. `Auto`
+/// starts sparse exactly when the input graph is sparse enough for CSR
+/// to win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// Pick per input graph: sparse for large low-density inputs,
+    /// dense otherwise (the default).
+    Auto,
+    /// Always dense row-major storage (the pre-backend behavior).
+    Dense,
+    /// Start in CSR; the fill-in tracker still promotes densified
+    /// powers to dense storage at the memory break-even.
+    Sparse,
+}
+
+impl Backend {
+    /// All backends, for sweeps.
+    pub const ALL: [Backend; 3] = [Backend::Auto, Backend::Dense, Backend::Sparse];
+
+    /// `Auto` only considers the sparse representation at or above this
+    /// vertex count (below it, dense buffers are trivially small).
+    pub const AUTO_MIN_N: usize = 64;
+
+    /// The CLI/wire name (`auto` / `dense` / `sparse`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Auto => "auto",
+            Backend::Dense => "dense",
+            Backend::Sparse => "sparse",
+        }
+    }
+
+    /// Parses a CLI/wire name.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "auto" => Some(Backend::Auto),
+            "dense" => Some(Backend::Dense),
+            "sparse" => Some(Backend::Sparse),
+            _ => None,
+        }
+    }
+
+    /// The representation this backend starts `g`'s pipeline in.
+    /// `Auto` goes sparse when `n ≥ `[`Backend::AUTO_MIN_N`] and the
+    /// transition matrix's fill (one entry per directed edge plus
+    /// isolated-vertex self-loops) is at most 1/8 — comfortably below
+    /// CSR's ≈ 2/3 memory break-even, so the choice pays off even after
+    /// a level or two of fill-in.
+    pub fn resolve(self, g: &Graph) -> Repr {
+        match self {
+            Backend::Dense => Repr::Dense,
+            Backend::Sparse => Repr::Sparse,
+            Backend::Auto => {
+                let n = g.n();
+                let nnz = 2 * g.m() + n; // upper bound: every row gets its degree, +1 slack
+                if n >= Backend::AUTO_MIN_N && nnz.saturating_mul(8) <= n * n {
+                    Repr::Sparse
+                } else {
+                    Repr::Dense
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// How the target walk length `ℓ` is chosen per phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,6 +249,9 @@ pub struct SamplerConfig {
     /// Local-compute threads for matrix work (the effective thread count
     /// is the max of this and the resolved `workers`).
     pub threads: usize,
+    /// Transition-matrix representation backend (memory/speed only —
+    /// trees and ledgers are byte-identical across backends).
+    pub backend: Backend,
     /// Swap-chain steps per slot for large matching instances.
     pub swap_steps_per_slot: usize,
     /// Hard cap on materialized partial-walk entries (safety net; the
@@ -192,6 +273,7 @@ impl SamplerConfig {
             precision: Precision::Float64,
             workers: Workers::Sequential,
             threads: 1,
+            backend: Backend::Auto,
             swap_steps_per_slot: 64,
             max_grid_len: 8_000_000,
         }
@@ -254,6 +336,21 @@ impl SamplerConfig {
     /// Sets local-compute threads.
     pub fn threads(mut self, t: usize) -> Self {
         self.threads = t.max(1);
+        self
+    }
+
+    /// Sets the transition-matrix representation backend.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cct_core::{Backend, SamplerConfig};
+    ///
+    /// let config = SamplerConfig::new().backend(Backend::Sparse);
+    /// assert_eq!(config.backend, Backend::Sparse);
+    /// ```
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
         self
     }
 
@@ -342,5 +439,26 @@ mod tests {
         let w = WalkLength::ScaledCubic { factor: 2.0 };
         let l = w.resolve(8);
         assert!(l >= 1024 && l.is_power_of_two());
+    }
+
+    #[test]
+    fn backend_resolution_and_names() {
+        use cct_graph::generators;
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(Backend::parse("csr"), None);
+        // Forced backends ignore the graph.
+        let k8 = generators::complete(8);
+        assert_eq!(Backend::Sparse.resolve(&k8), Repr::Sparse);
+        assert_eq!(Backend::Dense.resolve(&k8), Repr::Dense);
+        // Auto: small graphs stay dense; large sparse graphs go sparse;
+        // large dense graphs stay dense.
+        assert_eq!(Backend::Auto.resolve(&generators::cycle(16)), Repr::Dense);
+        assert_eq!(Backend::Auto.resolve(&generators::cycle(256)), Repr::Sparse);
+        assert_eq!(
+            Backend::Auto.resolve(&generators::complete(128)),
+            Repr::Dense
+        );
     }
 }

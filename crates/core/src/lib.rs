@@ -48,7 +48,8 @@ mod sampler;
 
 pub use cct_sim::Workers;
 pub use config::{
-    EngineChoice, Placement, Precision, SamplerConfig, SchurComputation, Variant, WalkLength,
+    Backend, EngineChoice, Placement, Precision, SamplerConfig, SchurComputation, Variant,
+    WalkLength,
 };
 pub use direction4::{direction4_sample, Direction4Report};
 pub use phase::PhaseError;

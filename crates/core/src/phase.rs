@@ -12,7 +12,7 @@
 
 use crate::config::{Placement, SamplerConfig, Variant};
 use crate::report::PhaseMethod;
-use cct_linalg::{sample_index, Matrix};
+use cct_linalg::{sample_index, PMatrix};
 use cct_matching::{
     sample_per_group_shuffle, Assignment, ExactPermanentSampler, MatchingInstance,
     SwapChainSampler, MAX_EXACT_SLOTS,
@@ -109,6 +109,51 @@ impl PhaseWalkResult {
     }
 }
 
+/// The phase's power table: a borrowed base (the prepared phase-1 cache
+/// or this phase's freshly built table — never cloned) plus the
+/// transient levels Las Vegas extensions append per walk. Splitting the
+/// two keeps the prepared path allocation-free for the common
+/// no-extension draw and halves its peak matrix footprint (the old path
+/// cloned the whole table every sample).
+pub(crate) struct PowerTable<'a> {
+    base: &'a [PMatrix],
+    extra: Vec<PMatrix>,
+}
+
+impl<'a> PowerTable<'a> {
+    /// Wraps a borrowed base table.
+    pub(crate) fn new(base: &'a [PMatrix]) -> Self {
+        PowerTable {
+            base,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Level `k` holds `T^{2^k}`.
+    pub(crate) fn level(&self, k: usize) -> &PMatrix {
+        if k < self.base.len() {
+            &self.base[k]
+        } else {
+            &self.extra[k - self.base.len()]
+        }
+    }
+
+    /// Total levels (base + extensions).
+    pub(crate) fn len(&self) -> usize {
+        self.base.len() + self.extra.len()
+    }
+
+    /// The highest level.
+    pub(crate) fn last(&self) -> &PMatrix {
+        self.level(self.len() - 1)
+    }
+
+    /// Appends an extension level.
+    pub(crate) fn push(&mut self, m: PMatrix) {
+        self.extra.push(m);
+    }
+}
+
 /// Leader-local walk generation after collecting the `|S| × |S|`
 /// transition matrix — used when `|S| ≤ ρ` (final phases; the matrix fits
 /// in the same `O(1)`-round budget as the paper's submatrix collection)
@@ -116,7 +161,7 @@ impl PhaseWalkResult {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
     clique: &mut Clique,
-    t0: &Matrix,
+    t0: &PMatrix,
     s: &VertexSubset,
     start: usize,
     rho: usize,
@@ -148,7 +193,9 @@ pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
                 }
             }
         }
-        let next = sample_index(rng, t0.row(cur)).ok_or(PhaseError::DegenerateDistribution)?;
+        let next = t0
+            .sample_row(rng, cur)
+            .ok_or(PhaseError::DegenerateDistribution)?;
         walk.push(next);
         seen.insert(next);
         cur = next;
@@ -169,19 +216,35 @@ pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
 /// the even-granularity levels of the top-down filling can never reach
 /// the distinct-vertex budget and the partial walk would balloon.
 pub(crate) fn is_degenerate_bipartite(
-    t0: &Matrix,
+    t0: &PMatrix,
     s: &VertexSubset,
     start: usize,
     rho: usize,
 ) -> bool {
     let n = t0.rows();
+    // Undirected support graph: `u ~ v` iff either direction carries
+    // mass above the threshold. One pass over the stored entries builds
+    // the symmetric adjacency (sparse rows make this O(nnz), not O(n²));
+    // the 2-coloring below is traversal-order independent, so this
+    // computes exactly the answer of a dense double-sided scan.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in 0..n {
+        t0.for_each_in_row(u, |v, val| {
+            if val > 1e-15 {
+                adj[u].push(v);
+                if v != u {
+                    adj[v].push(u);
+                }
+            }
+        });
+    }
     let mut color = vec![u8::MAX; n];
     color[start] = 0;
     let mut stack = vec![start];
     let mut side0 = 1usize;
     while let Some(u) = stack.pop() {
-        for v in 0..n {
-            if !s.contains(v) || (t0[(u, v)] <= 1e-15 && t0[(v, u)] <= 1e-15) {
+        for &v in &adj[u] {
+            if !s.contains(v) {
                 continue;
             }
             if color[v] == u8::MAX {
@@ -191,7 +254,7 @@ pub(crate) fn is_degenerate_bipartite(
                 }
                 stack.push(v);
             } else if color[v] == color[u] {
-                return false; // odd cycle: not bipartite
+                return false; // odd cycle (or self-loop): not bipartite
             }
         }
     }
@@ -199,16 +262,16 @@ pub(crate) fn is_degenerate_bipartite(
 }
 
 /// The full distributed top-down truncated walk (Outline 3, steps 4–5),
-/// including Las Vegas extensions. `powers[k]` must hold the padded
-/// `T^{2^k}` for `k = 0 ..= log₂ ell`; the table is extended (through the
-/// engine, charging rounds) when Las Vegas doubles `ℓ`. `workers` is the
-/// resolved worker-pool width for the midpoint fan-out (the sampler
-/// resolves one width for every parallel section).
+/// including Las Vegas extensions. `powers.level(k)` must hold the
+/// padded `T^{2^k}` for `k = 0 ..= log₂ ell`; the table is extended
+/// (through the engine, charging rounds) when Las Vegas doubles `ℓ`.
+/// `workers` is the resolved worker-pool width for the midpoint fan-out
+/// (the sampler resolves one width for every parallel section).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn top_down_phase<R: Rng + ?Sized>(
     clique: &mut Clique,
     engine: &dyn MatMulEngine,
-    powers: &mut Vec<Matrix>,
+    powers: &mut PowerTable<'_>,
     s: &VertexSubset,
     start: usize,
     rho: usize,
@@ -258,12 +321,15 @@ pub(crate) fn top_down_phase<R: Rng + ?Sized>(
                 ell = ell.saturating_mul(2);
                 extensions += 1;
                 // Extend the power table by one squaring (charged).
-                let last = powers.last().expect("non-empty table");
-                let sq = engine.multiply(clique, last, last);
-                powers.push(match config.precision {
-                    crate::config::Precision::Fixed(fp) => fp.truncate_matrix(&sq),
-                    crate::config::Precision::Float64 => sq,
-                });
+                // Extensions land in the table's transient tail — the
+                // borrowed base (e.g. the prepared phase-1 cache) is
+                // never touched.
+                let last = powers.last();
+                let mut sq = engine.multiply_p(clique, last, last);
+                if let crate::config::Precision::Fixed(fp) = config.precision {
+                    sq.truncate_inplace(fp);
+                }
+                powers.push(sq);
             }
         }
     }
@@ -283,7 +349,7 @@ pub(crate) fn top_down_phase<R: Rng + ?Sized>(
 #[allow(clippy::too_many_arguments)]
 fn run_segment<R: Rng + ?Sized>(
     clique: &mut Clique,
-    powers: &[Matrix],
+    powers: &PowerTable<'_>,
     s: &VertexSubset,
     start: usize,
     rho: usize,
@@ -304,15 +370,17 @@ fn run_segment<R: Rng + ?Sized>(
     let n = clique.n();
 
     // Step 4 of Outline 3: the leader samples W[ℓ] from T^ℓ[start, ·].
-    let endpoint =
-        sample_index(rng, powers[levels].row(start)).ok_or(PhaseError::DegenerateDistribution)?;
+    let endpoint = powers
+        .level(levels)
+        .sample_row(rng, start)
+        .ok_or(PhaseError::DegenerateDistribution)?;
     let mut grid: Vec<usize> = vec![start, endpoint];
 
     for level in 1..=levels {
         if grid.len() * 2 > config.max_grid_len {
             return Err(PhaseError::GridCapExceeded);
         }
-        let th = &powers[levels - level]; // T^{δ/2}, δ = ell / 2^{level-1}
+        let th = powers.level(levels - level); // T^{δ/2}, δ = ell / 2^{level-1}
 
         // ── Algorithm 2: midpoint requests and generation. The leader
         // counts pair occurrences, designates machines M_{p,q} (at most
@@ -368,7 +436,11 @@ fn run_segment<R: Rng + ?Sized>(
         let fan_seed: u64 = rng.gen();
         let sequences: Vec<Vec<usize>> = par_map(num_pairs, workers, |id| {
             let (p, q) = pairs[id];
-            let weights: Vec<f64> = s.list().iter().map(|&j| th[(p, j)] * th[(j, q)]).collect();
+            let weights: Vec<f64> = s
+                .list()
+                .iter()
+                .map(|&j| th.get(p, j) * th.get(j, q))
+                .collect();
             let total: f64 = weights.iter().sum();
             if total.is_nan() || total <= 0.0 {
                 return Vec::new(); // degenerate — detected below
@@ -503,7 +575,7 @@ fn run_segment<R: Rng + ?Sized>(
 #[allow(clippy::too_many_arguments)]
 fn place_midpoints<R: Rng + ?Sized>(
     clique: &mut Clique,
-    th: &Matrix,
+    th: &PMatrix,
     grid: &[usize],
     mids: &[usize],
     pair_of: &[usize],
@@ -602,7 +674,7 @@ fn place_midpoints<R: Rng + ?Sized>(
                         .iter()
                         .map(|&g| {
                             let (p, q) = pairs[g];
-                            th[(p, v)] * th[(v, q)]
+                            th.get(p, v) * th.get(v, q)
                         })
                         .collect()
                 })
@@ -686,8 +758,11 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(seed)
     }
 
-    fn padded_powers(t0: &Matrix, levels: usize) -> Vec<Matrix> {
+    fn padded_powers(t0: &cct_linalg::Matrix, levels: usize) -> Vec<PMatrix> {
         cct_linalg::powers_of_two(t0, levels + 1, 1)
+            .into_iter()
+            .map(PMatrix::Dense)
+            .collect()
     }
 
     #[test]
@@ -696,7 +771,8 @@ mod tests {
         let s = VertexSubset::full(8);
         let t0 = g.transition_matrix();
         let ell = 256u64;
-        let mut powers = padded_powers(&t0, ell.trailing_zeros() as usize);
+        let base = padded_powers(&t0, ell.trailing_zeros() as usize);
+        let mut powers = PowerTable::new(&base);
         let mut clique = Clique::new(8);
         let config = SamplerConfig::new();
         let mut r = rng(1);
@@ -727,7 +803,7 @@ mod tests {
     fn direct_local_phase_reaches_budget() {
         let g = generators::complete(6);
         let s = VertexSubset::full(6);
-        let t0 = g.transition_matrix();
+        let t0 = PMatrix::Dense(g.transition_matrix());
         let mut clique = Clique::new(6);
         let mut r = rng(2);
         let res = direct_local_phase(
@@ -753,7 +829,7 @@ mod tests {
         // A 2-step budget cannot visit 8 distinct vertices of a path.
         let g = generators::path(8);
         let s = VertexSubset::full(8);
-        let t0 = g.transition_matrix();
+        let t0 = PMatrix::Dense(g.transition_matrix());
         let mut clique = Clique::new(8);
         let mut r = rng(3);
         let res =
@@ -764,15 +840,18 @@ mod tests {
     #[test]
     fn degenerate_bipartite_detection() {
         // Path graph: bipartite. From an end vertex, the start side of P4
-        // is {0, 2}: degenerate iff rho > 2.
+        // is {0, 2}: degenerate iff rho > 2. Both representations must
+        // answer identically.
         let g = generators::path(4);
         let s = VertexSubset::full(4);
-        let t0 = g.transition_matrix();
-        assert!(!is_degenerate_bipartite(&t0, &s, 0, 2));
-        assert!(is_degenerate_bipartite(&t0, &s, 0, 3));
+        for repr in [cct_linalg::Repr::Dense, cct_linalg::Repr::Sparse] {
+            let t0 = g.transition_pmatrix(repr);
+            assert!(!is_degenerate_bipartite(&t0, &s, 0, 2), "{repr:?}");
+            assert!(is_degenerate_bipartite(&t0, &s, 0, 3), "{repr:?}");
+        }
         // Triangle: not bipartite, never degenerate.
         let g = generators::complete(3);
-        let t0 = g.transition_matrix();
+        let t0 = PMatrix::Dense(g.transition_matrix());
         let s = VertexSubset::full(3);
         assert!(!is_degenerate_bipartite(&t0, &s, 0, 3));
     }
@@ -780,7 +859,10 @@ mod tests {
     #[test]
     fn two_vertex_schur_is_degenerate() {
         // |S| = 2: a single edge, bipartite with side(start) = 1 < ρ = 2.
-        let t0 = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let t0 = PMatrix::Dense(cct_linalg::Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ]));
         let s = VertexSubset::full(2);
         assert!(is_degenerate_bipartite(&t0, &s, 0, 2));
     }
@@ -791,10 +873,11 @@ mod tests {
         let s = VertexSubset::full(10);
         let t0 = g.transition_matrix();
         let ell = 1024u64;
-        let mut powers = padded_powers(&t0, ell.trailing_zeros() as usize);
+        let base = padded_powers(&t0, ell.trailing_zeros() as usize);
         let config = SamplerConfig::new();
         let mut r = rng(4);
         for _ in 0..10 {
+            let mut powers = PowerTable::new(&base);
             let mut clique = Clique::new(10);
             let res = top_down_phase(
                 &mut clique,
@@ -825,7 +908,8 @@ mod tests {
         let g = generators::path(6);
         let s = VertexSubset::full(6);
         let t0 = g.transition_matrix();
-        let mut powers = padded_powers(&t0, 1);
+        let base = padded_powers(&t0, 1);
+        let mut powers = PowerTable::new(&base);
         let config = SamplerConfig {
             variant: Variant::LasVegas,
             ..SamplerConfig::new()

@@ -14,16 +14,17 @@ use crate::config::{
 };
 use crate::phase::{
     direct_local_phase, is_degenerate_bipartite, top_down_phase, PhaseError, PhaseWalkResult,
+    PowerTable,
 };
 use crate::report::{PhaseReport, SampleReport};
 use cct_graph::{Graph, SpanningTree};
-use cct_linalg::Matrix;
+use cct_linalg::{CsrMatrix, Matrix, PMatrix, Repr};
 use cct_schur::{
-    sample_first_visit_edge_with, schur_transition_from_shortcut, shortcut_by_squaring,
+    sample_first_visit_edge_with, schur_transition_from_shortcut_p, shortcut_by_squaring_pmatrix,
     shortcut_exact, VertexSubset,
 };
 use cct_sim::{
-    distributed_powers, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
+    distributed_powers_p, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
     SemiringEngine, UnitCostEngine,
 };
 use rand::Rng;
@@ -133,6 +134,9 @@ struct ResolvedConfig {
     fp: Option<cct_linalg::FixedPoint>,
     rho: usize,
     ell0: u64,
+    /// The matrix representation the backend knob resolved to for this
+    /// input graph (memory/speed only — results are backend-invariant).
+    repr: Repr,
 }
 
 fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
@@ -177,6 +181,7 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
         fp,
         rho,
         ell0,
+        repr: config.backend.resolve(g),
     }
 }
 
@@ -187,24 +192,31 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
 /// cold path.
 #[derive(Debug)]
 struct Phase1Cache {
-    powers: Vec<Matrix>,
+    /// The doubling table as [`PMatrix`] levels: on a sparse backend
+    /// the early levels stay CSR — several orders of magnitude smaller
+    /// than their dense shape — and only the fill-in-promoted tail pays
+    /// dense storage. This is where the sparse backend's memory win
+    /// lands.
+    powers: Vec<PMatrix>,
     ledger: RoundLedger,
 }
 
 /// The shortcut matrix `Q` of a phase. Phase 1 has `S = V`, where a
 /// walk's pre-`S` vertex is simply its previous vertex: `Q` is the
 /// identity, represented symbolically instead of as a dense `n × n`
-/// allocation that is read `O(deg)` times.
+/// allocation that is read `O(deg)` times. Later phases hold `Q` in
+/// either representation; Algorithm 4 reads it entry-wise (CSR rows are
+/// never densified for it).
 enum PhaseShortcut {
     Identity,
-    Dense(Matrix),
+    Mat(PMatrix),
 }
 
 impl PhaseShortcut {
     fn weight(&self, u0: usize, u: usize) -> f64 {
         match self {
             PhaseShortcut::Identity => f64::from(u0 == u),
-            PhaseShortcut::Dense(q) => q[(u0, u)],
+            PhaseShortcut::Mat(q) => q.get(u0, u),
         }
     }
 }
@@ -214,7 +226,7 @@ impl PhaseShortcut {
 /// route) the cached phase-1 doubling table.
 #[derive(Debug)]
 struct PreparedData {
-    p: Matrix,
+    p: PMatrix,
     phase1: Option<Phase1Cache>,
 }
 
@@ -249,15 +261,17 @@ fn sample_with<R: Rng + ?Sized>(
         fp,
         rho,
         ell0,
+        repr,
     } = resolve_config(config, g);
     let rounds_per_mult = engine.rounds_for_multiply(n);
 
     let mut clique = Clique::new(n);
     // The prepared path borrows the transition matrix computed once in
-    // `prepare()`; the cold path builds it per call.
-    let p: Cow<'_, Matrix> = match prepared {
+    // `prepare()`; the cold path builds it per call (in the backend's
+    // representation — CSR straight from the adjacency lists, no n²).
+    let p: Cow<'_, PMatrix> = match prepared {
         Some(d) => Cow::Borrowed(&d.p),
-        None => Cow::Owned(g.transition_matrix()),
+        None => Cow::Owned(g.transition_pmatrix(repr)),
     };
     let p = p.as_ref();
     let mut visited = vec![false; n];
@@ -281,13 +295,16 @@ fn sample_with<R: Rng + ?Sized>(
         // cloned) and the shortcut matrix is the symbolic identity (a
         // walk's pre-S vertex is its previous vertex) — phase 1 allocates
         // no n² scratch at all.
-        let (t0, q): (Cow<'_, Matrix>, PhaseShortcut) = if s.len() == n {
+        let (t0, q): (Cow<'_, PMatrix>, PhaseShortcut) = if s.len() == n {
             (Cow::Borrowed(p), PhaseShortcut::Identity)
         } else {
             let q = match config.schur {
-                SchurComputation::ExactSolve => shortcut_exact(g, &s),
+                SchurComputation::ExactSolve => PMatrix::Dense(shortcut_exact(g, &s)),
                 SchurComputation::IteratedSquaring { tol } => {
-                    shortcut_by_squaring(g, &s, tol, 64).0
+                    // The adaptive route: starts in the backend's
+                    // representation, promoting per the fill-in tracker;
+                    // bit-identical to the dense block route.
+                    shortcut_by_squaring_pmatrix(g, &s, tol, 64, repr).0
                 }
             };
             // Corollary 2's chain is 2n × 2n: charge the paper's
@@ -302,15 +319,15 @@ fn sample_with<R: Rng + ?Sized>(
             clique
                 .ledger_mut()
                 .charge(CostCategory::MatMul, squarings * 4 * rounds_per_mult);
-            let trans_local = schur_transition_from_shortcut(g, &s, &q);
+            let trans_local = schur_transition_from_shortcut_p(g, &s, &q);
             // Corollary 3: one more product (Q·R) plus local
             // normalization.
             clique
                 .ledger_mut()
                 .charge(CostCategory::MatMul, rounds_per_mult);
             (
-                Cow::Owned(pad_to_global(&trans_local, &s, n)),
-                PhaseShortcut::Dense(q),
+                Cow::Owned(pad_to_global(&trans_local, &s, n, repr)),
+                PhaseShortcut::Mat(q),
             )
         };
 
@@ -335,19 +352,28 @@ fn sample_with<R: Rng + ?Sized>(
             // Phase 1's table is the doubling table of P itself —
             // graph-global work the prepared path computed once.
             // Replaying the cached ledger keeps the round accounting
-            // bit-identical to the cold recomputation.
+            // bit-identical to the cold recomputation. The cached levels
+            // are *borrowed* (Las Vegas extensions land in the table's
+            // transient tail), so a prepared draw allocates no copy of
+            // the table at all.
             let cached = if s.len() == n {
                 prepared.and_then(|d| d.phase1.as_ref())
             } else {
                 None
             };
-            let mut powers = match cached {
+            let owned_powers;
+            let base: &[PMatrix] = match cached {
                 Some(cache) => {
                     clique.ledger_mut().merge(&cache.ledger);
-                    cache.powers.clone()
+                    &cache.powers
                 }
-                None => distributed_powers(&mut clique, engine.as_ref(), &t0, levels + 1, fp),
+                None => {
+                    owned_powers =
+                        distributed_powers_p(&mut clique, engine.as_ref(), &t0, levels + 1, fp);
+                    &owned_powers
+                }
             };
+            let mut powers = PowerTable::new(base);
             match top_down_phase(
                 &mut clique,
                 engine.as_ref(),
@@ -492,7 +518,8 @@ impl PreparedSampler {
         if !g.is_connected() {
             return Err(SampleTreeError::Disconnected);
         }
-        let p = g.transition_matrix();
+        let repr = config.backend.resolve(g);
+        let p = g.transition_pmatrix(repr);
         let phase1 = if n > 1 {
             let ResolvedConfig {
                 engine,
@@ -515,7 +542,8 @@ impl PreparedSampler {
                 // capture the exact ledger charges for per-sample replay.
                 let levels = ell0.trailing_zeros() as usize;
                 let mut scratch = Clique::new(n);
-                let powers = distributed_powers(&mut scratch, engine.as_ref(), &p, levels + 1, fp);
+                let powers =
+                    distributed_powers_p(&mut scratch, engine.as_ref(), &p, levels + 1, fp);
                 Some(Phase1Cache {
                     powers,
                     ledger: scratch.take_ledger(),
@@ -539,6 +567,27 @@ impl PreparedSampler {
     /// The active configuration.
     pub fn config(&self) -> &SamplerConfig {
         &self.config
+    }
+
+    /// The matrix representation the backend knob resolved to for this
+    /// graph.
+    pub fn repr(&self) -> Repr {
+        self.data.p.repr()
+    }
+
+    /// Resident matrix bytes held by the prepared state: the transition
+    /// matrix plus every cached phase-1 doubling-table level. This is
+    /// the allocation that pins the practical size cap (a dense 8192²
+    /// `f64` matrix is 512 MB, and the table retains `log₂ ℓ` of them);
+    /// the sparse backend's whole memory win is visible here, and
+    /// experiment `e19` reports it as `peak_matrix_bytes`.
+    pub fn matrix_bytes(&self) -> usize {
+        let table: usize = self
+            .data
+            .phase1
+            .as_ref()
+            .map_or(0, |c| c.powers.iter().map(PMatrix::memory_bytes).sum());
+        self.data.p.memory_bytes() + table
     }
 
     /// Samples a spanning tree, reusing the prepared graph-global work.
@@ -612,15 +661,52 @@ fn charged_schur_squarings(n: usize) -> u64 {
 /// Embeds the `|S| × |S|` local transition matrix into global `n × n`
 /// space as `diag(T, I)`: powers restrict to the `S` block, so the walk
 /// machinery can stay in global vertex ids.
-fn pad_to_global(local: &Matrix, s: &VertexSubset, n: usize) -> Matrix {
-    let mut out = Matrix::identity(n);
-    for (i, &u) in s.list().iter().enumerate() {
-        out[(u, u)] = 0.0;
-        for (j, &v) in s.list().iter().enumerate() {
-            out[(u, v)] = local[(i, j)];
+///
+/// The sparse representation stores one entry per identity row outside
+/// `S` plus the (zero-dropped) `S` block — for late phases, where
+/// `|S| ≪ n`, that is `n + |S|²` entries instead of `n²` slots. Values
+/// are identical bit for bit in both representations.
+fn pad_to_global(local: &Matrix, s: &VertexSubset, n: usize, repr: Repr) -> PMatrix {
+    match repr {
+        Repr::Dense => {
+            let mut out = Matrix::identity(n);
+            for (i, &u) in s.list().iter().enumerate() {
+                out[(u, u)] = 0.0;
+                for (j, &v) in s.list().iter().enumerate() {
+                    out[(u, v)] = local[(i, j)];
+                }
+            }
+            PMatrix::Dense(out)
+        }
+        Repr::Sparse => {
+            // Column-sorted scatter of each S-row; `s.list()` is not
+            // necessarily sorted, so sort each row's (global column,
+            // value) pairs before pushing.
+            let mut local_of = vec![usize::MAX; n];
+            for (i, &u) in s.list().iter().enumerate() {
+                local_of[u] = i;
+            }
+            let mut b = CsrMatrix::builder(n, n);
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(s.len());
+            for (u, &local_idx) in local_of.iter().enumerate() {
+                if local_idx == usize::MAX {
+                    b.push(u, 1.0);
+                } else {
+                    let i = local_idx;
+                    row.clear();
+                    for (j, &v) in s.list().iter().enumerate() {
+                        row.push((v, local[(i, j)]));
+                    }
+                    row.sort_unstable_by_key(|&(v, _)| v);
+                    for &(v, x) in &row {
+                        b.push(v, x);
+                    }
+                }
+                b.finish_row();
+            }
+            PMatrix::Sparse(b.build())
         }
     }
-    out
 }
 
 /// An arbitrary (BFS) spanning tree — the Monte Carlo failure output.

@@ -6,7 +6,7 @@
 //! all weights 1).
 
 use crate::DisjointSet;
-use cct_linalg::Matrix;
+use cct_linalg::{CsrMatrix, Matrix, PMatrix, Repr};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -243,6 +243,36 @@ impl Graph {
         p
     }
 
+    /// [`Graph::transition_matrix`] in the requested representation.
+    ///
+    /// The sparse route builds CSR **directly from the adjacency lists**
+    /// (already sorted by neighbor id, i.e. already in CSR row order)
+    /// without ever allocating the `n × n` dense buffer — one row per
+    /// machine, `O(deg)` entries per row, exactly the paper's §1.6
+    /// distribution. Entry values are computed with the same `w / deg(u)`
+    /// arithmetic as the dense route, so the two representations hold
+    /// bit-identical probabilities.
+    pub fn transition_pmatrix(&self, repr: Repr) -> PMatrix {
+        match repr {
+            Repr::Dense => PMatrix::Dense(self.transition_matrix()),
+            Repr::Sparse => {
+                let mut b = CsrMatrix::builder(self.n, self.n);
+                for u in 0..self.n {
+                    let d = self.degree(u);
+                    if d == 0.0 {
+                        b.push(u, 1.0);
+                    } else {
+                        for &(v, w) in &self.adj[u] {
+                            b.push(v, w / d);
+                        }
+                    }
+                    b.finish_row();
+                }
+                PMatrix::Sparse(b.build())
+            }
+        }
+    }
+
     /// The graph Laplacian `L = D − A` (§1.7).
     pub fn laplacian(&self) -> Matrix {
         let mut l = Matrix::zeros(self.n, self.n);
@@ -434,5 +464,21 @@ mod tests {
         let p = g.transition_matrix();
         assert_eq!(p[(2, 2)], 1.0);
         assert!(is_row_stochastic(&p, 1e-12));
+    }
+
+    #[test]
+    fn transition_pmatrix_is_bit_identical_across_representations() {
+        let weighted =
+            Graph::from_weighted_edges(4, &[(0, 1, 3.0), (0, 2, 1.0), (2, 3, 2.0)]).unwrap();
+        for g in [triangle_plus_leaf(), weighted] {
+            let dense = g.transition_matrix();
+            let sparse = g.transition_pmatrix(Repr::Sparse);
+            assert!(sparse.is_sparse());
+            assert_eq!(sparse.to_dense(), dense, "sparse CSR build must match");
+            assert_eq!(g.transition_pmatrix(Repr::Dense).to_dense(), dense);
+        }
+        // Isolated vertices keep their self-loop in CSR too.
+        let iso = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(iso.transition_pmatrix(Repr::Sparse).get(2, 2), 1.0);
     }
 }

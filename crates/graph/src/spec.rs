@@ -3,39 +3,173 @@
 //! `graph_spec` request field.
 //!
 //! A spec names a generator plus its size parameters, separated by `:`.
-//! Sizes are validated here (domain checks and the [`MAX_SPEC_SIZE`]
-//! cap) so bad user input becomes a [`SpecError`], never a generator
-//! panic. Randomized families (`er:N:P`, `regular:N:D`) draw from the
-//! caller-supplied RNG; callers that need a spec to denote *one* fixed
-//! graph (the service's cache does) should seed that RNG as a pure
-//! function of the spec string.
+//! Sizes are validated here (domain checks and the size caps of
+//! [`SpecLimits`]) so bad user input becomes a [`SpecError`], never a
+//! generator panic. Randomized families (`er:N:P`, `regular:N:D`) draw
+//! from the caller-supplied RNG; callers that need a spec to denote
+//! *one* fixed graph (the service's cache does) should seed that RNG as
+//! a pure function of the spec string.
+//!
+//! # Size caps
+//!
+//! The default cap is [`MAX_SPEC_SIZE`] vertices; the `CCT_MAX_N`
+//! environment variable overrides it (see [`max_spec_size`]). When the
+//! caller has selected the **sparse** matrix backend, sparse-friendly
+//! families — `cycle`, `path`, `star`, and `er` below
+//! [`SPARSE_ER_MAX_EXPECTED_DEGREE`] expected degree — are admitted up
+//! to [`SPARSE_CAP_FACTOR`]× the cap, because their `O(n)`-edge graphs
+//! and `O(nnz)` matrices never materialize the `Θ(n²)` buffers the cap
+//! protects against. A sparse-friendly spec rejected only because the
+//! *dense* backend is active gets the dedicated
+//! [`SpecError::DenseOnlyTooLarge`] variant, which names the fix.
 
 use crate::{generators, Graph};
 use rand::Rng;
 
-/// Largest size parameter (and largest built graph) a spec may produce.
-/// The Congested Clique simulator does `Θ(n²)` work per round and the
-/// dense generators allocate `Θ(n²)` edges, so larger requests would
-/// stall or exhaust memory rather than fail cleanly.
+/// Default largest size parameter (and largest built graph) a spec may
+/// produce. The Congested Clique simulator does `Θ(n²)` work per round
+/// and the dense generators allocate `Θ(n²)` edges, so larger requests
+/// would stall or exhaust memory rather than fail cleanly. Overridable
+/// via `CCT_MAX_N` ([`max_spec_size`]) and relaxed for sparse-friendly
+/// specs under the sparse backend ([`SpecLimits`]).
 pub const MAX_SPEC_SIZE: usize = 8192;
+
+/// How much further sparse-friendly specs may go when the sparse
+/// backend is selected: `sparse cap = dense cap × this factor`.
+pub const SPARSE_CAP_FACTOR: usize = 8;
+
+/// `er:N:P` counts as sparse-friendly only while its expected degree
+/// `P·N` stays below this bound (edges scale as `N·deg/2`, so a large-N
+/// admission must not smuggle in `Θ(n²)` edges through P).
+pub const SPARSE_ER_MAX_EXPECTED_DEGREE: f64 = 64.0;
+
+/// The active size caps for spec parsing.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::spec::{parse_spec_with_limits, SpecLimits, MAX_SPEC_SIZE};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let sparse = SpecLimits::from_env().with_sparse_backend(true);
+/// // A cycle past the dense cap builds fine under the sparse backend…
+/// let g = parse_spec_with_limits("cycle:10000", &mut rng, &sparse).unwrap();
+/// assert_eq!(g.n(), 10_000);
+/// // …but a clique of that size is dense-only and stays rejected.
+/// assert!(parse_spec_with_limits("complete:10000", &mut rng, &sparse).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecLimits {
+    /// Cap for dense-only families (and for everything when the dense
+    /// backend is active).
+    pub dense_cap: usize,
+    /// `true` when the caller selected the sparse matrix backend, which
+    /// admits sparse-friendly families up to [`SpecLimits::sparse_cap`].
+    pub sparse_backend: bool,
+}
+
+impl SpecLimits {
+    /// The default limits: [`max_spec_size`] (i.e. `CCT_MAX_N` or
+    /// [`MAX_SPEC_SIZE`]), dense backend.
+    pub fn from_env() -> Self {
+        SpecLimits {
+            dense_cap: max_spec_size(),
+            sparse_backend: false,
+        }
+    }
+
+    /// Selects or deselects the sparse backend.
+    pub fn with_sparse_backend(mut self, on: bool) -> Self {
+        self.sparse_backend = on;
+        self
+    }
+
+    /// The cap applied to sparse-friendly specs under the sparse
+    /// backend.
+    pub fn sparse_cap(&self) -> usize {
+        self.dense_cap.saturating_mul(SPARSE_CAP_FACTOR)
+    }
+
+    fn cap_for(&self, sparse_friendly: bool) -> usize {
+        if sparse_friendly && self.sparse_backend {
+            self.sparse_cap()
+        } else {
+            self.dense_cap
+        }
+    }
+}
+
+impl Default for SpecLimits {
+    fn default() -> Self {
+        SpecLimits::from_env()
+    }
+}
+
+/// The effective default size cap: `CCT_MAX_N` (when set to an integer
+/// ≥ 4) or [`MAX_SPEC_SIZE`].
+pub fn max_spec_size() -> usize {
+    std::env::var("CCT_MAX_N")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 4)
+        .unwrap_or(MAX_SPEC_SIZE)
+}
 
 /// A malformed or out-of-domain graph spec.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError {
-    message: String,
+pub enum SpecError {
+    /// Unknown family, malformed number, or out-of-domain parameter.
+    Invalid(String),
+    /// The spec exceeds the cap for its family under the active limits.
+    TooLarge {
+        /// The offending spec string.
+        spec: String,
+        /// The requested size (parameter or built-graph vertex count).
+        n: usize,
+        /// The cap that rejected it.
+        cap: usize,
+    },
+    /// The spec exceeds the dense cap but a sparse-friendly family
+    /// would fit under the sparse backend — the error names the fix.
+    DenseOnlyTooLarge {
+        /// The offending spec string.
+        spec: String,
+        /// The requested size.
+        n: usize,
+        /// The dense cap that rejected it.
+        cap: usize,
+        /// What the sparse backend would admit.
+        sparse_cap: usize,
+    },
 }
 
 impl SpecError {
-    fn new(message: impl Into<String>) -> Self {
-        SpecError {
-            message: message.into(),
-        }
+    fn invalid(message: impl Into<String>) -> Self {
+        SpecError::Invalid(message.into())
     }
 }
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            SpecError::Invalid(m) => f.write_str(m),
+            SpecError::TooLarge { spec, n, cap } => write!(
+                f,
+                "graph '{spec}' asks for {n} vertices — too large for the simulated clique (max {cap})"
+            ),
+            SpecError::DenseOnlyTooLarge {
+                spec,
+                n,
+                cap,
+                sparse_cap,
+            } => write!(
+                f,
+                "graph '{spec}' asks for {n} vertices — too large for the dense matrix backend \
+                 (max {cap}); this sparse-friendly family is accepted up to {sparse_cap} \
+                 with the sparse backend (--backend sparse)"
+            ),
+        }
     }
 }
 
@@ -48,14 +182,15 @@ grid:RxC  torus:RxC  hypercube:D  binarytree:D
 petersen  diamond  barbell:K  lollipop:K:T  bipartite:AxB
 kdense:N  er:N:P  regular:N:D";
 
-/// Builds the graph a spec describes.
+/// Builds the graph a spec describes, under the default [`SpecLimits`]
+/// (dense backend, `CCT_MAX_N`-overridable cap).
 ///
 /// # Errors
 ///
 /// [`SpecError`] for unknown families, malformed numbers, out-of-domain
 /// sizes, anything (including product shapes like `grid:RxC`) exceeding
-/// [`MAX_SPEC_SIZE`] vertices, and randomized families whose retry
-/// budget failed to produce a connected graph.
+/// the size cap, and randomized families whose retry budget failed to
+/// produce a connected graph.
 ///
 /// # Examples
 ///
@@ -70,136 +205,208 @@ kdense:N  er:N:P  regular:N:D";
 /// assert!(parse_spec("no-such-family:3", &mut rng).is_err());
 /// ```
 pub fn parse_spec<R: Rng + ?Sized>(spec: &str, rng: &mut R) -> Result<Graph, SpecError> {
+    parse_spec_with_limits(spec, rng, &SpecLimits::from_env())
+}
+
+/// [`parse_spec`] under explicit [`SpecLimits`] (the CLI and service
+/// pass backend-aware limits here).
+///
+/// # Errors
+///
+/// As [`parse_spec`]; size violations come back as the typed
+/// [`SpecError::TooLarge`] / [`SpecError::DenseOnlyTooLarge`] variants.
+pub fn parse_spec_with_limits<R: Rng + ?Sized>(
+    spec: &str,
+    rng: &mut R,
+    limits: &SpecLimits,
+) -> Result<Graph, SpecError> {
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<usize, SpecError> {
-        let v = s
-            .parse::<usize>()
-            .map_err(|_| SpecError::new(format!("bad number '{s}'")))?;
-        if v > MAX_SPEC_SIZE {
-            return Err(SpecError::new(format!(
-                "size {v} is too large for the simulated clique (max {MAX_SPEC_SIZE})"
-            )));
+        s.parse::<usize>()
+            .map_err(|_| SpecError::invalid(format!("bad number '{s}'")))
+    };
+    // Size-cap check, applied *before* any generator allocates. The cap
+    // depends on whether this spec's family is sparse-friendly and
+    // whether the sparse backend is active.
+    let capped = |v: usize, sparse_friendly: bool| -> Result<usize, SpecError> {
+        let cap = limits.cap_for(sparse_friendly);
+        if v <= cap {
+            return Ok(v);
         }
-        Ok(v)
+        if sparse_friendly && !limits.sparse_backend && v <= limits.sparse_cap() {
+            return Err(SpecError::DenseOnlyTooLarge {
+                spec: spec.to_string(),
+                n: v,
+                cap,
+                sparse_cap: limits.sparse_cap(),
+            });
+        }
+        Err(SpecError::TooLarge {
+            spec: spec.to_string(),
+            n: v,
+            cap,
+        })
     };
     let pair = |s: &str| -> Result<(usize, usize), SpecError> {
         let (a, b) = s
             .split_once('x')
-            .ok_or_else(|| SpecError::new(format!("expected RxC in '{s}'")))?;
-        Ok((num(a)?, num(b)?))
+            .ok_or_else(|| SpecError::invalid(format!("expected RxC in '{s}'")))?;
+        Ok((capped(num(a)?, false)?, capped(num(b)?, false)?))
     };
     // The generators assert on their domains (library contract); specs
     // check user input up front so bad input becomes an error, not a
     // panic.
     let at_least = |v: usize, min: usize, what: &str| -> Result<usize, SpecError> {
         if v < min {
-            Err(SpecError::new(format!(
+            Err(SpecError::invalid(format!(
                 "{what} must be at least {min}, got {v}"
             )))
         } else {
             Ok(v)
         }
     };
-    let g = match (
+    // `(built graph, family is sparse-friendly)`.
+    let (g, sparse_friendly) = match (
         parts.first().copied().unwrap_or(""),
         parts.get(1),
         parts.get(2),
     ) {
-        ("complete", Some(n), _) => generators::complete(at_least(num(n)?, 1, "N")?),
-        ("cycle", Some(n), _) => generators::cycle(at_least(num(n)?, 3, "N")?),
-        ("path", Some(n), _) => generators::path(at_least(num(n)?, 1, "N")?),
-        ("star", Some(n), _) => generators::star(at_least(num(n)?, 2, "N")?),
-        ("wheel", Some(n), _) => generators::wheel(at_least(num(n)?, 4, "N")?),
+        ("complete", Some(n), _) => (
+            generators::complete(at_least(capped(num(n)?, false)?, 1, "N")?),
+            false,
+        ),
+        ("cycle", Some(n), _) => (
+            generators::cycle(at_least(capped(num(n)?, true)?, 3, "N")?),
+            true,
+        ),
+        ("path", Some(n), _) => (
+            generators::path(at_least(capped(num(n)?, true)?, 1, "N")?),
+            true,
+        ),
+        ("star", Some(n), _) => (
+            generators::star(at_least(capped(num(n)?, true)?, 2, "N")?),
+            true,
+        ),
+        ("wheel", Some(n), _) => (
+            generators::wheel(at_least(capped(num(n)?, false)?, 4, "N")?),
+            false,
+        ),
         ("grid", Some(d), _) => {
             let (r, c) = pair(d)?;
-            generators::grid(at_least(r, 1, "R")?, at_least(c, 1, "C")?)
+            (
+                generators::grid(at_least(r, 1, "R")?, at_least(c, 1, "C")?),
+                false,
+            )
         }
         ("torus", Some(d), _) => {
             let (r, c) = pair(d)?;
-            generators::torus(at_least(r, 3, "R")?, at_least(c, 3, "C")?)
+            (
+                generators::torus(at_least(r, 3, "R")?, at_least(c, 3, "C")?),
+                false,
+            )
         }
         ("bipartite", Some(d), _) => {
             let (a, b) = pair(d)?;
-            generators::complete_bipartite(at_least(a, 1, "A")?, at_least(b, 1, "B")?)
+            (
+                generators::complete_bipartite(at_least(a, 1, "A")?, at_least(b, 1, "B")?),
+                false,
+            )
         }
         ("hypercube", Some(d), _) => {
             let d = num(d)?;
             if !(1..=20).contains(&d) {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "hypercube dimension must be in 1..=20, got {d}"
                 )));
             }
-            generators::hypercube(d as u32)
+            (generators::hypercube(d as u32), false)
         }
         ("binarytree", Some(d), _) => {
             let d = num(d)?;
             if d > 20 {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "binary tree depth must be at most 20, got {d}"
                 )));
             }
-            generators::binary_tree(d as u32)
+            (generators::binary_tree(d as u32), false)
         }
-        ("petersen", _, _) => generators::petersen(),
+        ("petersen", _, _) => (generators::petersen(), false),
         // The 4-vertex diamond (K4 minus one edge): the smallest graph
         // with non-uniform tree marginals, used throughout the
         // uniformity suites (8 spanning trees).
-        ("diamond", _, _) => Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
-            .expect("the diamond is a fixed valid graph"),
-        ("barbell", Some(k), _) => generators::barbell(at_least(num(k)?, 2, "K")?),
-        ("lollipop", Some(k), Some(t)) => generators::lollipop(at_least(num(k)?, 2, "K")?, num(t)?),
-        ("kdense", Some(n), _) => generators::k_dense_irregular(at_least(num(n)?, 4, "N")?),
+        ("diamond", _, _) => (
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+                .expect("the diamond is a fixed valid graph"),
+            false,
+        ),
+        ("barbell", Some(k), _) => (
+            generators::barbell(at_least(capped(num(k)?, false)?, 2, "K")?),
+            false,
+        ),
+        ("lollipop", Some(k), Some(t)) => (
+            generators::lollipop(
+                at_least(capped(num(k)?, false)?, 2, "K")?,
+                capped(num(t)?, false)?,
+            ),
+            false,
+        ),
+        ("kdense", Some(n), _) => (
+            generators::k_dense_irregular(at_least(capped(num(n)?, false)?, 4, "N")?),
+            false,
+        ),
         ("er", Some(n), Some(p)) => {
             let p: f64 = p
                 .parse()
-                .map_err(|_| SpecError::new(format!("bad probability '{p}'")))?;
+                .map_err(|_| SpecError::invalid(format!("bad probability '{p}'")))?;
             if !(0.0..=1.0).contains(&p) {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "probability must be in [0,1], got {p}"
                 )));
             }
-            let n = at_least(num(n)?, 1, "N")?;
+            let n_raw = num(n)?;
+            // Sparse-friendly only while the expected degree stays
+            // bounded: edges ≈ N·P·N/2, so a large-N admission must not
+            // smuggle Θ(n²) edges in through P.
+            let sparse_ok = p * (n_raw as f64) <= SPARSE_ER_MAX_EXPECTED_DEGREE;
+            let n = at_least(capped(n_raw, sparse_ok)?, 1, "N")?;
             if p == 0.0 && n > 1 {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "G({n}, 0) can never be connected; use P > 0"
                 )));
             }
-            generators::try_erdos_renyi_connected(n, p, rng).ok_or_else(|| {
-                SpecError::new(format!(
+            let g = generators::try_erdos_renyi_connected(n, p, rng).ok_or_else(|| {
+                SpecError::invalid(format!(
                     "G({n}, {p}) failed to come out connected in 1000 attempts; \
                      P is far below the connectivity threshold ln(N)/N"
                 ))
-            })?
+            })?;
+            (g, sparse_ok)
         }
         ("regular", Some(n), Some(d)) => {
-            let (n, d) = (at_least(num(n)?, 2, "N")?, num(d)?);
+            let (n, d) = (at_least(capped(num(n)?, false)?, 2, "N")?, num(d)?);
             if d == 0 || d >= n {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "regular graph needs 1 ≤ D < N, got D={d}, N={n}"
                 )));
             }
             if n.checked_mul(d).is_none_or(|nd| nd % 2 != 0) {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::invalid(format!(
                     "regular graph needs N·D even, got N={n}, D={d}"
                 )));
             }
-            generators::try_random_regular(n, d, rng).ok_or_else(|| {
-                SpecError::new(format!(
+            let g = generators::try_random_regular(n, d, rng).ok_or_else(|| {
+                SpecError::invalid(format!(
                     "failed to sample a connected {d}-regular graph on {n} vertices"
                 ))
-            })?
+            })?;
+            (g, false)
         }
-        _ => return Err(SpecError::new(format!("unknown graph spec '{spec}'"))),
+        _ => return Err(SpecError::invalid(format!("unknown graph spec '{spec}'"))),
     };
     // Product (grid:RxC) and exponential (hypercube:D) specs can satisfy
     // the per-parameter cap yet still blow past what the O(n²) simulator
     // can hold — bound the built graph too, before any sampler allocates.
-    if g.n() > MAX_SPEC_SIZE {
-        return Err(SpecError::new(format!(
-            "graph '{spec}' has {} vertices — too large for the simulated clique (max {MAX_SPEC_SIZE})",
-            g.n()
-        )));
-    }
+    capped(g.n(), sparse_friendly)?;
     Ok(g)
 }
 
@@ -292,5 +499,76 @@ mod tests {
         // but the dimension cap (20) already admits it — the n-cap must
         // catch it.
         assert!(parse_spec("hypercube:14", &mut rng()).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_admits_sparse_families_past_the_dense_cap() {
+        let base = SpecLimits {
+            dense_cap: MAX_SPEC_SIZE,
+            sparse_backend: false,
+        };
+        let sparse = base.with_sparse_backend(true);
+        assert_eq!(sparse.sparse_cap(), MAX_SPEC_SIZE * SPARSE_CAP_FACTOR);
+        for spec in ["cycle:20000", "path:20000", "star:20000"] {
+            // Dense backend: typed dense-only rejection naming the fix.
+            match parse_spec_with_limits(spec, &mut rng(), &base).unwrap_err() {
+                SpecError::DenseOnlyTooLarge {
+                    n, cap, sparse_cap, ..
+                } => {
+                    assert_eq!((n, cap), (20_000, MAX_SPEC_SIZE));
+                    assert_eq!(sparse_cap, MAX_SPEC_SIZE * SPARSE_CAP_FACTOR);
+                }
+                other => panic!("{spec}: expected DenseOnlyTooLarge, got {other:?}"),
+            }
+            // Sparse backend: builds.
+            let g = parse_spec_with_limits(spec, &mut rng(), &sparse).unwrap();
+            assert_eq!(g.n(), 20_000, "{spec}");
+        }
+        // Dense-only families stay capped even under the sparse backend.
+        match parse_spec_with_limits("complete:20000", &mut rng(), &sparse).unwrap_err() {
+            SpecError::TooLarge { n, cap, .. } => assert_eq!((n, cap), (20_000, MAX_SPEC_SIZE)),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Beyond even the sparse cap: plain TooLarge, no false promise.
+        let way_past = MAX_SPEC_SIZE * SPARSE_CAP_FACTOR + 1;
+        match parse_spec_with_limits(&format!("cycle:{way_past}"), &mut rng(), &base).unwrap_err() {
+            SpecError::TooLarge { n, .. } => assert_eq!(n, way_past),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn er_sparse_friendliness_depends_on_expected_degree() {
+        let sparse = SpecLimits {
+            dense_cap: MAX_SPEC_SIZE,
+            sparse_backend: true,
+        };
+        // p·n = 0.001·16384 = 16.4 ≤ 64: sparse-friendly, admitted.
+        let g = parse_spec_with_limits("er:16384:0.001", &mut rng(), &sparse).unwrap();
+        assert_eq!(g.n(), 16_384);
+        // p·n = 0.2·16384 ≫ 64: Θ(n·deg) edges too dense — rejected.
+        assert!(matches!(
+            parse_spec_with_limits("er:16384:0.2", &mut rng(), &sparse).unwrap_err(),
+            SpecError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn custom_dense_cap_is_honored() {
+        let tiny = SpecLimits {
+            dense_cap: 16,
+            sparse_backend: false,
+        };
+        assert!(parse_spec_with_limits("complete:16", &mut rng(), &tiny).is_ok());
+        assert!(matches!(
+            parse_spec_with_limits("complete:17", &mut rng(), &tiny).unwrap_err(),
+            SpecError::TooLarge { n: 17, cap: 16, .. }
+        ));
+        // A raised cap admits what the default rejects.
+        let raised = SpecLimits {
+            dense_cap: 10_000,
+            sparse_backend: false,
+        };
+        assert!(parse_spec_with_limits("path:9000", &mut rng(), &raised).is_ok());
     }
 }

@@ -39,14 +39,18 @@ mod exact;
 mod lu;
 mod matrix;
 mod permanent;
+mod pmatrix;
 pub mod rounding;
+mod sparse;
 pub mod stochastic;
 
 pub use exact::{det_exact, ExactOverflowError};
 pub use lu::{det, inverse, Lu, SingularMatrixError};
 pub use matrix::Matrix;
 pub use permanent::{permanent, permanent_minor, permanent_naive, MAX_PERMANENT_DIM};
+pub use pmatrix::{PMatrix, Repr};
 pub use rounding::{powers_rounded, subtractive_error, FixedPoint};
+pub use sparse::{CsrBuilder, CsrMatrix};
 pub use stochastic::{
     is_row_stochastic, is_row_substochastic, normalize_rows, power_from_table, powers_of_two,
     sample_index, total_variation,

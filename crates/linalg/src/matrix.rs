@@ -146,6 +146,12 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the backing row-major storage (row-sharded
+    /// kernels split it into per-thread chunks).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         // Cache-friendly slice walk: stream the source row-major (one pass,

@@ -134,9 +134,15 @@ fn reduced_permanent(
     for (g, &s) in slots_left.iter().enumerate() {
         col_of.extend(std::iter::repeat_n(g, s));
     }
+    // The permanent of a non-negative matrix is non-negative; Ryser's
+    // signed inclusion–exclusion can cancel to a tiny negative float
+    // (≈ −1e-16 at a few dozen slots), which would poison the sampling
+    // weights downstream. Clamp the noise: for cancellation-free
+    // instances `max(0.0)` is a bitwise no-op.
     permanent(&Matrix::from_fn(total, total, |r, c| {
         inst.weight(row_of[r], col_of[c])
     }))
+    .max(0.0)
 }
 
 /// Metropolis swap chain over slot arrangements — the JSV substitution.

@@ -14,7 +14,7 @@
 
 use crate::VertexSubset;
 use cct_graph::{Graph, GraphError};
-use cct_linalg::{Lu, Matrix};
+use cct_linalg::{Lu, Matrix, PMatrix};
 
 /// The Schur complement of the Laplacian onto `S` (Definition 1):
 /// `L_SS − L_{S,S̄} · L_{S̄,S̄}^{-1} · L_{S̄,S}`, a `|S| × |S|` Laplacian in
@@ -132,6 +132,30 @@ pub fn entry_matrix(g: &Graph, s: &VertexSubset) -> Matrix {
 pub fn schur_transition_from_shortcut(g: &Graph, s: &VertexSubset, q: &Matrix) -> Matrix {
     assert!(s.len() >= 2, "need at least two vertices in S");
     let qr = q.matmul(&entry_matrix(g, s));
+    schur_transition_from_qr(s, &qr)
+}
+
+/// [`schur_transition_from_shortcut`] with the shortcut matrix in either
+/// representation ([`PMatrix`]): a sparse `Q` multiplies the entry
+/// matrix through the CSR kernel (bit-identical to the dense product)
+/// without densifying `Q` first.
+///
+/// # Panics
+///
+/// As [`schur_transition_from_shortcut`].
+pub fn schur_transition_from_shortcut_p(g: &Graph, s: &VertexSubset, q: &PMatrix) -> Matrix {
+    assert!(s.len() >= 2, "need at least two vertices in S");
+    let r = entry_matrix(g, s);
+    let qr = match q {
+        PMatrix::Dense(q) => q.matmul(&r),
+        PMatrix::Sparse(q) => q.matmul_dense_rhs(&r, 1),
+    };
+    schur_transition_from_qr(s, &qr)
+}
+
+/// Shared tail of the Corollary-3 construction: restrict `Q·R` to `S`,
+/// drop the diagonal, renormalize rows by `M_u = 1/(1 − (QR)[u,u])`.
+fn schur_transition_from_qr(s: &VertexSubset, qr: &Matrix) -> Matrix {
     let k = s.len();
     Matrix::from_fn(k, k, |i, j| {
         if i == j {

@@ -16,7 +16,7 @@
 
 use crate::VertexSubset;
 use cct_graph::Graph;
-use cct_linalg::{Lu, Matrix};
+use cct_linalg::{CsrMatrix, Lu, Matrix, PMatrix, Repr};
 
 /// Exact shortcut transition matrix via the fundamental matrix:
 /// `Q = (I − T)^{-1} A`, where `T[u,v] = P[u,v]·[v ∉ S]` and
@@ -151,6 +151,97 @@ pub fn shortcut_by_squaring(
         a_next.add_in_place(&a);
         std::mem::swap(&mut t, &mut t_next);
         std::mem::swap(&mut a, &mut a_next);
+        used += 1;
+    }
+    (a, used)
+}
+
+/// The Corollary-2 live blocks in the requested representation: the
+/// sparse route builds `T` (one CSR entry per edge leaving `S`) and the
+/// diagonal `A` directly from the adjacency lists, without the dense
+/// `n × n` buffers. Entry values use the same `w/deg` arithmetic and
+/// per-row accumulation order as [`absorbing_chain_blocks`], so the two
+/// representations hold bit-identical probabilities.
+///
+/// # Panics
+///
+/// Panics if the subset universe mismatches the graph.
+pub fn absorbing_chain_blocks_p(g: &Graph, s: &VertexSubset, repr: Repr) -> (PMatrix, PMatrix) {
+    let n = g.n();
+    assert_eq!(s.universe(), n, "subset universe must match graph");
+    match repr {
+        Repr::Dense => {
+            let (t, a) = absorbing_chain_blocks(g, s);
+            (PMatrix::Dense(t), PMatrix::Dense(a))
+        }
+        Repr::Sparse => {
+            let mut tb = CsrMatrix::builder(n, n);
+            let mut ab = CsrMatrix::builder(n, n);
+            for u in 0..n {
+                let d = g.degree(u);
+                let mut absorb = 0.0f64;
+                for &(v, w) in g.neighbors(u) {
+                    // Same accumulation order as the dense route: the
+                    // adjacency list is sorted by v, matching its
+                    // `for v in 0..n` sweep.
+                    let p_uv = w / d;
+                    if s.contains(v) {
+                        absorb += p_uv;
+                    } else {
+                        tb.push(v, p_uv);
+                    }
+                }
+                tb.finish_row();
+                ab.push(u, absorb);
+                ab.finish_row();
+            }
+            (PMatrix::Sparse(tb.build()), PMatrix::Sparse(ab.build()))
+        }
+    }
+}
+
+/// [`shortcut_by_squaring`] on the representation-adaptive backend:
+/// starts in `repr` (the sparse route squares CSR blocks, promoting to
+/// dense automatically as fill-in crosses the [`PMatrix`] tracker's
+/// break-even) and returns `Q` in whatever representation it ended in.
+///
+/// The result is **bit-identical** to [`shortcut_by_squaring`] (and so
+/// to [`shortcut_by_squaring_dense`]) for every representation: each
+/// squaring performs `(T, A) ← (T², T·A + A)` with the same per-entry
+/// accumulation order in both kernels, and the convergence check reads
+/// the same row sums. Unit- and property-tested at exact equality.
+///
+/// # Panics
+///
+/// Panics if `s` is empty or the universe mismatches.
+pub fn shortcut_by_squaring_pmatrix(
+    g: &Graph,
+    s: &VertexSubset,
+    tol: f64,
+    max_squarings: usize,
+    repr: Repr,
+) -> (PMatrix, usize) {
+    if repr == Repr::Dense {
+        let (q, used) = shortcut_by_squaring(g, s, tol, max_squarings);
+        return (PMatrix::Dense(q), used);
+    }
+    let n = g.n();
+    assert!(!s.is_empty(), "S must be non-empty");
+    let (mut t, mut a) = absorbing_chain_blocks_p(g, s, Repr::Sparse);
+    let mut used = 0;
+    while used < max_squarings {
+        let worst: f64 = (0..n).map(|u| t.row_sum(u)).fold(0.0, f64::max);
+        if worst <= tol {
+            break;
+        }
+        // (T, A) ← (T², T·A + A), exactly as the dense block route —
+        // the sparse kernels consume the inner index in the same
+        // strictly increasing order, and the `+ A` term lands last.
+        let t_next = t.square(1);
+        let mut a_next = t.matmul(&a, 1);
+        a_next.add_in_place(&a);
+        t = t_next;
+        a = a_next;
         used += 1;
     }
     (a, used)
@@ -326,6 +417,51 @@ mod tests {
                 // not merely close.
                 assert_eq!(block, dense, "n = {}, tol = {tol}", g.n());
             }
+        }
+    }
+
+    #[test]
+    fn pmatrix_squaring_is_bit_identical_in_both_representations() {
+        // The adaptive route must reproduce the dense block route
+        // exactly — same Q bits, same squaring count — whether it starts
+        // sparse (promoting as fill-in grows) or dense.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for g in [
+            generators::cycle(24),
+            generators::grid(3, 5),
+            generators::petersen(),
+            generators::erdos_renyi_connected(14, 0.3, &mut rng),
+        ] {
+            let s = VertexSubset::new(g.n(), &[0, 1, 2]);
+            for tol in [1e-3, 1e-12] {
+                let (reference, used_ref) = shortcut_by_squaring(&g, &s, tol, 64);
+                for repr in [Repr::Dense, Repr::Sparse] {
+                    let (q, used) = shortcut_by_squaring_pmatrix(&g, &s, tol, 64, repr);
+                    assert_eq!(used, used_ref, "n = {}, tol = {tol}, {repr:?}", g.n());
+                    assert_eq!(
+                        q.to_dense(),
+                        reference,
+                        "n = {}, tol = {tol}, {repr:?}",
+                        g.n()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_absorbing_blocks_match_dense() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for g in [
+            generators::lollipop(4, 3),
+            generators::erdos_renyi_connected(11, 0.4, &mut rng),
+        ] {
+            let s = VertexSubset::new(g.n(), &[0, 2, 4]);
+            let (td, ad) = absorbing_chain_blocks(&g, &s);
+            let (ts, asp) = absorbing_chain_blocks_p(&g, &s, Repr::Sparse);
+            assert!(ts.is_sparse() && asp.is_sparse());
+            assert_eq!(ts.to_dense(), td);
+            assert_eq!(asp.to_dense(), ad);
         }
     }
 

@@ -350,14 +350,25 @@ fn process(shared: &Shared, request: SampleRequest) -> Result<SampleResponse, Se
         .map_err(|e| ServeError::new(e.to_string()))?;
     let key = CacheKey {
         algorithm: request.algorithm,
+        backend: request.backend,
         graph_spec: request.graph_spec.clone(),
     };
-    let config = shared.options.config_for(request.algorithm).clone();
+    // The request's backend overrides the service config's: the key and
+    // the prepared state must agree, and draws are backend-invariant.
+    let config = shared
+        .options
+        .config_for(request.algorithm)
+        .clone()
+        .backend(request.backend);
     let (prepared, cache) = shared.cache.get_or_prepare(&key, || {
         // The graph is a pure function of the spec string (the cache
-        // key's half of the determinism contract).
+        // key's half of the determinism contract). Spec size limits
+        // follow the requested backend: sparse-friendly families get
+        // the raised cap under a non-dense backend.
         let mut rng = rand::rngs::StdRng::seed_from_u64(spec_seed(&key.graph_spec));
-        let graph = cct_graph::spec::parse_spec(&key.graph_spec, &mut rng)
+        let limits = cct_graph::spec::SpecLimits::from_env()
+            .with_sparse_backend(key.backend == cct_core::Backend::Sparse);
+        let graph = cct_graph::spec::parse_spec_with_limits(&key.graph_spec, &mut rng, &limits)
             .map_err(|e| format!("bad graph spec: {e}"))?;
         CliqueTreeSampler::new(config)
             .prepare(&graph)
@@ -462,6 +473,20 @@ mod tests {
             assert_eq!(responses.len(), 6);
             // One preparation served all six (same key).
             assert_eq!(handle.cache_stats().total_prepares(), 1);
+        });
+    }
+
+    #[test]
+    fn backends_serve_identical_draws_from_separate_entries() {
+        use cct_core::Backend;
+        serve(quick_options(), |handle| {
+            let req = |b: Backend| SampleRequest::new("cycle:64").seed(5).count(2).backend(b);
+            let dense = handle.request(req(Backend::Dense)).unwrap();
+            let sparse = handle.request(req(Backend::Sparse)).unwrap();
+            // Separate cache entries (the collision fix)…
+            assert_eq!(handle.cache_stats().misses, 2, "distinct keys");
+            // …but byte-identical draws (the backend contract).
+            assert_eq!(dense.draws, sparse.draws);
         });
     }
 

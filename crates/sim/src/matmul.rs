@@ -20,16 +20,64 @@
 //! order (tested), so swapping engines changes only the ledger.
 
 use crate::{Clique, CostCategory, Envelope, MachineProgram, ParallelClique};
-use cct_linalg::{FixedPoint, Matrix};
+use cct_linalg::{CsrMatrix, FixedPoint, Matrix, PMatrix};
 
 /// Messages of the semiring machine program.
+///
+/// Operand pieces travel as **CSR row slices** — `(offset, value)` pairs
+/// of the non-zero entries within the block — instead of dense row
+/// segments, so a sparse operand's actual data movement is `O(nnz)`.
+/// The *charged* bandwidth (the envelope's word count) stays the
+/// analytic dense figure `hi − lo`: the paper's protocol ships whole
+/// row segments, and the ledger bills the published algorithm, not this
+/// simulator's encoding.
 #[derive(Debug, Clone)]
 enum SemiringMsg {
-    /// Round-0 operand shipment: (tag A=0/B=1, source row, row piece).
-    Operand(u8, usize, Vec<f64>),
+    /// Round-0 operand shipment: (tag A=0/B=1, source row, sparse row
+    /// piece as (offset-within-block, value) pairs).
+    Operand(u8, usize, Vec<(u32, f64)>),
     /// Round-1 partial result: (destination row, block column offset,
     /// partial row).
     Partial(usize, usize, Vec<f64>),
+}
+
+/// A borrowed operand in either representation, with sparse row-slice
+/// extraction for the operand shipments.
+#[derive(Clone, Copy)]
+enum Rows<'a> {
+    Dense(&'a Matrix),
+    Sparse(&'a CsrMatrix),
+}
+
+impl Rows<'_> {
+    fn shape(&self) -> (usize, usize) {
+        match self {
+            Rows::Dense(m) => m.shape(),
+            Rows::Sparse(m) => m.shape(),
+        }
+    }
+
+    /// The non-zero entries of `row[lo..hi]` as (offset, value) pairs.
+    fn piece(&self, row: usize, lo: usize, hi: usize) -> Vec<(u32, f64)> {
+        match self {
+            Rows::Dense(m) => m.row(row)[lo..hi]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x != 0.0)
+                .map(|(off, &x)| (off as u32, x))
+                .collect(),
+            Rows::Sparse(m) => {
+                let (cols, vals) = m.row(row);
+                let start = cols.partition_point(|&c| (c as usize) < lo);
+                let end = cols.partition_point(|&c| (c as usize) < hi);
+                cols[start..end]
+                    .iter()
+                    .zip(&vals[start..end])
+                    .map(|(&c, &x)| ((c as usize - lo) as u32, x))
+                    .collect()
+            }
+        }
+    }
 }
 
 /// A distributed square-matrix multiplication engine.
@@ -44,6 +92,34 @@ pub trait MatMulEngine {
     /// Implementations may panic if the operands are not square `n × n`
     /// matrices matching the clique size.
     fn multiply(&self, clique: &mut Clique, a: &Matrix, b: &Matrix) -> Matrix;
+
+    /// Representation-adaptive [`MatMulEngine::multiply`]: operands and
+    /// result are [`PMatrix`], so sparse inputs multiply through the
+    /// CSR kernels (and sparse products stay sparse until the fill-in
+    /// tracker promotes them). The charged rounds and words are
+    /// **identical** to the dense route — the ledger bills the paper's
+    /// protocol, which is representation-agnostic — and so are the
+    /// computed bits (the `cct-linalg` contract). The default densifies
+    /// and delegates; the engines in this crate override it.
+    fn multiply_p(&self, clique: &mut Clique, a: &PMatrix, b: &PMatrix) -> PMatrix {
+        let a_dense;
+        let a_ref = match a.as_dense() {
+            Some(m) => m,
+            None => {
+                a_dense = a.to_dense();
+                &a_dense
+            }
+        };
+        let b_dense;
+        let b_ref = match b.as_dense() {
+            Some(m) => m,
+            None => {
+                b_dense = b.to_dense();
+                &b_dense
+            }
+        };
+        PMatrix::Dense(self.multiply(clique, a_ref, b_ref))
+    }
 
     /// Human-readable engine name for reports.
     fn name(&self) -> &'static str;
@@ -111,8 +187,8 @@ struct SemiringMachine<'m> {
     n: usize,
     c: usize,
     s: usize,
-    a: &'m Matrix,
-    b: &'m Matrix,
+    a: Rows<'m>,
+    b: Rows<'m>,
     /// Row `id` of the product, filled by the terminal round.
     row: Vec<f64>,
 }
@@ -127,7 +203,9 @@ impl SemiringMachine<'_> {
     }
 
     /// Round 0: row owner `id` ships its A-pieces to machines
-    /// `(bi, *, k)` and its B-pieces to machines `(*, j, bk)`.
+    /// `(bi, *, k)` and its B-pieces to machines `(*, j, bk)`. Pieces
+    /// travel as CSR row slices; the envelope's word count stays the
+    /// analytic dense segment width `hi − lo` (see [`SemiringMsg`]).
     fn ship_operands(&self) -> Vec<Envelope<SemiringMsg>> {
         let (r, c, n) = (self.id, self.c, self.n);
         let bi = r / self.s;
@@ -137,11 +215,11 @@ impl SemiringMachine<'_> {
             if lo >= n {
                 continue;
             }
-            let piece: Vec<f64> = self.a.row(r)[lo..hi].to_vec();
+            let piece = self.a.piece(r, lo, hi);
             for j in 0..c {
                 outbox.push(Envelope::new(
                     self.cube(bi, j, k),
-                    piece.len(),
+                    hi - lo,
                     SemiringMsg::Operand(0, r, piece.clone()),
                 ));
             }
@@ -152,11 +230,11 @@ impl SemiringMachine<'_> {
             if lo >= n {
                 continue;
             }
-            let piece: Vec<f64> = self.b.row(r)[lo..hi].to_vec();
+            let piece = self.b.piece(r, lo, hi);
             for i in 0..c {
                 outbox.push(Envelope::new(
                     self.cube(i, j, bk),
-                    piece.len(),
+                    hi - lo,
                     SemiringMsg::Operand(1, r, piece.clone()),
                 ));
             }
@@ -182,12 +260,19 @@ impl SemiringMachine<'_> {
         let mut b_block = vec![vec![0.0f64; jhi - jlo]; khi - klo];
         for env in &inbox {
             if let SemiringMsg::Operand(which, r, ref piece) = env.payload {
+                // Reassemble the dense block row from the sparse piece
+                // (absent offsets stay zero — the same values the dense
+                // shipment carried).
                 if which == 0 {
                     if (ilo..ihi).contains(&r) {
-                        a_block[r - ilo].clone_from(piece);
+                        for &(off, x) in piece {
+                            a_block[r - ilo][off as usize] = x;
+                        }
                     }
                 } else if (klo..khi).contains(&r) {
-                    b_block[r - klo].clone_from(piece);
+                    for &(off, x) in piece {
+                        b_block[r - klo][off as usize] = x;
+                    }
                 }
             }
         }
@@ -247,8 +332,10 @@ impl Default for SemiringEngine {
     }
 }
 
-impl MatMulEngine for SemiringEngine {
-    fn multiply(&self, clique: &mut Clique, a: &Matrix, b: &Matrix) -> Matrix {
+impl SemiringEngine {
+    /// The shared three-round protocol over borrowed operands in either
+    /// representation.
+    fn run(&self, clique: &mut Clique, a: Rows<'_>, b: Rows<'_>) -> Matrix {
         let n = clique.n();
         assert_eq!(a.shape(), (n, n), "operand A must be n × n");
         assert_eq!(b.shape(), (n, n), "operand B must be n × n");
@@ -281,6 +368,29 @@ impl MatMulEngine for SemiringEngine {
             out.row_mut(r).copy_from_slice(&machine.row);
         }
         out
+    }
+}
+
+impl MatMulEngine for SemiringEngine {
+    fn multiply(&self, clique: &mut Clique, a: &Matrix, b: &Matrix) -> Matrix {
+        self.run(clique, Rows::Dense(a), Rows::Dense(b))
+    }
+
+    fn multiply_p(&self, clique: &mut Clique, a: &PMatrix, b: &PMatrix) -> PMatrix {
+        fn rows(m: &PMatrix) -> Rows<'_> {
+            match m {
+                PMatrix::Dense(d) => Rows::Dense(d),
+                PMatrix::Sparse(s) => Rows::Sparse(s),
+            }
+        }
+        let out = self.run(clique, rows(a), rows(b));
+        if a.is_sparse() && b.is_sparse() {
+            // A sparse product may still be sparse; re-compress when
+            // that is cheaper (values unchanged bit for bit).
+            PMatrix::Dense(out).compacted()
+        } else {
+            PMatrix::Dense(out)
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -349,6 +459,20 @@ impl MatMulEngine for FastOracleEngine {
         a.matmul_parallel(b, self.threads)
     }
 
+    fn multiply_p(&self, clique: &mut Clique, a: &PMatrix, b: &PMatrix) -> PMatrix {
+        let n = clique.n();
+        assert_eq!(a.shape(), (n, n), "operand A must be n × n");
+        assert_eq!(b.shape(), (n, n), "operand B must be n × n");
+        // Identical analytic charges to the dense route: the oracle
+        // bills the published algorithm, not this simulator's storage.
+        let rounds = self.rounds_per_multiply(n);
+        clique.ledger_mut().charge(CostCategory::MatMul, rounds);
+        clique
+            .ledger_mut()
+            .add_words(CostCategory::MatMul, (n * n * self.words_per_entry) as u64);
+        a.matmul(b, self.threads)
+    }
+
     fn name(&self) -> &'static str {
         "fast-oracle-n^alpha"
     }
@@ -371,6 +495,11 @@ impl MatMulEngine for UnitCostEngine {
     fn multiply(&self, clique: &mut Clique, a: &Matrix, b: &Matrix) -> Matrix {
         clique.ledger_mut().charge(CostCategory::MatMul, 1);
         a.matmul_parallel(b, self.threads.max(1))
+    }
+
+    fn multiply_p(&self, clique: &mut Clique, a: &PMatrix, b: &PMatrix) -> PMatrix {
+        clique.ledger_mut().charge(CostCategory::MatMul, 1);
+        a.matmul(b, self.threads.max(1))
     }
 
     fn name(&self) -> &'static str {
@@ -401,6 +530,64 @@ pub fn distributed_powers(
     levels: usize,
     fp: Option<FixedPoint>,
 ) -> Vec<Matrix> {
+    distributed_powers_impl(clique, m, levels, fp, |clique, last| {
+        engine.multiply(clique, last, last)
+    })
+}
+
+/// [`distributed_powers`] on the representation-adaptive backend: the
+/// table holds [`PMatrix`] levels, so the early powers of a sparse
+/// transition matrix stay CSR (this is where the sparse backend's
+/// memory win lands — squaring promotes later levels to dense through
+/// the fill-in tracker). Round and word charges are identical to the
+/// dense route, and so are the computed bits.
+///
+/// # Panics
+///
+/// As [`distributed_powers`].
+pub fn distributed_powers_p(
+    clique: &mut Clique,
+    engine: &dyn MatMulEngine,
+    m: &PMatrix,
+    levels: usize,
+    fp: Option<FixedPoint>,
+) -> Vec<PMatrix> {
+    distributed_powers_impl(clique, m, levels, fp, |clique, last| {
+        engine.multiply_p(clique, last, last)
+    })
+}
+
+/// The shared Algorithm-1 skeleton behind both power-table builders.
+trait PowerLevel: Clone {
+    fn shape(&self) -> (usize, usize);
+    fn truncate(&mut self, fp: FixedPoint);
+}
+
+impl PowerLevel for Matrix {
+    fn shape(&self) -> (usize, usize) {
+        Matrix::shape(self)
+    }
+    fn truncate(&mut self, fp: FixedPoint) {
+        fp.truncate_matrix_inplace(self);
+    }
+}
+
+impl PowerLevel for PMatrix {
+    fn shape(&self) -> (usize, usize) {
+        PMatrix::shape(self)
+    }
+    fn truncate(&mut self, fp: FixedPoint) {
+        self.truncate_inplace(fp);
+    }
+}
+
+fn distributed_powers_impl<M: PowerLevel>(
+    clique: &mut Clique,
+    m: &M,
+    levels: usize,
+    fp: Option<FixedPoint>,
+    mut square: impl FnMut(&mut Clique, &M) -> M,
+) -> Vec<M> {
     let n = clique.n();
     assert_eq!(m.shape(), (n, n), "matrix must match clique size");
     assert!(levels > 0, "need at least one level");
@@ -408,15 +595,15 @@ pub fn distributed_powers(
     let mut table = Vec::with_capacity(levels);
     let mut first = m.clone();
     if let Some(fp) = fp {
-        fp.truncate_matrix_inplace(&mut first);
+        first.truncate(fp);
     }
     table.push(first);
     for _ in 1..levels {
         let last = table.last().expect("non-empty");
         // Truncate the engine's product in place: no clone-per-level.
-        let mut sq = engine.multiply(clique, last, last);
+        let mut sq = square(clique, last);
         if let Some(fp) = fp {
-            fp.truncate_matrix_inplace(&mut sq);
+            sq.truncate(fp);
         }
         table.push(sq);
     }
@@ -556,6 +743,93 @@ mod tests {
         // Squaring count: 3 multiplies + 4 column redistributions.
         let wpe = fp.words_per_entry(n) as u64;
         assert_eq!(clique.ledger().rounds(CostCategory::MatMul), 3 + 4 * wpe);
+    }
+
+    #[test]
+    fn multiply_p_matches_multiply_bits_and_ledger_in_every_representation() {
+        // Banded operand: genuinely sparse, so the CSR kernels run.
+        let n = 27;
+        let dense_op = Matrix::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= 2 {
+                ((i * 31 + j * 17) % 97) as f64 / 97.0 + 1e-9
+            } else {
+                0.0
+            }
+        });
+        let engines: Vec<Box<dyn MatMulEngine>> = vec![
+            Box::new(UnitCostEngine { threads: 1 }),
+            Box::new(FastOracleEngine::new(ALPHA, 2, 1)),
+            Box::new(SemiringEngine::new(1)),
+        ];
+        for engine in &engines {
+            let mut reference_clique = Clique::new(n);
+            let reference = engine.multiply(&mut reference_clique, &dense_op, &dense_op);
+            let sparse_op = PMatrix::Sparse(CsrMatrix::from_dense(&dense_op));
+            let dense_p = PMatrix::Dense(dense_op.clone());
+            for (label, a, b) in [
+                ("d*d", &dense_p, &dense_p),
+                ("s*s", &sparse_op, &sparse_op),
+                ("s*d", &sparse_op, &dense_p),
+                ("d*s", &dense_p, &sparse_op),
+            ] {
+                let mut clique = Clique::new(n);
+                let prod = engine.multiply_p(&mut clique, a, b);
+                assert_eq!(
+                    prod.to_dense(),
+                    reference,
+                    "{}: {label} bits diverged",
+                    engine.name()
+                );
+                assert_eq!(
+                    clique.ledger(),
+                    reference_clique.ledger(),
+                    "{}: {label} ledger diverged",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_powers_p_matches_dense_table_and_ledger() {
+        let n = 16;
+        let p = random_stochastic(n, 8);
+        let mut dense_clique = Clique::new(n);
+        let dense_table =
+            distributed_powers(&mut dense_clique, &UnitCostEngine::default(), &p, 5, None);
+        for (repr, pm) in [
+            (cct_linalg::Repr::Dense, PMatrix::Dense(p.clone())),
+            (
+                cct_linalg::Repr::Sparse,
+                PMatrix::Sparse(CsrMatrix::from_dense(&p)),
+            ),
+        ] {
+            let mut clique = Clique::new(n);
+            let table = distributed_powers_p(&mut clique, &UnitCostEngine::default(), &pm, 5, None);
+            assert_eq!(table.len(), dense_table.len());
+            for (a, b) in table.iter().zip(&dense_table) {
+                assert_eq!(&a.to_dense(), b, "{repr:?}");
+            }
+            assert_eq!(clique.ledger(), dense_clique.ledger(), "{repr:?}");
+        }
+        // A genuinely sparse chain keeps its early levels sparse: powers
+        // of a cycle's transition matrix stay banded.
+        let cyc = Matrix::from_fn(32, 32, |i, j| {
+            if (i + 1) % 32 == j || (j + 1) % 32 == i {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let mut clique = Clique::new(32);
+        let table = distributed_powers_p(
+            &mut clique,
+            &UnitCostEngine::default(),
+            &PMatrix::Sparse(CsrMatrix::from_dense(&cyc)),
+            4,
+            None,
+        );
+        assert!(table[0].is_sparse() && table[1].is_sparse());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cct --help
 //! ```
 
-use cct::core::{direction4_sample, CliqueTreeSampler, SamplerConfig, Workers};
+use cct::core::{direction4_sample, Backend, CliqueTreeSampler, SamplerConfig, Workers};
 use cct::graph::{Graph, SpanningTree};
 use cct::prelude::*;
 use cct::sim::Clique;
@@ -50,6 +50,12 @@ OPTIONS:
     --workers N    parallel round engine with exactly N workers
                    (implies --parallel; same seed gives the same tree
                    and round counts at every worker count)
+    --backend B    transition-matrix backend: auto (default), dense, or
+                   sparse. Trees and round counts are byte-identical
+                   across backends; sparse trades wall-clock shape for
+                   memory and raises the size cap for sparse-friendly
+                   specs (cycle, path, star, low-density er) to 8x.
+                   CCT_MAX_N overrides the base cap (default 8192).
     --dot          print the tree as Graphviz instead of an edge list
     --help         this text
 
@@ -67,22 +73,38 @@ REQUEST OPTIONS (cct request — one request against a running service):
     --algorithm A    thm1 or exact (default thm1)
     --seed N         master seed; draw i runs at machine_seed(N, i)
     --count K        trees to draw (default 1)
+    --backend B      auto (default), dense, or sparse — keyed separately
+                     in the service's PreparedSampler cache; draws are
+                     byte-identical across backends
     Trees print to stdout ('tree: …' lines, identical across replays);
     rounds and cache metadata print to stderr.
 ";
 
 /// Builds the graph a `--graph` spec describes; the grammar and all
 /// domain/size validation live in [`cct::graph::spec`], shared with the
-/// sampling service's `graph_spec` request field.
-fn parse_graph(spec: &str, rng: &mut rand::rngs::StdRng) -> Result<Graph, String> {
-    cct::graph::spec::parse_spec(spec, rng).map_err(|e| format!("{e} (see --help)"))
+/// sampling service's `graph_spec` request field. The backend choice
+/// feeds the size limits: sparse-friendly specs get the raised cap
+/// under a non-dense backend.
+fn parse_graph(
+    spec: &str,
+    backend: Backend,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Graph, String> {
+    // Only an *explicit* sparse selection raises the cap: Auto would
+    // happily resolve sparse for a huge cycle, but admitting n ≫ 8192
+    // by default would surprise users with very long dense-promoted
+    // tails; opting in documents the intent.
+    let limits =
+        cct::graph::spec::SpecLimits::from_env().with_sparse_backend(backend == Backend::Sparse);
+    cct::graph::spec::parse_spec_with_limits(spec, rng, &limits)
+        .map_err(|e| format!("{e} (see --help)"))
 }
 
 /// The phase sampler (`thm1` / `exact`) the CLI runs — one construction
 /// site shared by the `--trials` and `--samples` paths, so they can never
 /// drift apart (the prepared path's contract is "same trees as N
 /// sequential --trials runs").
-fn phase_sampler(algorithm: &str, workers: Workers) -> CliqueTreeSampler {
+fn phase_sampler(algorithm: &str, workers: Workers, backend: Backend) -> CliqueTreeSampler {
     let config = if algorithm == "exact" {
         SamplerConfig::exact_variant()
     } else {
@@ -95,7 +117,7 @@ fn phase_sampler(algorithm: &str, workers: Workers) -> CliqueTreeSampler {
         Workers::Sequential => config.threads(4),
         _ => config.threads(1),
     };
-    CliqueTreeSampler::new(config.workers(workers))
+    CliqueTreeSampler::new(config.workers(workers).backend(backend))
 }
 
 fn print_tree(tree: &SpanningTree, dot: bool) {
@@ -193,6 +215,11 @@ fn run_request(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad count")?;
             }
+            "--backend" => {
+                let name = value(&mut it, "--backend")?;
+                request.backend = Backend::parse(&name)
+                    .ok_or(format!("unknown backend '{name}' (auto, dense, or sparse)"))?;
+            }
             other => return Err(format!("unknown request option '{other}' (see --help)")),
         }
     }
@@ -255,6 +282,7 @@ fn run() -> Result<(), String> {
     let mut samples: Option<usize> = None;
     let mut dot = false;
     let mut workers = Workers::Sequential;
+    let mut backend = Backend::Auto;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -263,6 +291,11 @@ fn run() -> Result<(), String> {
                 if workers == Workers::Sequential {
                     workers = Workers::Auto;
                 }
+            }
+            "--backend" => {
+                let name = it.next().ok_or("--backend needs a value")?;
+                backend = Backend::parse(&name)
+                    .ok_or(format!("unknown backend '{name}' (auto, dense, or sparse)"))?;
             }
             "--workers" => {
                 let k: usize = it
@@ -327,7 +360,7 @@ fn run() -> Result<(), String> {
     }
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let g = parse_graph(&graph_spec, &mut rng)?;
+    let g = parse_graph(&graph_spec, backend, &mut rng)?;
     eprintln!("graph: {} — n = {}, m = {}", graph_spec, g.n(), g.m());
 
     // Prepare-once/sample-many path: the graph-global preprocessing
@@ -335,7 +368,7 @@ fn run() -> Result<(), String> {
     // draw is bit-identical to the equivalent cold run at the same point
     // of the seed stream.
     if let Some(k) = samples {
-        let sampler = phase_sampler(&algorithm, workers);
+        let sampler = phase_sampler(&algorithm, workers, backend);
         let prepared = sampler.prepare(&g).map_err(|e| e.to_string())?;
         for t in 0..k {
             if k > 1 {
@@ -362,7 +395,7 @@ fn run() -> Result<(), String> {
         }
         match algorithm.as_str() {
             "thm1" | "exact" => {
-                let sampler = phase_sampler(&algorithm, workers);
+                let sampler = phase_sampler(&algorithm, workers, backend);
                 let report = sampler.sample(&g, &mut rng).map_err(|e| e.to_string())?;
                 print_tree(&report.tree, dot);
                 eprintln!(

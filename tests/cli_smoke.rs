@@ -27,6 +27,14 @@ fn run_cct(args: &[&str]) -> std::process::Output {
         .expect("failed to spawn cct binary")
 }
 
+fn run_cct_env(args: &[&str], env: &[(&str, &str)]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cct"))
+        .args(args)
+        .envs(env.iter().copied())
+        .output()
+        .expect("failed to spawn cct binary")
+}
+
 /// Parses `tree: 0-1 2-3 …` and checks it is a spanning tree of `g` by
 /// round-tripping it through the library's own validating constructor.
 fn assert_valid_spanning_tree(stdout: &str, g: &Graph) {
@@ -224,4 +232,90 @@ fn help_exits_zero_and_lists_algorithms() {
 fn unknown_algorithm_fails() {
     let out = run_cct(&["not-an-algorithm"]);
     assert!(!out.status.success(), "unknown algorithm must exit nonzero");
+}
+
+#[test]
+fn backend_flag_produces_identical_trees_across_backends() {
+    // An odd cycle large enough that Auto/Sparse really run CSR levels:
+    // all three backends must print byte-identical stdout.
+    let reference = run_cct(&[
+        "thm1",
+        "--graph",
+        "cycle:65",
+        "--backend",
+        "dense",
+        "--seed",
+        "7",
+    ]);
+    assert!(reference.status.success());
+    for backend in ["sparse", "auto"] {
+        let out = run_cct(&[
+            "thm1",
+            "--graph",
+            "cycle:65",
+            "--backend",
+            backend,
+            "--seed",
+            "7",
+        ]);
+        assert!(out.status.success(), "--backend {backend} failed");
+        assert_eq!(out.stdout, reference.stdout, "--backend {backend} diverged");
+    }
+    let out = run_cct(&["thm1", "--backend", "csr"]);
+    assert!(!out.status.success(), "unknown backend must exit nonzero");
+}
+
+#[test]
+fn sparse_backend_raises_the_cap_for_sparse_friendly_specs() {
+    // Past the dense cap: rejected with the typed dense-only message…
+    let out = run_cct(&["wilson", "--graph", "star:10000", "--seed", "1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--backend sparse"),
+        "error must name the fix: {stderr}"
+    );
+    // …admitted under the sparse backend (a fast O(n)-edge algorithm).
+    let g = generators::star(10_000);
+    let out = run_cct(&[
+        "wilson",
+        "--graph",
+        "star:10000",
+        "--backend",
+        "sparse",
+        "--seed",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_valid_spanning_tree(&String::from_utf8_lossy(&out.stdout), &g);
+    // Dense-only families stay capped even under the sparse backend.
+    let out = run_cct(&["thm1", "--graph", "complete:10000", "--backend", "sparse"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cct_max_n_overrides_the_cap() {
+    // A lowered cap rejects what the default admits…
+    let out = run_cct_env(
+        &["wilson", "--graph", "path:64", "--seed", "1"],
+        &[("CCT_MAX_N", "32")],
+    );
+    assert!(!out.status.success(), "CCT_MAX_N=32 must reject path:64");
+    // …and a raised cap admits what the default rejects (a star keeps
+    // the walk fast: O(n log n) cover time).
+    let g = generators::star(9_000);
+    let out = run_cct_env(
+        &["wilson", "--graph", "star:9000", "--seed", "1"],
+        &[("CCT_MAX_N", "10000")],
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_valid_spanning_tree(&String::from_utf8_lossy(&out.stdout), &g);
 }

@@ -14,12 +14,20 @@
 // Each test binary compiles this file independently and uses a subset.
 #![allow(dead_code)]
 
-use cct::core::SamplerConfig;
+use cct::core::{Backend, SamplerConfig};
 use cct::graph::{generators, Graph};
 
 /// The CLI's default thm1 configuration (`src/main.rs` sequential path).
 pub fn cli_config() -> SamplerConfig {
     SamplerConfig::new().threads(4)
+}
+
+/// The backend axis of the fixture suites: every pinned tree and round
+/// total must reproduce bit for bit under each matrix backend (the
+/// cct-linalg bit-identity contract — representation is invisible in
+/// results).
+pub fn backends() -> [Backend; 3] {
+    Backend::ALL
 }
 
 /// Parses `0-1 2-3 …` into an edge list.

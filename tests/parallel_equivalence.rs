@@ -1,11 +1,15 @@
 //! Bit-identical equivalence of the sequential and parallel round
-//! engines: for a fixed seed, every algorithm in the repertoire must
-//! produce the same spanning tree and identical `RoundLedger` totals
-//! whether machines run on 1, 2, 4, or 8 worker threads (the cct-sim
-//! determinism contract). Property-tested over random graph specs.
+//! engines *and* of the matrix backends: for a fixed seed, every
+//! algorithm in the repertoire must produce the same spanning tree and
+//! identical `RoundLedger` totals whether machines run on 1, 2, 4, or 8
+//! worker threads (the cct-sim determinism contract) and whether the
+//! transition matrices live in Dense, Sparse, or Auto storage (the
+//! cct-linalg bit-identity contract). Property-tested over random graph
+//! specs.
 
 use cct::core::{
-    direction4_sample, CliqueTreeSampler, EngineChoice, SamplerConfig, Variant, WalkLength, Workers,
+    direction4_sample, Backend, CliqueTreeSampler, EngineChoice, SamplerConfig, Variant,
+    WalkLength, Workers,
 };
 use cct::graph::{generators, Graph};
 use cct::prelude::{aldous_broder, sample_tree_via_doubling, wilson, Clique};
@@ -26,6 +30,22 @@ fn worker_sweep() -> Vec<usize> {
     {
         Some(w) => vec![1, w.max(2)],
         None => vec![1, 2, 4, 8],
+    }
+}
+
+/// The matrix-backend sweep: all three by default (local runs); when
+/// `CCT_BACKEND` names one (the CI matrix), the sweep narrows —
+/// `dense` runs the dense-only pre-backend sweep (the default CI legs,
+/// at their pre-backend cost), while any other backend runs the
+/// {Dense, that backend} pairing (Dense stays in as the reference leg).
+fn backend_sweep() -> Vec<Backend> {
+    match std::env::var("CCT_BACKEND")
+        .ok()
+        .and_then(|s| Backend::parse(&s))
+    {
+        None => vec![Backend::Dense, Backend::Sparse, Backend::Auto],
+        Some(Backend::Dense) => vec![Backend::Dense],
+        Some(b) => vec![Backend::Dense, b],
     }
 }
 
@@ -54,13 +74,14 @@ fn any_engine() -> impl Strategy<Value = EngineChoice> {
     ]
 }
 
-/// Runs the phase sampler at a given worker count and returns the
-/// (tree, full ledger) pair.
+/// Runs the phase sampler at a given worker count and backend and
+/// returns the (tree, full ledger) pair.
 fn run_phase_sampler(
     g: &Graph,
     engine: EngineChoice,
     exact: bool,
     workers: usize,
+    backend: Backend,
     seed: u64,
 ) -> (cct::graph::SpanningTree, cct::sim::RoundLedger) {
     let base = if exact {
@@ -72,7 +93,8 @@ fn run_phase_sampler(
         .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
         .engine(engine)
         .variant(Variant::LasVegas) // no Monte Carlo breakouts: full coverage
-        .workers(Workers::Fixed(workers));
+        .workers(Workers::Fixed(workers))
+        .backend(backend);
     let report = CliqueTreeSampler::new(config)
         .sample(g, &mut rng(seed))
         .expect("connected input");
@@ -83,9 +105,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Theorem 1 sampler and the Appendix exact variant: same seed ⇒
-    /// same tree and byte-identical ledger at every worker count.
+    /// same tree and byte-identical ledger at every worker count and
+    /// under every matrix backend (the reference leg is Dense at one
+    /// worker; every (backend, workers) combination must match it).
     #[test]
-    fn phase_samplers_are_worker_count_invariant(
+    fn phase_samplers_are_worker_and_backend_invariant(
         kind in 0u8..5,
         n in 4usize..=10,
         graph_seed in any::<u64>(),
@@ -94,19 +118,63 @@ proptest! {
     ) {
         let g = build_graph(kind, n, graph_seed);
         for exact in [false, true] {
-            let reference = run_phase_sampler(&g, engine, exact, 1, sample_seed);
-            for workers in worker_sweep() {
-                let got = run_phase_sampler(&g, engine, exact, workers, sample_seed);
-                prop_assert_eq!(
-                    &got.0, &reference.0,
-                    "tree mismatch: exact={} workers={}", exact, workers
-                );
-                prop_assert_eq!(
-                    &got.1, &reference.1,
-                    "ledger mismatch: exact={} workers={}", exact, workers
-                );
+            let reference =
+                run_phase_sampler(&g, engine, exact, 1, Backend::Dense, sample_seed);
+            for backend in backend_sweep() {
+                for workers in worker_sweep() {
+                    let got =
+                        run_phase_sampler(&g, engine, exact, workers, backend, sample_seed);
+                    prop_assert_eq!(
+                        &got.0, &reference.0,
+                        "tree mismatch: exact={} workers={} backend={}",
+                        exact, workers, backend
+                    );
+                    prop_assert_eq!(
+                        &got.1, &reference.1,
+                        "ledger mismatch: exact={} workers={} backend={}",
+                        exact, workers, backend
+                    );
+                }
             }
         }
+    }
+
+    /// The forced-sparse backend on larger, genuinely sparse inputs
+    /// (where Auto also resolves sparse and CSR levels really appear):
+    /// byte-identical trees and ledgers to the dense route, cold and
+    /// prepared — through the full default pipeline, matching placement
+    /// included.
+    #[test]
+    fn sparse_backend_matches_dense_on_sparse_graphs(
+        n in 48usize..=80,
+        sample_seed in any::<u64>(),
+        use_cycle in any::<bool>(),
+    ) {
+        let g = if use_cycle {
+            generators::cycle(n | 1) // odd: phase 1 takes the top-down route
+        } else {
+            generators::random_regular(n & !1, 3, &mut rng(n as u64))
+        };
+        let reference =
+            run_phase_sampler(&g, EngineChoice::UnitCost, false, 1, Backend::Dense, sample_seed);
+        for backend in [Backend::Sparse, Backend::Auto] {
+            let got =
+                run_phase_sampler(&g, EngineChoice::UnitCost, false, 1, backend, sample_seed);
+            prop_assert_eq!(&got.0, &reference.0, "tree mismatch: backend={}", backend);
+            prop_assert_eq!(&got.1, &reference.1, "ledger mismatch: backend={}", backend);
+        }
+        // Prepared path under the sparse backend reproduces the dense
+        // cold path draw for draw.
+        let config = SamplerConfig::new()
+            .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+            .engine(EngineChoice::UnitCost)
+            .variant(Variant::LasVegas)
+            .backend(Backend::Sparse);
+        let prepared = CliqueTreeSampler::new(config).prepare(&g).expect("connected");
+        let mut r = rng(sample_seed);
+        let draw = prepared.sample(&mut r).expect("prepared draw");
+        prop_assert_eq!(&draw.tree, &reference.0);
+        prop_assert_eq!(&draw.rounds, &reference.1);
     }
 
     /// The other five algorithms (doubling, direction4, and the three

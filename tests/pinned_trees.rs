@@ -34,6 +34,39 @@ fn thm1_trees_are_byte_identical_to_pre_refactor_fixtures() {
 }
 
 #[test]
+fn every_backend_reproduces_the_pinned_fixtures() {
+    // The backend axis: Dense, Sparse, and Auto must all emit the
+    // pre-refactor trees and round totals bit for bit — representation
+    // is a memory/speed knob, never a semantic one.
+    for backend in fixtures::backends() {
+        let sampler = CliqueTreeSampler::new(cli_config().backend(backend));
+        for (name, g, tree, rounds) in standard_suite() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let report = sampler.sample(&g, &mut rng).unwrap();
+            assert_eq!(
+                report.tree.edges(),
+                &tree[..],
+                "tree changed on {name} under {backend}"
+            );
+            assert_eq!(
+                report.total_rounds(),
+                rounds,
+                "round total changed on {name} under {backend}"
+            );
+        }
+        // The prepared path too, on one representative fixture.
+        let (name, g, tree, rounds) = standard_suite().swap_remove(0);
+        let prepared = CliqueTreeSampler::new(cli_config().backend(backend))
+            .prepare(&g)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let report = prepared.sample(&mut rng).unwrap();
+        assert_eq!(report.tree.edges(), &tree[..], "{name} under {backend}");
+        assert_eq!(report.total_rounds(), rounds, "{name} under {backend}");
+    }
+}
+
+#[test]
 fn prepared_path_reproduces_the_same_fixtures() {
     let sampler = CliqueTreeSampler::new(cli_config());
     for (name, g, tree, rounds) in standard_suite() {
