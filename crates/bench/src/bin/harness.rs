@@ -12,27 +12,30 @@ use cct_bench::experiments as ex;
 use cct_bench::{gate, json::Json};
 
 const HELP: &str = "\
-harness — regenerate the experiment tables (E1–E19, aux)
+harness — regenerate the experiment tables (E1–E20, aux)
 
 USAGE:
     harness [EXPERIMENT...] [OPTIONS]
 
 ARGUMENTS:
-    EXPERIMENT    experiments to run: e1 … e19, aux, or all (default all)
+    EXPERIMENT    experiments to run: e1 … e20, aux, or all (default all)
 
 OPTIONS:
     --quick           reduced-size sweep for fast iteration
     --json PATH       write the machine-readable report to PATH (the
                       file is re-parsed after writing; malformed output
-                      is a hard error). e18 and e19 emit JSON; select
-                      exactly one of them with this flag ('all' keeps
-                      the legacy behavior of writing e18's report).
+                      is a hard error). e18, e19 and e20 emit JSON;
+                      select exactly one of them with this flag ('all'
+                      keeps the legacy behavior of writing e18's
+                      report).
     --baseline PATH   compare the fresh report against a committed
-                      baseline (BENCH_e18.json / BENCH_e19.json): exit
-                      non-zero on a >2x regression of the gated metric
-                      on any overlapping row (e18: prepared-mode
-                      throughput; e19: the sparse backend's bytes
-                      reduction and wall-clock ratio)
+                      baseline (BENCH_e18.json / BENCH_e19.json /
+                      BENCH_e20.json): exit non-zero on a >2x
+                      regression of the gated metric on any overlapping
+                      row (e18: prepared-mode throughput; e19: the
+                      sparse backend's bytes reduction and wall-clock
+                      ratio; e20: peak resident prepared-state bytes
+                      and their per-family scaling ratio)
     --help            this text
 ";
 
@@ -98,29 +101,43 @@ fn run() -> i32 {
         ("e17", ex::e17),
         ("aux", ex::failure_probe),
     ];
-    // e18 and e19 return reports consumed by --json/--baseline, so they
-    // live outside the fn(bool) table.
+    // e18, e19 and e20 return reports consumed by --json/--baseline, so
+    // they live outside the fn(bool) table.
+    type JsonRunner = (&'static str, fn(bool) -> Json);
+    let json_runners: Vec<JsonRunner> = vec![("e18", ex::e18), ("e19", ex::e19), ("e20", ex::e20)];
     let known = |s: &str| {
-        s == "all" || s == "e18" || s == "e19" || experiments.iter().any(|(n, _)| *n == s)
+        s == "all"
+            || json_runners.iter().any(|(n, _)| *n == s)
+            || experiments.iter().any(|(n, _)| *n == s)
     };
     if let Some(bad) = selected.iter().find(|s| !known(s)) {
         eprintln!("error: unknown experiment '{bad}' (see --help)");
         return 2;
     }
-    let run_e18 = run_all || selected.iter().any(|s| s == "e18");
-    let run_e19 = run_all || selected.iter().any(|s| s == "e19");
+    let runs_json = |name: &str| run_all || selected.iter().any(|s| s == name);
+    let json_selected: Vec<&str> = json_runners
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| runs_json(n))
+        .collect();
     let flags = json_path.is_some() || baseline_path.is_some();
-    if flags && !run_e18 && !run_e19 {
-        eprintln!("error: --json/--baseline require e18 or e19 to be selected (see --help)");
+    if flags && json_selected.is_empty() {
+        eprintln!("error: --json/--baseline require e18, e19 or e20 to be selected (see --help)");
         return 2;
     }
     // Which report the flags apply to: an explicit lone selection wins;
     // 'all' keeps the legacy behavior (e18's report).
-    let json_experiment = if run_e19 && !run_e18 { "e19" } else { "e18" };
-    if flags && !run_all && run_e18 && run_e19 {
-        eprintln!("error: select only one of e18/e19 with --json/--baseline (see --help)");
-        return 2;
-    }
+    let json_experiment = if run_all {
+        "e18"
+    } else if json_selected.len() == 1 {
+        json_selected[0]
+    } else {
+        if flags {
+            eprintln!("error: select only one of e18/e19/e20 with --json/--baseline (see --help)");
+            return 2;
+        }
+        "e18"
+    };
 
     println!(
         "cct experiment harness — {} mode",
@@ -135,11 +152,8 @@ fn run() -> i32 {
         }
     }
     let mut gated_report: Option<Json> = None;
-    for (name, runner) in [
-        ("e18", ex::e18 as fn(bool) -> Json),
-        ("e19", ex::e19 as fn(bool) -> Json),
-    ] {
-        if (name == "e18" && !run_e18) || (name == "e19" && !run_e19) {
+    for &(name, runner) in &json_runners {
+        if !runs_json(name) {
             continue;
         }
         let t = std::time::Instant::now();

@@ -64,8 +64,131 @@ pub fn check_against_baseline(current: &Json, baseline: &Json) -> Result<GateRep
     match cur.as_str() {
         "e18" => check_e18_against_baseline(current, baseline),
         "e19" => check_e19_against_baseline(current, baseline),
+        "e20" => check_e20_against_baseline(current, baseline),
         other => Err(format!("no baseline gate for experiment {other}")),
     }
+}
+
+/// Row identity in e20's `rows` array: `(family, n)`.
+fn e20_row_key(row: &Json) -> Option<(String, i64)> {
+    Some((
+        row.get("family")?.as_str()?.to_string(),
+        row.get("n")?.as_f64()? as i64,
+    ))
+}
+
+/// Entry identity in e20's `scaling` array: `(family, n_lo, n_hi)`.
+fn e20_scaling_key(entry: &Json) -> Option<(String, i64, i64)> {
+    Some((
+        entry.get("family")?.as_str()?.to_string(),
+        entry.get("n_lo")?.as_f64()? as i64,
+        entry.get("n_hi")?.as_f64()? as i64,
+    ))
+}
+
+/// Compares `current` against `baseline` (both `e20` reports).
+///
+/// Gated metrics — both **deterministic byte counts**, so the gate is
+/// machine-independent:
+///
+/// * `rows[].peak_resident_bytes` — the resident prepared-state
+///   footprint (transition matrix + materialized doubling levels +
+///   cached ledger) must not grow past [`REGRESSION_FACTOR`]× the
+///   baseline for the same `(family, n)` — a doubling means some Θ(n²)
+///   allocation crept back past the out-of-core escape;
+/// * `scaling[].bytes_ratio` — the per-family growth of the peak
+///   between adjacent sweep sizes must not exceed
+///   [`REGRESSION_FACTOR`]× the baseline ratio (resident state has to
+///   keep tracking nnz·log n, not n²).
+///
+/// Wall-clock columns are reported but not gated: absolute times are
+/// machine-dependent even within a 2× band.
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed `e20`
+/// report.
+pub fn check_e20_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("e20") {
+            return Err(format!("{label} report is not an e20 document"));
+        }
+    }
+    let arr = |doc: &Json, label: &str, field: &str| -> Result<Vec<Json>, String> {
+        doc.get(field)
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .ok_or(format!("{label} report lacks a {field} array"))
+    };
+    let current_rows = arr(current, "current", "rows")?;
+    let baseline_rows = arr(baseline, "baseline", "rows")?;
+    let current_scaling = arr(current, "current", "scaling")?;
+    let baseline_scaling = arr(baseline, "baseline", "scaling")?;
+
+    let mut report = GateReport {
+        compared: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for row in &current_rows {
+        let Some(key) = e20_row_key(row) else {
+            return Err("current e20 row missing family/n".into());
+        };
+        let Some(base_row) = baseline_rows
+            .iter()
+            .find(|b| e20_row_key(b).as_ref() == Some(&key))
+        else {
+            continue; // not in the baseline (e.g. quick vs full sweep)
+        };
+        let metric = |doc: &Json| {
+            doc.get("peak_resident_bytes")
+                .and_then(Json::as_f64)
+                .ok_or("e20 row missing peak_resident_bytes")
+        };
+        let cur = metric(row)?;
+        let base = metric(base_row)?;
+        let ceiling = base * REGRESSION_FACTOR;
+        let line = format!(
+            "{}/n={}: peak resident {:.0} B vs baseline {:.0} B (ceiling {:.0} B)",
+            key.0, key.1, cur, base, ceiling
+        );
+        if cur > ceiling {
+            report.regressions.push(line.clone());
+        }
+        report.compared.push(line);
+    }
+    for entry in &current_scaling {
+        let Some(key) = e20_scaling_key(entry) else {
+            return Err("current e20 scaling entry missing family/n_lo/n_hi".into());
+        };
+        let Some(base_entry) = baseline_scaling
+            .iter()
+            .find(|b| e20_scaling_key(b).as_ref() == Some(&key))
+        else {
+            continue;
+        };
+        let metric = |doc: &Json| {
+            doc.get("bytes_ratio")
+                .and_then(Json::as_f64)
+                .ok_or("e20 scaling entry missing bytes_ratio")
+        };
+        let cur = metric(entry)?;
+        let base = metric(base_entry)?;
+        let ceiling = base * REGRESSION_FACTOR;
+        let line = format!(
+            "{} scaling {}→{}: bytes ×{:.2} vs baseline ×{:.2} (ceiling ×{:.2})",
+            key.0, key.1, key.2, cur, base, ceiling
+        );
+        if cur > ceiling {
+            report.regressions.push(line.clone());
+        }
+        report.compared.push(line);
+    }
+    if report.compared.is_empty() {
+        report
+            .compared
+            .push("no overlapping e20 rows — nothing gated".into());
+    }
+    Ok(report)
 }
 
 /// Row identity in e19's `rows` array: `(family, n)`.
@@ -324,13 +447,99 @@ mod tests {
         assert!(disjoint.compared[0].contains("nothing gated"));
     }
 
+    fn e20_report(rows: &[(&str, f64, f64)], scaling: &[(&str, f64, f64, f64)]) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e20".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(fam, n, peak)| {
+                            Json::Obj(vec![
+                                ("family".into(), Json::Str(fam.into())),
+                                ("n".into(), Json::Num(n)),
+                                ("peak_resident_bytes".into(), Json::Num(peak)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "scaling".into(),
+                Json::Arr(
+                    scaling
+                        .iter()
+                        .map(|&(fam, lo, hi, ratio)| {
+                            Json::Obj(vec![
+                                ("family".into(), Json::Str(fam.into())),
+                                ("n_lo".into(), Json::Num(lo)),
+                                ("n_hi".into(), Json::Num(hi)),
+                                ("bytes_ratio".into(), Json::Num(ratio)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e20_gate_checks_peak_bytes_and_scaling_ceilings() {
+        let baseline = e20_report(
+            &[("path", 16384.0, 500_000.0)],
+            &[("path", 16384.0, 131072.0, 8.0)],
+        );
+        // Within band: peak below 2× baseline, ratio below 2× baseline.
+        let ok = check_e20_against_baseline(
+            &e20_report(
+                &[("path", 16384.0, 900_000.0)],
+                &[("path", 16384.0, 131072.0, 9.5)],
+            ),
+            &baseline,
+        )
+        .unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        // Resident footprint more than doubled: regression.
+        let bad_peak = check_e20_against_baseline(
+            &e20_report(
+                &[("path", 16384.0, 1_100_000.0)],
+                &[("path", 16384.0, 131072.0, 8.0)],
+            ),
+            &baseline,
+        )
+        .unwrap();
+        assert!(!bad_peak.passed());
+        // Scaling ratio blew past 2× the baseline (n² crept back in).
+        let bad_ratio = check_e20_against_baseline(
+            &e20_report(
+                &[("path", 16384.0, 500_000.0)],
+                &[("path", 16384.0, 131072.0, 17.0)],
+            ),
+            &baseline,
+        )
+        .unwrap();
+        assert!(!bad_ratio.passed());
+        // Non-overlapping rows pass vacuously.
+        let disjoint =
+            check_e20_against_baseline(&e20_report(&[("er", 1024.0, 9_000.0)], &[]), &baseline)
+                .unwrap();
+        assert!(disjoint.passed());
+        assert!(disjoint.compared[0].contains("nothing gated"));
+    }
+
     #[test]
     fn dispatcher_routes_by_experiment_and_rejects_mismatches() {
         let e18 = report(&[("er", 64.0, 6.0, 100.0)]);
         let e19 = e19_report(&[("cycle", 257.0, 1.8, 1.0)]);
+        let e20 = e20_report(
+            &[("path", 16384.0, 500_000.0)],
+            &[("path", 16384.0, 131072.0, 8.0)],
+        );
         assert!(check_against_baseline(&e18, &e18).unwrap().passed());
         assert!(check_against_baseline(&e19, &e19).unwrap().passed());
+        assert!(check_against_baseline(&e20, &e20).unwrap().passed());
         assert!(check_against_baseline(&e18, &e19).is_err());
         assert!(check_against_baseline(&e19, &e18).is_err());
+        assert!(check_against_baseline(&e20, &e18).is_err());
     }
 }

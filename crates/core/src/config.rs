@@ -108,12 +108,15 @@ pub enum WalkLength {
 }
 
 impl WalkLength {
-    /// Resolves the target length for an `n`-vertex input.
+    /// Resolves the target length for an `n`-vertex input. Lengths past
+    /// `2⁶²` saturate there (still a power of two): they only arise for
+    /// inputs far beyond the out-of-core escape, where `ℓ` is never used
+    /// to size an allocation.
     ///
     /// # Panics
     ///
-    /// Panics if the policy yields a length below 2 or overflowing `u64`,
-    /// or `Fixed` is not a power of two.
+    /// Panics if the policy yields a non-finite length or `Fixed` is not
+    /// a power of two ≥ 2.
     pub fn resolve(&self, n: usize) -> u64 {
         let raw = match *self {
             WalkLength::Paper { epsilon } => {
@@ -133,10 +136,16 @@ impl WalkLength {
                 factor * (n as f64).powi(3)
             }
         };
-        assert!(
-            raw.is_finite() && raw < 2.0f64.powi(62),
-            "walk length overflows"
-        );
+        assert!(raw.is_finite(), "walk length overflows");
+        if raw >= 2.0f64.powi(62) {
+            // The paper's ℓ = Θ̃(n³) leaves u64 range near n ≈ 10⁶. Such
+            // an ℓ is astronomically past the out-of-core escape, where
+            // no doubling table of depth log₂ ℓ is ever materialized and
+            // phase budgets only compare against the realized τ — so
+            // saturate at the largest representable power of two instead
+            // of refusing million-vertex inputs.
+            return 1 << 62;
+        }
         ((raw.max(2.0)).ceil() as u64).next_power_of_two()
     }
 }
@@ -257,6 +266,19 @@ pub struct SamplerConfig {
     /// Hard cap on materialized partial-walk entries (safety net; the
     /// degenerate bipartite cases fall back to local simulation first).
     pub max_grid_len: usize,
+    /// Out-of-core threshold on the *dense-equivalent* bytes of one
+    /// phase's power table — `(log₂ ℓ + 2)` levels of `n² × 8` bytes.
+    /// Above it the sampler abandons the matrix pipeline entirely
+    /// (nothing `Θ(n²)` is ever allocated) and takes the streaming
+    /// route: tree inputs (`m = n − 1`) are recognized as their own
+    /// unique spanning tree in `O(m)`, and other graphs run the phase
+    /// walks step by step on `G` itself. The default (2 GiB) is far
+    /// above anything the in-core test/bench suite touches, so the
+    /// matrix route's bit-exact fixtures are unaffected. Backend-
+    /// independent: the criterion is about what the *dense* pipeline
+    /// would cost, so the same graph takes the same route under every
+    /// backend.
+    pub max_table_bytes: usize,
 }
 
 impl SamplerConfig {
@@ -276,6 +298,7 @@ impl SamplerConfig {
             backend: Backend::Auto,
             swap_steps_per_slot: 64,
             max_grid_len: 8_000_000,
+            max_table_bytes: 1 << 31,
         }
     }
 
@@ -369,6 +392,14 @@ impl SamplerConfig {
         self
     }
 
+    /// Sets the out-of-core threshold on the dense-equivalent bytes of a
+    /// phase power table (see the field docs; tests use tiny values to
+    /// force the streaming route on small graphs).
+    pub fn max_table_bytes(mut self, bytes: usize) -> Self {
+        self.max_table_bytes = bytes;
+        self
+    }
+
     /// The phase budget for an `n`-vertex graph: the override, else
     /// `⌊n^{1/3}⌋` (exact variant) or `⌊√n⌋`, floored at 2.
     pub fn resolve_rho(&self, n: usize) -> usize {
@@ -405,6 +436,17 @@ mod tests {
     #[test]
     fn walk_length_fixed_passthrough() {
         assert_eq!(WalkLength::Fixed(1024).resolve(99), 1024);
+    }
+
+    #[test]
+    fn walk_length_saturates_for_million_vertex_inputs() {
+        // The paper's ℓ at n = 10⁶ exceeds u64; the resolver saturates
+        // at 2⁶² (a power of two) rather than rejecting the input — the
+        // out-of-core route never materializes anything of depth log₂ ℓ.
+        let l = WalkLength::Paper { epsilon: 0.1 }.resolve(1_000_000);
+        assert_eq!(l, 1 << 62);
+        // Well-inside-range values are untouched by the saturation arm.
+        assert!(WalkLength::Paper { epsilon: 0.1 }.resolve(1024) < 1 << 62);
     }
 
     #[test]

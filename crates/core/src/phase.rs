@@ -18,7 +18,7 @@ use cct_matching::{
     SwapChainSampler, MAX_EXACT_SLOTS,
 };
 use cct_schur::VertexSubset;
-use cct_sim::{machine_seed, par_map, Clique, CostCategory, MatMulEngine};
+use cct_sim::{machine_seed, par_map, Clique, CostCategory, DeferredPowers, MatMulEngine};
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 
@@ -109,30 +109,39 @@ impl PhaseWalkResult {
     }
 }
 
-/// The phase's power table: a borrowed base (the prepared phase-1 cache
-/// or this phase's freshly built table — never cloned) plus the
-/// transient levels Las Vegas extensions append per walk. Splitting the
-/// two keeps the prepared path allocation-free for the common
-/// no-extension draw and halves its peak matrix footprint (the old path
-/// cloned the whole table every sample).
+/// The phase's power table: a borrowed *lazy* base (the prepared
+/// phase-1 cache or this phase's freshly built [`DeferredPowers`] —
+/// never cloned) plus the transient levels Las Vegas extensions append
+/// per walk. Splitting the two keeps the prepared path allocation-free
+/// for the common no-extension draw.
+///
+/// The base is a [`DeferredPowers`] table: its distributed-construction
+/// cost was charged in full when it was built (the charge-up-front
+/// contract), and reading `level(k)` here materializes the level's
+/// *numeric* content on demand, memoized. A phase that never touches
+/// the high levels (small `τ`, early truncation, or the out-of-core
+/// route skipping the table entirely) therefore never pays their
+/// `Θ(n²)`-or-`Θ(nnz)` storage — while the ledger stays bit-identical
+/// to an eager build.
 pub(crate) struct PowerTable<'a> {
-    base: &'a [PMatrix],
+    base: &'a DeferredPowers,
     extra: Vec<PMatrix>,
 }
 
 impl<'a> PowerTable<'a> {
     /// Wraps a borrowed base table.
-    pub(crate) fn new(base: &'a [PMatrix]) -> Self {
+    pub(crate) fn new(base: &'a DeferredPowers) -> Self {
         PowerTable {
             base,
             extra: Vec::new(),
         }
     }
 
-    /// Level `k` holds `T^{2^k}`.
+    /// Level `k` holds `T^{2^k}`, materializing deferred base levels on
+    /// first access.
     pub(crate) fn level(&self, k: usize) -> &PMatrix {
         if k < self.base.len() {
-            &self.base[k]
+            self.base.level(k)
         } else {
             &self.extra[k - self.base.len()]
         }
@@ -209,6 +218,90 @@ pub(crate) fn direct_local_phase<R: Rng + ?Sized>(
         words,
         PhaseMethod::DirectLocal,
     ))
+}
+
+/// The out-of-core phase route: the walk runs step by step on `G`
+/// itself (the original transition matrix `P`, never a Schur
+/// complement), skipping over globally visited vertices' budgets and
+/// recording each unvisited vertex's actual entry edge directly — the
+/// Aldous–Broder rule applied verbatim. Nothing `Θ(n²)` (or even
+/// `Θ(n)`) is allocated per phase: state is the walk head, the phase's
+/// new-vertex set, and the recorded edges.
+///
+/// Cost model: the walk token moves one edge per round (charged under
+/// [`CostCategory::Routing`]) — this route trades the paper's sublinear
+/// round bound for a memory footprint independent of `ℓ`, which is the
+/// point of the out-of-core regime. Monte Carlo failure semantics are
+/// unchanged: exhausting `ell` (or the safety `step_cap`) without
+/// meeting `rho` reports `reached = false` and the caller emits the
+/// flagged arbitrary tree. Las Vegas keeps doubling its budget and
+/// walks until the budget is met (no table to extend — extensions are
+/// free of matrix work here).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn streamed_local_phase<R: Rng + ?Sized>(
+    clique: &mut Clique,
+    p: &PMatrix,
+    visited: &[bool],
+    start: usize,
+    rho: usize,
+    ell: u64,
+    variant: Variant,
+    step_cap: u64,
+    rng: &mut R,
+) -> Result<PhaseWalkResult, PhaseError> {
+    let mut first_visits: Vec<(usize, usize)> = Vec::new();
+    let mut seen_new: HashSet<usize> = HashSet::new();
+    let mut cur = start;
+    let mut tau = 0u64;
+    // `start` (= v_f) counts once toward the phase budget, exactly as
+    // the matrix phases count the walk's first vertex; other globally
+    // visited vertices the walk passes through do not count, mirroring
+    // the Schur complement shortcutting them out of the phase graph.
+    let mut distinct = 1usize;
+    let mut budget = ell;
+    let mut extensions = 0u32;
+    let reached = loop {
+        if distinct >= rho {
+            break true;
+        }
+        if tau >= budget {
+            match variant {
+                Variant::MonteCarlo => break false,
+                Variant::LasVegas => {
+                    budget = budget.saturating_mul(2);
+                    extensions += 1;
+                }
+            }
+        }
+        if variant == Variant::MonteCarlo && tau >= step_cap {
+            break false; // safety net for astronomically large ℓ
+        }
+        let next = p
+            .sample_row(rng, cur)
+            .ok_or(PhaseError::DegenerateDistribution)?;
+        tau += 1;
+        if !visited[next] && seen_new.insert(next) {
+            first_visits.push((next, cur));
+            distinct += 1;
+        }
+        cur = next;
+    };
+    clique
+        .ledger_mut()
+        .charge(CostCategory::Routing, tau.max(1));
+    clique.ledger_mut().add_words(CostCategory::Routing, tau);
+    Ok(PhaseWalkResult {
+        first_visits,
+        last: cur,
+        tau,
+        distinct,
+        reached,
+        extensions,
+        ell_final: budget,
+        pi_words: 0,
+        placement_words: 0,
+        method: PhaseMethod::StreamedLocal,
+    })
 }
 
 /// Returns `true` if the phase graph restricted to `S` is bipartite with
@@ -758,11 +851,15 @@ mod tests {
         rand::rngs::StdRng::seed_from_u64(seed)
     }
 
-    fn padded_powers(t0: &cct_linalg::Matrix, levels: usize) -> Vec<PMatrix> {
-        cct_linalg::powers_of_two(t0, levels + 1, 1)
-            .into_iter()
-            .map(PMatrix::Dense)
-            .collect()
+    fn padded_powers(t0: &cct_linalg::Matrix, levels: usize) -> DeferredPowers {
+        DeferredPowers::from_materialized(
+            cct_linalg::powers_of_two(t0, levels + 1, 1)
+                .into_iter()
+                .map(PMatrix::Dense)
+                .collect(),
+            1,
+            None,
+        )
     }
 
     #[test]
@@ -835,6 +932,112 @@ mod tests {
         let res =
             direct_local_phase(&mut clique, &t0, &s, 0, 8, 2, Variant::MonteCarlo, &mut r).unwrap();
         assert!(!res.reached);
+    }
+
+    #[test]
+    fn streamed_phase_records_real_entry_edges() {
+        let g = generators::complete(8);
+        let p = g.transition_pmatrix(cct_linalg::Repr::Sparse);
+        let mut visited = vec![false; 8];
+        visited[0] = true;
+        let mut clique = Clique::new(8);
+        let mut r = rng(21);
+        let res = streamed_local_phase(
+            &mut clique,
+            &p,
+            &visited,
+            0,
+            4,
+            1 << 16,
+            Variant::MonteCarlo,
+            u64::MAX,
+            &mut r,
+        )
+        .unwrap();
+        assert!(res.reached);
+        assert_eq!(res.method, PhaseMethod::StreamedLocal);
+        assert_eq!(res.first_visits.len(), 3);
+        for &(v, prev) in &res.first_visits {
+            assert!(!visited[v]);
+            assert!(g.has_edge(prev, v), "({prev},{v}) not a G-edge");
+        }
+        // Each walk step is one token move: one round, one word.
+        assert_eq!(clique.ledger().rounds(CostCategory::Routing), res.tau);
+        assert_eq!(clique.ledger().words(CostCategory::Routing), res.tau);
+    }
+
+    #[test]
+    fn streamed_phase_skips_globally_visited_vertices() {
+        // Mark half the cycle visited: only unvisited vertices may appear
+        // in first_visits, and the phase budget counts start + new only.
+        let g = generators::cycle(8);
+        let p = g.transition_pmatrix(cct_linalg::Repr::Sparse);
+        let mut visited = vec![false; 8];
+        visited[..4].fill(true);
+        let mut clique = Clique::new(8);
+        let mut r = rng(22);
+        let res = streamed_local_phase(
+            &mut clique,
+            &p,
+            &visited,
+            0,
+            3,
+            1 << 20,
+            Variant::LasVegas,
+            u64::MAX,
+            &mut r,
+        )
+        .unwrap();
+        assert!(res.reached);
+        assert_eq!(res.distinct, 3);
+        assert_eq!(res.first_visits.len(), 2);
+        for &(v, _) in &res.first_visits {
+            assert!(!visited[v], "{v} was already visited");
+        }
+    }
+
+    #[test]
+    fn streamed_phase_monte_carlo_budget_exhaustion() {
+        // 2 steps cannot reach 8 distinct vertices on a path.
+        let g = generators::path(8);
+        let p = g.transition_pmatrix(cct_linalg::Repr::Sparse);
+        let visited = {
+            let mut v = vec![false; 8];
+            v[0] = true;
+            v
+        };
+        let mut clique = Clique::new(8);
+        let mut r = rng(23);
+        let res = streamed_local_phase(
+            &mut clique,
+            &p,
+            &visited,
+            0,
+            8,
+            2,
+            Variant::MonteCarlo,
+            u64::MAX,
+            &mut r,
+        )
+        .unwrap();
+        assert!(!res.reached);
+        assert_eq!(res.tau, 2);
+        // The step cap is a second failure trigger for huge ℓ.
+        let mut clique = Clique::new(8);
+        let res = streamed_local_phase(
+            &mut clique,
+            &p,
+            &visited,
+            0,
+            8,
+            u64::MAX,
+            Variant::MonteCarlo,
+            4,
+            &mut r,
+        )
+        .unwrap();
+        assert!(!res.reached);
+        assert_eq!(res.tau, 4);
     }
 
     #[test]

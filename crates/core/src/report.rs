@@ -15,6 +15,16 @@ pub enum PhaseMethod {
     /// paper's submatrix-collection step) and as the safety fallback for
     /// degenerate bipartite phase graphs.
     DirectLocal,
+    /// The input was recognized as its own unique spanning tree
+    /// (`m = n − 1` on a connected graph) by the out-of-core route —
+    /// no walk, no matrices, `O(m)` work.
+    UniqueTree,
+    /// Streaming step-by-step walk on `G` itself (the out-of-core
+    /// route for non-tree graphs): first-visit edges are recorded
+    /// directly from the walk, bypassing the Schur/power-table
+    /// machinery and its `Θ(n²)` allocations at the price of the
+    /// paper's sublinear round bound.
+    StreamedLocal,
 }
 
 impl fmt::Display for PhaseMethod {
@@ -22,6 +32,8 @@ impl fmt::Display for PhaseMethod {
         match self {
             PhaseMethod::TopDown => write!(f, "top-down"),
             PhaseMethod::DirectLocal => write!(f, "direct-local"),
+            PhaseMethod::UniqueTree => write!(f, "unique-tree"),
+            PhaseMethod::StreamedLocal => write!(f, "streamed-local"),
         }
     }
 }

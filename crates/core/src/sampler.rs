@@ -13,10 +13,10 @@ use crate::config::{
     EngineChoice, Precision, SamplerConfig, SchurComputation, Variant, WalkLength,
 };
 use crate::phase::{
-    direct_local_phase, is_degenerate_bipartite, top_down_phase, PhaseError, PhaseWalkResult,
-    PowerTable,
+    direct_local_phase, is_degenerate_bipartite, streamed_local_phase, top_down_phase, PhaseError,
+    PhaseWalkResult, PowerTable,
 };
-use crate::report::{PhaseReport, SampleReport};
+use crate::report::{PhaseMethod, PhaseReport, SampleReport};
 use cct_graph::{Graph, SpanningTree};
 use cct_linalg::{CsrMatrix, Matrix, PMatrix, Repr};
 use cct_schur::{
@@ -24,8 +24,8 @@ use cct_schur::{
     shortcut_exact, VertexSubset,
 };
 use cct_sim::{
-    distributed_powers_p, Clique, CostCategory, FastOracleEngine, MatMulEngine, RoundLedger,
-    SemiringEngine, UnitCostEngine,
+    distributed_powers_deferred, Clique, CostCategory, DeferredPowers, FastOracleEngine,
+    MatMulEngine, RoundLedger, SemiringEngine, UnitCostEngine,
 };
 use rand::Rng;
 use std::borrow::Cow;
@@ -130,6 +130,10 @@ impl CliqueTreeSampler {
 /// Resolved per-run pieces shared by the cold and prepared paths.
 struct ResolvedConfig {
     workers: usize,
+    /// Local worker width for matrix kernels (max of `workers` and the
+    /// legacy `threads` knob) — also the width deferred power levels
+    /// square with.
+    threads: usize,
     engine: Box<dyn MatMulEngine>,
     fp: Option<cct_linalg::FixedPoint>,
     rho: usize,
@@ -177,12 +181,24 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
     };
     ResolvedConfig {
         workers,
+        threads,
         engine,
         fp,
         rho,
         ell0,
         repr: config.backend.resolve(g),
     }
+}
+
+/// The out-of-core criterion: `true` when the *dense-equivalent* power
+/// table of a phase (`log₂ ℓ + 2` levels of `n² × 8`-byte matrices —
+/// the `+2` covers the transition matrix itself and one Las Vegas
+/// extension) would exceed the configured cap. Deliberately a function
+/// of `n` and `ℓ` only — never of the backend or the realized sparsity —
+/// so every backend routes the same graph the same way.
+fn table_exceeds_cap(n: usize, ell0: u64, max_table_bytes: usize) -> bool {
+    let levels = ell0.trailing_zeros() as u128;
+    (levels + 2) * 8 * (n as u128) * (n as u128) > max_table_bytes as u128
 }
 
 /// The phase-1 work a [`PreparedSampler`] hoists out of the per-sample
@@ -192,12 +208,16 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
 /// cold path.
 #[derive(Debug)]
 struct Phase1Cache {
-    /// The doubling table as [`PMatrix`] levels: on a sparse backend
-    /// the early levels stay CSR — several orders of magnitude smaller
-    /// than their dense shape — and only the fill-in-promoted tail pays
-    /// dense storage. This is where the sparse backend's memory win
-    /// lands.
-    powers: Vec<PMatrix>,
+    /// The doubling table as a *lazy* [`DeferredPowers`]: the
+    /// distributed-construction cost is charged in full at `prepare()`
+    /// time (captured in `ledger` below for per-sample replay), but a
+    /// level's numeric content materializes only when a walk first
+    /// reads it — memoized across samples. On a sparse backend the
+    /// early levels additionally stay CSR until fill-in promotes them.
+    /// Both effects land in [`PreparedSampler::matrix_bytes`]: a
+    /// freshly prepared sampler holds little more than the transition
+    /// matrix.
+    powers: DeferredPowers,
     ledger: RoundLedger,
 }
 
@@ -257,6 +277,7 @@ fn sample_with<R: Rng + ?Sized>(
 
     let ResolvedConfig {
         workers,
+        threads,
         engine,
         fp,
         rho,
@@ -264,14 +285,23 @@ fn sample_with<R: Rng + ?Sized>(
         repr,
     } = resolve_config(config, g);
     let rounds_per_mult = engine.rounds_for_multiply(n);
+    let out_of_core = table_exceeds_cap(n, ell0, config.max_table_bytes);
 
     let mut clique = Clique::new(n);
+    if out_of_core && g.m() == n - 1 {
+        // A connected graph with n − 1 edges *is* its unique spanning
+        // tree: answer exactly in O(m), before any matrix exists.
+        return Ok(unique_tree_report(g, rho, ell0, &mut clique));
+    }
     // The prepared path borrows the transition matrix computed once in
     // `prepare()`; the cold path builds it per call (in the backend's
     // representation — CSR straight from the adjacency lists, no n²).
+    // Out-of-core graphs force CSR regardless of backend: a dense P is
+    // exactly the Θ(n²) allocation this regime exists to avoid, and
+    // row sampling is bit-identical in both representations.
     let p: Cow<'_, PMatrix> = match prepared {
         Some(d) => Cow::Borrowed(&d.p),
-        None => Cow::Owned(g.transition_pmatrix(repr)),
+        None => Cow::Owned(g.transition_pmatrix(if out_of_core { Repr::Sparse } else { repr })),
     };
     let p = p.as_ref();
     let mut visited = vec![false; n];
@@ -281,6 +311,66 @@ fn sample_with<R: Rng + ?Sized>(
     let mut phases: Vec<PhaseReport> = Vec::new();
     let mut total = RoundLedger::new();
     let mut failure = false;
+
+    if out_of_core {
+        // ── The streaming route: phase walks run step by step on G
+        // itself, recording actual entry edges (Aldous–Broder verbatim,
+        // so trees remain exactly distributed where the walk covers).
+        // `remaining` replaces the per-phase Θ(n) visited scan.
+        let mut remaining = n - 1;
+        while remaining > 0 {
+            let s_size = remaining + 1;
+            let rho_phase = rho.min(s_size);
+            let walk_res = streamed_local_phase(
+                &mut clique,
+                p,
+                &visited,
+                vf,
+                rho_phase,
+                ell0,
+                config.variant,
+                config.max_grid_len as u64,
+                rng,
+            )?;
+            for &(v, prev) in &walk_res.first_visits {
+                debug_assert!(!visited[v], "vertex {v} visited twice");
+                edges.push((prev, v));
+                visited[v] = true;
+                remaining -= 1;
+            }
+            vf = walk_res.last;
+            let phase_ledger = clique.take_ledger();
+            total.merge(&phase_ledger);
+            phases.push(PhaseReport {
+                s_size,
+                rho: rho_phase,
+                method: walk_res.method,
+                ell: walk_res.ell_final,
+                tau: walk_res.tau,
+                new_vertices: walk_res.first_visits.len(),
+                extensions: walk_res.extensions,
+                rounds: phase_ledger,
+                pi_words: 0,
+                placement_words: 0,
+            });
+            if !walk_res.reached {
+                debug_assert_eq!(config.variant, Variant::MonteCarlo);
+                failure = true;
+                break;
+            }
+        }
+        let tree = if failure {
+            bfs_tree(g)
+        } else {
+            SpanningTree::new(n, edges).expect("entry edges of a covering walk span")
+        };
+        return Ok(SampleReport {
+            tree,
+            rounds: total,
+            phases,
+            monte_carlo_failure: failure,
+        });
+    }
 
     while visited.iter().any(|&v| !v) {
         let s_vertices: Vec<usize> = (0..n)
@@ -362,14 +452,20 @@ fn sample_with<R: Rng + ?Sized>(
                 None
             };
             let owned_powers;
-            let base: &[PMatrix] = match cached {
+            let base: &DeferredPowers = match cached {
                 Some(cache) => {
                     clique.ledger_mut().merge(&cache.ledger);
                     &cache.powers
                 }
                 None => {
-                    owned_powers =
-                        distributed_powers_p(&mut clique, engine.as_ref(), &t0, levels + 1, fp);
+                    owned_powers = distributed_powers_deferred(
+                        &mut clique,
+                        engine.as_ref(),
+                        &t0,
+                        levels + 1,
+                        fp,
+                        threads,
+                    );
                     &owned_powers
                 }
             };
@@ -518,16 +614,22 @@ impl PreparedSampler {
         if !g.is_connected() {
             return Err(SampleTreeError::Disconnected);
         }
-        let repr = config.backend.resolve(g);
-        let p = g.transition_pmatrix(repr);
-        let phase1 = if n > 1 {
-            let ResolvedConfig {
-                engine,
-                fp,
-                rho,
-                ell0,
-                ..
-            } = resolve_config(&config, g);
+        let ResolvedConfig {
+            threads,
+            engine,
+            fp,
+            rho,
+            ell0,
+            repr,
+            ..
+        } = resolve_config(&config, g);
+        let out_of_core = n > 1 && table_exceeds_cap(n, ell0, config.max_table_bytes);
+        // Out-of-core graphs force CSR (the dense P is the Θ(n²)
+        // allocation this regime eliminates) and never read a phase-1
+        // table — `sample_with` takes the streaming route before the
+        // matrix loop, exactly as decided here.
+        let p = g.transition_pmatrix(if out_of_core { Repr::Sparse } else { repr });
+        let phase1 = if n > 1 && !out_of_core {
             // Phase 1 has S = V (all vertices unvisited except the
             // leader, which doubles as v_f), so whether it takes the
             // distributed top-down route is a pure function of the graph
@@ -538,12 +640,21 @@ impl PreparedSampler {
             if use_direct {
                 None
             } else {
-                // Build the phase-1 doubling table on a scratch clique and
-                // capture the exact ledger charges for per-sample replay.
+                // Build the phase-1 doubling table on a scratch clique,
+                // capturing the exact ledger charges for per-sample
+                // replay. The table is *deferred*: its full distributed
+                // cost is charged here, but level contents materialize
+                // (memoized) only when a sample first reads them.
                 let levels = ell0.trailing_zeros() as usize;
                 let mut scratch = Clique::new(n);
-                let powers =
-                    distributed_powers_p(&mut scratch, engine.as_ref(), &p, levels + 1, fp);
+                let powers = distributed_powers_deferred(
+                    &mut scratch,
+                    engine.as_ref(),
+                    &p,
+                    levels + 1,
+                    fp,
+                    threads,
+                );
                 Some(Phase1Cache {
                     powers,
                     ledger: scratch.take_ledger(),
@@ -575,19 +686,36 @@ impl PreparedSampler {
         self.data.p.repr()
     }
 
-    /// Resident matrix bytes held by the prepared state: the transition
-    /// matrix plus every cached phase-1 doubling-table level. This is
-    /// the allocation that pins the practical size cap (a dense 8192²
-    /// `f64` matrix is 512 MB, and the table retains `log₂ ℓ` of them);
-    /// the sparse backend's whole memory win is visible here, and
-    /// experiment `e19` reports it as `peak_matrix_bytes`.
+    /// Total resident bytes of the prepared state: the transition
+    /// matrix, every **materialized** level of the cached phase-1
+    /// doubling table, and the cached ledger delta replayed per draw.
+    ///
+    /// This is the allocation that pins the practical size cap (a dense
+    /// 8192² `f64` matrix is 512 MB, and the table retains `log₂ ℓ` of
+    /// them); the sparse backend's memory win is visible here, and
+    /// experiments `e19`/`e20` report it as `peak_matrix_bytes` /
+    /// `resident_bytes`. The serve layer exposes the same number in its
+    /// `/cache` metadata, so the two always agree.
+    ///
+    /// # The lazy-table contract
+    ///
+    /// The phase-1 table is a [`cct_sim::DeferredPowers`]: `prepare()`
+    /// charges its full distributed construction cost up front (so
+    /// ledgers are bit-identical to an eager build — per-category
+    /// totals don't care *when* a charge lands), but a level's numeric
+    /// content materializes only when a sample first reads it, and is
+    /// memoized thereafter. Consequently this figure **grows across the
+    /// first samples** — from roughly the transition matrix alone after
+    /// `prepare()` to the full table footprint once a walk has touched
+    /// every level — and is a true point-in-time resident measurement,
+    /// not an a-priori capacity bound.
     pub fn matrix_bytes(&self) -> usize {
-        let table: usize = self
+        let cache: usize = self
             .data
             .phase1
             .as_ref()
-            .map_or(0, |c| c.powers.iter().map(PMatrix::memory_bytes).sum());
-        self.data.p.memory_bytes() + table
+            .map_or(0, |c| c.powers.resident_bytes() + c.ledger.memory_bytes());
+        self.data.p.resident_bytes() + cache
     }
 
     /// Samples a spanning tree, reusing the prepared graph-global work.
@@ -650,6 +778,42 @@ const _: () = {
     assert_send_sync::<CliqueTreeSampler>();
     assert_send_sync::<SampleTreeError>();
 };
+
+/// The out-of-core answer for tree inputs: a connected graph with
+/// `m = n − 1` is its own unique spanning tree, so the sampler answers
+/// exactly (every seed yields the same — correct — tree) in `O(m)`
+/// local work and `O(1)` rounds. Recognition is one degree gather at
+/// the leader plus a broadcast verdict; the tree itself needs no data
+/// movement, since every edge is already known to both endpoints.
+fn unique_tree_report(g: &Graph, rho: usize, ell0: u64, clique: &mut Clique) -> SampleReport {
+    let n = g.n();
+    clique.ledger_mut().charge(CostCategory::Gather, 1);
+    clique
+        .ledger_mut()
+        .add_words(CostCategory::Gather, n as u64);
+    clique.ledger_mut().charge(CostCategory::Broadcast, 1);
+    clique.ledger_mut().add_words(CostCategory::Broadcast, 1);
+    let edges: Vec<(usize, usize)> = g.edges().iter().map(|&(u, v, _)| (u, v)).collect();
+    let tree = SpanningTree::new(n, edges).expect("connected with m = n − 1 is a tree");
+    let ledger = clique.take_ledger();
+    SampleReport {
+        tree,
+        rounds: ledger.clone(),
+        phases: vec![PhaseReport {
+            s_size: n,
+            rho: rho.min(n),
+            method: PhaseMethod::UniqueTree,
+            ell: ell0,
+            tau: 0,
+            new_vertices: n - 1,
+            extensions: 0,
+            rounds: ledger,
+            pi_words: 0,
+            placement_words: 0,
+        }],
+        monte_carlo_failure: false,
+    }
+}
 
 /// The iterated-squaring count charged for computing `Q` (Corollary 2):
 /// `k = O(n³ log 1/δ)` steps of the absorbing chain need `⌈log₂ k⌉`
@@ -950,6 +1114,110 @@ mod tests {
         assert_eq!(report.tree.edges(), &[(0, 1)]);
         // |S| = 2 is the degenerate bipartite case → direct-local.
         assert_eq!(report.phases[0].method, PhaseMethod::DirectLocal);
+    }
+
+    #[test]
+    fn out_of_core_tree_input_is_recognized_exactly() {
+        // Forcing a tiny table cap routes even a small path out of core;
+        // m = n − 1 → the unique spanning tree, identical for every seed
+        // and every backend, no failure flag.
+        let g = generators::path(64);
+        for backend in crate::config::Backend::ALL {
+            let config = quick_config().max_table_bytes(1).backend(backend);
+            let sampler = CliqueTreeSampler::new(config);
+            let report = sampler.sample(&g, &mut rng(500)).unwrap();
+            assert!(!report.monte_carlo_failure, "{backend:?}");
+            assert_eq!(report.phases.len(), 1, "{backend:?}");
+            assert_eq!(report.phases[0].method, PhaseMethod::UniqueTree);
+            assert_eq!(report.phases[0].new_vertices, 63);
+            let mut edges: Vec<_> = report.tree.edges().to_vec();
+            edges.sort_unstable();
+            let expected: Vec<_> = (0..63).map(|i| (i, i + 1)).collect();
+            assert_eq!(edges, expected, "{backend:?}");
+            assert!(report.total_rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_core_streamed_route_samples_valid_trees() {
+        // A cycle has m = n: no unique-tree shortcut, so the escape takes
+        // the streamed Aldous–Broder route. Las Vegas covers fully.
+        let g = generators::cycle(48);
+        let config = quick_config().max_table_bytes(1).variant(Variant::LasVegas);
+        let sampler = CliqueTreeSampler::new(config);
+        let report = sampler.sample(&g, &mut rng(501)).unwrap();
+        assert!(!report.monte_carlo_failure);
+        assert_eq!(report.tree.edges().len(), 47);
+        for p in &report.phases {
+            assert_eq!(p.method, PhaseMethod::StreamedLocal);
+        }
+        for &(u, v) in report.tree.edges() {
+            assert!(g.has_edge(u, v), "foreign edge ({u},{v})");
+        }
+        // Monte Carlo with a hopeless budget fails into a flagged tree.
+        let config = quick_config()
+            .max_table_bytes(1)
+            .walk_length(WalkLength::Fixed(4));
+        let report = CliqueTreeSampler::new(config)
+            .sample(&generators::cycle(48), &mut rng(502))
+            .unwrap();
+        assert!(report.monte_carlo_failure);
+        assert_eq!(report.tree.edges().len(), 47);
+    }
+
+    #[test]
+    fn out_of_core_prepared_matches_cold() {
+        // The escape decision and the streamed walk are identical on the
+        // cold and prepared paths: same seed ⇒ same tree, same ledger.
+        let g = generators::cycle(32);
+        let config = quick_config().max_table_bytes(1).variant(Variant::LasVegas);
+        let sampler = CliqueTreeSampler::new(config);
+        let prepared = sampler.prepare(&g).unwrap();
+        assert_eq!(prepared.repr(), Repr::Sparse, "escape forces CSR");
+        let mut r_cold = rng(503);
+        let mut r_prep = rng(503);
+        for draw in 0..3 {
+            let cold = sampler.sample(&g, &mut r_cold).unwrap();
+            let prep = prepared.sample(&mut r_prep).unwrap();
+            assert_eq!(cold.tree, prep.tree, "draw {draw}");
+            assert_eq!(cold.rounds, prep.rounds, "draw {draw}");
+        }
+        // No phase-1 table is retained for out-of-core graphs: the
+        // prepared state is the CSR transition matrix alone.
+        assert!(prepared.matrix_bytes() < 32 * 32 * 8);
+    }
+
+    #[test]
+    fn default_cap_keeps_small_graphs_on_the_matrix_route() {
+        let g = generators::petersen();
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let report = sampler.sample(&g, &mut rng(504)).unwrap();
+        for p in &report.phases {
+            assert!(
+                matches!(p.method, PhaseMethod::TopDown | PhaseMethod::DirectLocal),
+                "{:?}",
+                p.method
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_matrix_bytes_grow_as_the_lazy_table_materializes() {
+        // After prepare() only level 0 of the deferred table exists; the
+        // first sample walks the table top-down and materializes it.
+        let g = generators::complete(24);
+        let sampler = CliqueTreeSampler::new(quick_config());
+        let prepared = sampler.prepare(&g).unwrap();
+        let before = prepared.matrix_bytes();
+        prepared.sample(&mut rng(505)).unwrap();
+        let after = prepared.matrix_bytes();
+        assert!(
+            after > before,
+            "materialization must show up: {before} → {after}"
+        );
+        // A second draw reuses the memoized levels.
+        prepared.sample(&mut rng(506)).unwrap();
+        assert_eq!(prepared.matrix_bytes(), after);
     }
 
     #[test]

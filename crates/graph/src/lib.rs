@@ -33,6 +33,7 @@ mod dsu;
 pub mod generators;
 #[allow(clippy::module_inception)]
 mod graph;
+pub mod io;
 mod resistance;
 pub mod spec;
 mod tree;

@@ -65,17 +65,31 @@ pub struct SpecLimits {
     /// backend is active).
     pub dense_cap: usize,
     /// `true` when the caller selected the sparse matrix backend, which
-    /// admits sparse-friendly families up to [`SpecLimits::sparse_cap`].
+    /// admits sparse-friendly families up to [`SpecLimits::sparse_cap`]
+    /// and `file:` specs without a family cap.
     pub sparse_backend: bool,
+    /// Cap for graphs loaded via `file:PATH` specs. `None` (the default
+    /// when `CCT_MAX_N` is unset) means *uncapped under the sparse
+    /// backend*: a loaded edge list is an `O(m)` object and the sparse
+    /// pipeline keeps it that way, so the `Θ(n²)` rationale behind the
+    /// family caps does not apply. An explicitly set `CCT_MAX_N` is the
+    /// single override that bounds loaded graphs too.
+    pub file_cap: Option<usize>,
 }
 
 impl SpecLimits {
     /// The default limits: [`max_spec_size`] (i.e. `CCT_MAX_N` or
-    /// [`MAX_SPEC_SIZE`]), dense backend.
+    /// [`MAX_SPEC_SIZE`]), dense backend; `file:` specs capped only by
+    /// an explicitly set `CCT_MAX_N`.
     pub fn from_env() -> Self {
+        let explicit = std::env::var("CCT_MAX_N")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 4);
         SpecLimits {
-            dense_cap: max_spec_size(),
+            dense_cap: explicit.unwrap_or(MAX_SPEC_SIZE),
             sparse_backend: false,
+            file_cap: explicit,
         }
     }
 
@@ -163,12 +177,26 @@ impl std::fmt::Display for SpecError {
                 n,
                 cap,
                 sparse_cap,
-            } => write!(
-                f,
-                "graph '{spec}' asks for {n} vertices — too large for the dense matrix backend \
-                 (max {cap}); this sparse-friendly family is accepted up to {sparse_cap} \
-                 with the sparse backend (--backend sparse)"
-            ),
+            } => {
+                write!(
+                    f,
+                    "graph '{spec}' asks for {n} vertices — too large for the dense matrix \
+                     backend (max {cap}); "
+                )?;
+                if *sparse_cap == usize::MAX {
+                    write!(
+                        f,
+                        "loaded edge lists are accepted without a size cap with the sparse \
+                         backend (--backend sparse)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "this sparse-friendly family is accepted up to {sparse_cap} with the \
+                         sparse backend (--backend sparse)"
+                    )
+                }
+            }
         }
     }
 }
@@ -180,7 +208,7 @@ pub const SPEC_HELP: &str = "\
 complete:N  cycle:N  path:N  star:N  wheel:N
 grid:RxC  torus:RxC  hypercube:D  binarytree:D
 petersen  diamond  barbell:K  lollipop:K:T  bipartite:AxB
-kdense:N  er:N:P  regular:N:D";
+kdense:N  er:N:P  regular:N:D  file:PATH";
 
 /// Builds the graph a spec describes, under the default [`SpecLimits`]
 /// (dense backend, `CCT_MAX_N`-overridable cap).
@@ -220,6 +248,40 @@ pub fn parse_spec_with_limits<R: Rng + ?Sized>(
     rng: &mut R,
     limits: &SpecLimits,
 ) -> Result<Graph, SpecError> {
+    // `file:PATH` is resolved before the `:` split — paths may contain
+    // colons, and the family caps do not apply to loaded graphs (see
+    // [`SpecLimits::file_cap`]).
+    if let Some(path) = spec.strip_prefix("file:") {
+        if path.is_empty() {
+            return Err(SpecError::invalid("file: needs a path, e.g. file:graph.el"));
+        }
+        let g = crate::io::read_edge_list(path)
+            .map_err(|e| SpecError::invalid(format!("'{spec}': {e}")))?;
+        let n = g.n();
+        // The single override: an explicitly set CCT_MAX_N bounds loaded
+        // graphs under every backend.
+        if let Some(cap) = limits.file_cap {
+            if n > cap {
+                return Err(SpecError::TooLarge {
+                    spec: spec.to_string(),
+                    n,
+                    cap,
+                });
+            }
+        }
+        // The dense pipeline still allocates Θ(n²); past the dense cap
+        // the typed error names the fix, and the sparse backend admits
+        // the load uncapped.
+        if !limits.sparse_backend && n > limits.dense_cap {
+            return Err(SpecError::DenseOnlyTooLarge {
+                spec: spec.to_string(),
+                n,
+                cap: limits.dense_cap,
+                sparse_cap: limits.file_cap.unwrap_or(usize::MAX),
+            });
+        }
+        return Ok(g);
+    }
     let parts: Vec<&str> = spec.split(':').collect();
     let num = |s: &str| -> Result<usize, SpecError> {
         s.parse::<usize>()
@@ -506,6 +568,7 @@ mod tests {
         let base = SpecLimits {
             dense_cap: MAX_SPEC_SIZE,
             sparse_backend: false,
+            file_cap: None,
         };
         let sparse = base.with_sparse_backend(true);
         assert_eq!(sparse.sparse_cap(), MAX_SPEC_SIZE * SPARSE_CAP_FACTOR);
@@ -542,6 +605,7 @@ mod tests {
         let sparse = SpecLimits {
             dense_cap: MAX_SPEC_SIZE,
             sparse_backend: true,
+            file_cap: None,
         };
         // p·n = 0.001·16384 = 16.4 ≤ 64: sparse-friendly, admitted.
         let g = parse_spec_with_limits("er:16384:0.001", &mut rng(), &sparse).unwrap();
@@ -553,11 +617,89 @@ mod tests {
         ));
     }
 
+    fn write_temp_el(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cct-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    #[test]
+    fn file_spec_loads_an_edge_list() {
+        let path = write_temp_el("p4.el", "0 1\n1 2\n2 3\n");
+        let spec = format!("file:{}", path.display());
+        let g = parse_spec(&spec, &mut rng()).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 3));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn file_spec_errors_are_typed_not_panics() {
+        assert!(matches!(
+            parse_spec("file:", &mut rng()).unwrap_err(),
+            SpecError::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_spec("file:/no/such/file.el", &mut rng()).unwrap_err(),
+            SpecError::Invalid(_)
+        ));
+        let bad = write_temp_el("bad.el", "0 zero\n");
+        let err = parse_spec(&format!("file:{}", bad.display()), &mut rng()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn file_specs_are_uncapped_under_the_sparse_backend() {
+        // A loaded graph past the dense cap: the dense backend rejects
+        // with the typed fix-naming error, the sparse backend admits it
+        // with no family cap at all.
+        let mut text = String::new();
+        let n = MAX_SPEC_SIZE + 8;
+        for u in 0..n - 1 {
+            text.push_str(&format!("{u} {}\n", u + 1));
+        }
+        let path = write_temp_el("big_path.el", &text);
+        let spec = format!("file:{}", path.display());
+        let base = SpecLimits {
+            dense_cap: MAX_SPEC_SIZE,
+            sparse_backend: false,
+            file_cap: None,
+        };
+        match parse_spec_with_limits(&spec, &mut rng(), &base).unwrap_err() {
+            SpecError::DenseOnlyTooLarge { n: got, cap, .. } => {
+                assert_eq!((got, cap), (n, MAX_SPEC_SIZE));
+            }
+            other => panic!("expected DenseOnlyTooLarge, got {other:?}"),
+        }
+        let g = parse_spec_with_limits(&spec, &mut rng(), &base.with_sparse_backend(true)).unwrap();
+        assert_eq!(g.n(), n);
+        // An explicitly set CCT_MAX_N (file_cap) is the single override:
+        // it bounds file loads even under the sparse backend…
+        let capped = SpecLimits {
+            dense_cap: MAX_SPEC_SIZE,
+            sparse_backend: true,
+            file_cap: Some(64),
+        };
+        assert!(matches!(
+            parse_spec_with_limits(&spec, &mut rng(), &capped).unwrap_err(),
+            SpecError::TooLarge { cap: 64, .. }
+        ));
+        // …and a raised one admits the load under the dense backend too.
+        let raised = SpecLimits {
+            dense_cap: n,
+            sparse_backend: false,
+            file_cap: Some(n),
+        };
+        assert!(parse_spec_with_limits(&spec, &mut rng(), &raised).is_ok());
+    }
+
     #[test]
     fn custom_dense_cap_is_honored() {
         let tiny = SpecLimits {
             dense_cap: 16,
             sparse_backend: false,
+            file_cap: None,
         };
         assert!(parse_spec_with_limits("complete:16", &mut rng(), &tiny).is_ok());
         assert!(matches!(
@@ -568,6 +710,7 @@ mod tests {
         let raised = SpecLimits {
             dense_cap: 10_000,
             sparse_backend: false,
+            file_cap: None,
         };
         assert!(parse_spec_with_limits("path:9000", &mut rng(), &raised).is_ok());
     }

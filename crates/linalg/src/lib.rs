@@ -52,6 +52,7 @@ pub use pmatrix::{PMatrix, Repr};
 pub use rounding::{powers_rounded, subtractive_error, FixedPoint};
 pub use sparse::{CsrBuilder, CsrMatrix};
 pub use stochastic::{
-    is_row_stochastic, is_row_substochastic, normalize_rows, power_from_table, powers_of_two,
-    sample_index, total_variation,
+    is_row_stochastic, is_row_substochastic, normalize_rows, power_from_table, power_from_table_p,
+    powers_of_two, powers_of_two_p, sample_index, table_fill_profile, table_resident_bytes,
+    total_variation, LevelFill,
 };

@@ -137,6 +137,18 @@ impl PMatrix {
         }
     }
 
+    /// Allocated heap bytes of the backing storage (sparse capacities
+    /// included) — the summand of the repository-wide byte-accounting
+    /// contract: a prepared sampler's resident footprint is exactly the
+    /// sum of `resident_bytes()` over its matrices, so tests can assert
+    /// the `O(nnz · log ℓ)` memory model instead of sampling RSS.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            PMatrix::Dense(m) => m.as_slice().len() * 8,
+            PMatrix::Sparse(m) => m.resident_bytes(),
+        }
+    }
+
     /// Entry `(i, j)` (absent sparse entries read as `0.0`).
     ///
     /// # Panics
@@ -464,6 +476,34 @@ mod tests {
         sparse.truncate_inplace(fp);
         assert_eq!(sparse.to_dense(), dense.to_dense());
         assert_eq!(sparse.nnz(), 2, "1/64 truncates to zero at 4 bits");
+    }
+
+    #[test]
+    fn sample_row_after_truncation_underflow_is_none_in_both_reprs() {
+        // A row whose entire mass truncates away (every entry below the
+        // fixed-point resolution) must sample to None — and consume zero
+        // rng draws — identically in both representations.
+        let fp = FixedPoint::new(4);
+        let d = Matrix::from_rows(&[vec![1.0 / 64.0, 1.0 / 128.0], vec![0.5, 0.5]]);
+        let mut dense = PMatrix::Dense(d.clone());
+        let mut sparse = PMatrix::Sparse(CsrMatrix::from_dense(&d));
+        dense.truncate_inplace(fp);
+        sparse.truncate_inplace(fp);
+        assert_eq!(sparse.row_sum(0), 0.0);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(dense.sample_row(&mut r1, 0), None);
+        assert_eq!(sparse.sample_row(&mut r2, 0), None);
+        // Neither consumed a draw: the streams are still aligned with a
+        // fresh rng.
+        let mut fresh = rand::rngs::StdRng::seed_from_u64(5);
+        let expect = fresh.gen::<u64>();
+        assert_eq!(r1.gen::<u64>(), expect);
+        assert_eq!(r2.gen::<u64>(), expect);
+        // The surviving row still samples, identically.
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(6);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(6);
+        assert_eq!(dense.sample_row(&mut r1, 1), sparse.sample_row(&mut r2, 1));
     }
 
     #[test]

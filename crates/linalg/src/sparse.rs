@@ -107,7 +107,17 @@ impl CsrBuilder {
 
 impl CsrMatrix {
     /// An empty (all-zero) `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` exceeds `u32::MAX + 1`: column ids are stored as
+    /// `u32`, and without this guard a column near `2³²` would silently
+    /// wrap instead of failing loudly.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(
+            cols <= u32::MAX as usize + 1,
+            "cols = {cols} exceeds the u32 column-id space"
+        );
         CsrMatrix {
             rows,
             cols,
@@ -198,6 +208,21 @@ impl CsrMatrix {
     /// Heap bytes of the CSR storage (12 per entry plus the row table).
     pub fn memory_bytes(&self) -> usize {
         self.col_idx.len() * 4 + self.values.len() * 8 + self.row_ptr.len() * 8
+    }
+
+    /// Allocated heap bytes of the CSR storage — [`Self::memory_bytes`]
+    /// measured on vector *capacities*, so growth slack from incremental
+    /// construction counts. This is the number the byte-accounting
+    /// contract (`PMatrix::resident_bytes`, `PreparedSampler`) sums.
+    pub fn resident_bytes(&self) -> usize {
+        self.col_idx.capacity() * 4 + self.values.capacity() * 8 + self.row_ptr.capacity() * 8
+    }
+
+    /// Drops excess capacity so resident bytes match used bytes.
+    pub fn shrink_to_fit(&mut self) {
+        self.row_ptr.shrink_to_fit();
+        self.col_idx.shrink_to_fit();
+        self.values.shrink_to_fit();
     }
 
     /// Row `i` as parallel `(columns, values)` slices.
@@ -573,6 +598,75 @@ mod tests {
         assert_eq!(s.nnz(), 2);
         assert_eq!(s.get(0, 1), 0.0);
         assert_eq!(s.get(1, 1), 0.7);
+    }
+
+    #[test]
+    fn empty_rows_and_isolated_vertices() {
+        // Row 1 never receives an entry and column 1 is never referenced
+        // — the shape of an isolated vertex in a loaded edge list.
+        let mut b = CsrMatrix::builder(3, 3);
+        b.push(2, 0.5);
+        b.finish_row();
+        b.finish_row(); // row 1 empty
+        b.push(0, 0.25);
+        b.finish_row();
+        let m = b.build();
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+        assert_eq!(m.row_sum(1), 0.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        // Products and sums through the empty row stay well-formed.
+        let sq = m.matmul(&m);
+        assert_eq!(sq.row(1), (&[][..], &[][..]));
+        assert_eq!(sq.to_dense(), m.to_dense().matmul(&m.to_dense()));
+        // Trailing rows left unclosed by build() are empty too.
+        let tail = CsrMatrix::builder(4, 2).build();
+        assert_eq!(tail.nnz(), 0);
+        assert_eq!(tail.row(3), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn column_ids_near_u32_max_are_exact() {
+        // The widest shape the u32 column space admits: cols = 2³², max
+        // column id = u32::MAX. Entries there must read back exactly
+        // (no silent wraparound).
+        let wide = u32::MAX as usize + 1;
+        let mut b = CsrMatrix::builder(2, wide);
+        b.push(0, 0.5);
+        b.push(wide - 1, 0.25);
+        b.finish_row();
+        let m = b.build();
+        assert_eq!(m.get(0, wide - 1), 0.25);
+        assert_eq!(m.get(0, wide - 2), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 column-id space")]
+    fn columns_beyond_u32_are_rejected() {
+        let _ = CsrMatrix::zeros(1, u32::MAX as usize + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn builder_rejects_duplicate_columns() {
+        // A duplicate edge surviving to the CSR layer trips the same
+        // strict-ordering guard as an unsorted push.
+        let mut b = CsrMatrix::builder(1, 4);
+        b.push(2, 1.0);
+        b.push(2, 1.0);
+    }
+
+    #[test]
+    fn resident_bytes_counts_capacity_and_shrinks() {
+        let mut b = CsrMatrix::builder(2, 8);
+        for j in 0..4 {
+            b.push(j, 1.0 + j as f64);
+        }
+        b.finish_row();
+        let mut m = b.build();
+        assert!(m.resident_bytes() >= m.memory_bytes());
+        m.shrink_to_fit();
+        assert_eq!(m.resident_bytes(), m.memory_bytes());
     }
 
     #[test]

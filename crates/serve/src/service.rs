@@ -99,6 +99,13 @@ pub struct SampleResponse {
     /// Cache metadata (excluded from the determinism contract — see
     /// [`CacheInfo`]).
     pub cache: CacheInfo,
+    /// Resident bytes of the prepared state serving this response
+    /// (`PreparedSampler::matrix_bytes`), measured *after* the draws —
+    /// so lazily materialized power-table levels are included. Like
+    /// `cache`, a point-in-time observation excluded from the
+    /// determinism contract (an entry shared with earlier requests may
+    /// already be fully materialized).
+    pub resident_bytes: usize,
     /// The draws, in draw-index order.
     pub draws: Vec<Draw>,
 }
@@ -121,6 +128,10 @@ impl SampleResponse {
                 Json::Obj(vec![
                     ("hit".into(), Json::Bool(self.cache.hit)),
                     ("prepares".into(), Json::Num(self.cache.prepares as f64)),
+                    (
+                        "resident_bytes".into(),
+                        Json::Num(self.resident_bytes as f64),
+                    ),
                 ]),
             ),
             (
@@ -389,9 +400,11 @@ fn process(shared: &Shared, request: SampleRequest) -> Result<SampleResponse, Se
             monte_carlo_failure: report.monte_carlo_failure,
         });
     }
+    let resident_bytes = prepared.matrix_bytes();
     Ok(SampleResponse {
         request,
         cache,
+        resident_bytes,
         draws,
     })
 }
@@ -444,6 +457,30 @@ mod tests {
             let stats = handle.cache_stats();
             assert_eq!(stats.misses, 1);
             assert_eq!(stats.hits, 1);
+        });
+    }
+
+    #[test]
+    fn responses_report_resident_prepared_bytes() {
+        serve(quick_options(), |handle| {
+            let first = handle
+                .request(SampleRequest::new("cycle:64").seed(2))
+                .unwrap();
+            assert!(first.resident_bytes > 0);
+            // A warm repeat serves from the same (possibly further
+            // materialized) prepared state — never less resident.
+            let second = handle
+                .request(SampleRequest::new("cycle:64").seed(3))
+                .unwrap();
+            assert!(second.cache.hit);
+            assert!(second.resident_bytes >= first.resident_bytes);
+            // The figure reaches the wire under cache.resident_bytes.
+            let json = second.to_json();
+            let meta = json.get("cache").unwrap();
+            assert_eq!(
+                meta.get("resident_bytes"),
+                Some(&Json::Num(second.resident_bytes as f64))
+            );
         });
     }
 

@@ -182,6 +182,16 @@ impl RoundLedger {
     pub fn take(&mut self) -> RoundLedger {
         std::mem::take(self)
     }
+
+    /// Estimated heap bytes this ledger occupies — the "cached ledger
+    /// delta" term of a prepared sampler's resident-byte accounting.
+    /// Each `BTreeMap` entry is costed at its key/value payload plus
+    /// node overhead (a constant 32 bytes, deliberately coarse: the
+    /// ledger is metadata, orders of magnitude below the matrices it
+    /// rides along with).
+    pub fn memory_bytes(&self) -> usize {
+        (self.rounds.len() + self.words.len()) * (std::mem::size_of::<(CostCategory, u64)>() + 32)
+    }
 }
 
 impl fmt::Display for RoundLedger {

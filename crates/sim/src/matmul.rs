@@ -37,8 +37,9 @@ enum SemiringMsg {
     /// piece as (offset-within-block, value) pairs).
     Operand(u8, usize, Vec<(u32, f64)>),
     /// Round-1 partial result: (destination row, block column offset,
-    /// partial row).
-    Partial(usize, usize, Vec<f64>),
+    /// non-zero partials as (offset-within-block, value) pairs — the
+    /// charged words stay the analytic dense segment width).
+    Partial(usize, usize, Vec<(u32, f64)>),
 }
 
 /// A borrowed operand in either representation, with sparse row-slice
@@ -124,6 +125,22 @@ pub trait MatMulEngine {
     /// Human-readable engine name for reports.
     fn name(&self) -> &'static str;
 
+    /// The `(rounds, words)` this engine would charge for one `n × n`
+    /// multiply, **if** that charge is a pure function of `n` — i.e. the
+    /// engine bills an analytic formula rather than measuring real
+    /// traffic. Engines that measure (the semiring protocol) return
+    /// `None`.
+    ///
+    /// This is what lets [`DeferredPowers`] charge a full power table up
+    /// front and then compute levels lazily: the ledger compares equal
+    /// per category regardless of *when* the charges land, so deferring
+    /// the compute is invisible to the bit-identity contract — but only
+    /// when the charge needs no actual protocol run.
+    fn analytic_multiply_charges(&self, n: usize) -> Option<(u64, u64)> {
+        let _ = n;
+        None
+    }
+
     /// Rounds this engine charges for one `n × n` multiply, without
     /// performing one. Used to charge *analytic* costs for multiplies the
     /// simulation performs out-of-band (e.g. the `2n × 2n` absorbing-chain
@@ -177,6 +194,19 @@ impl SemiringEngine {
     }
 }
 
+/// The terminal-round accumulator for one owned output row.
+///
+/// When both operands are sparse the machines accumulate sparsely
+/// (ordered map keyed by column), so the protocol's resident state is
+/// `O(nnz(C))` in aggregate — never a `Θ(n²)` dense staging buffer that
+/// gets compressed back down afterwards. Additions hit each column in
+/// the same deterministic inbox order as the dense accumulator, so the
+/// summed values are bit-identical.
+enum RowAcc {
+    Dense(Vec<f64>),
+    Sparse(std::collections::BTreeMap<u32, f64>),
+}
+
 /// One machine of the semiring algorithm, as a [`MachineProgram`]:
 /// round 0 ships this row owner's operand pieces to the cube, round 1
 /// multiplies the blocks this cube machine received and ships partial
@@ -190,7 +220,7 @@ struct SemiringMachine<'m> {
     a: Rows<'m>,
     b: Rows<'m>,
     /// Row `id` of the product, filled by the terminal round.
-    row: Vec<f64>,
+    acc: RowAcc,
 }
 
 impl SemiringMachine<'_> {
@@ -242,8 +272,13 @@ impl SemiringMachine<'_> {
         outbox
     }
 
-    /// Round 1: cube machine `(i, j, k)` reassembles its operand blocks,
+    /// Round 1: cube machine `(i, j, k)` keeps its operand blocks as the
+    /// sparse row pieces they arrived as (no dense block staging),
     /// multiplies them, and ships each partial `C` row to its owner.
+    ///
+    /// The accumulation visits inner index `kl` in strictly increasing
+    /// order and skips only exact-zero multiplicands, exactly like the
+    /// dense kernel — bit-identical partials at `O(nnz)` block memory.
     fn multiply_blocks(&self, inbox: Vec<Envelope<SemiringMsg>>) -> Vec<Envelope<SemiringMsg>> {
         let (c, n) = (self.c, self.n);
         if self.id >= c * c * c {
@@ -256,41 +291,41 @@ impl SemiringMachine<'_> {
         if ilo >= n || jlo >= n || klo >= n {
             return Vec::new();
         }
-        let mut a_block = vec![vec![0.0f64; khi - klo]; ihi - ilo];
-        let mut b_block = vec![vec![0.0f64; jhi - jlo]; khi - klo];
-        for env in &inbox {
-            if let SemiringMsg::Operand(which, r, ref piece) = env.payload {
-                // Reassemble the dense block row from the sparse piece
-                // (absent offsets stay zero — the same values the dense
-                // shipment carried).
+        let mut a_pieces: Vec<Vec<(u32, f64)>> = vec![Vec::new(); ihi - ilo];
+        let mut b_pieces: Vec<Vec<(u32, f64)>> = vec![Vec::new(); khi - klo];
+        for env in inbox {
+            if let SemiringMsg::Operand(which, r, piece) = env.payload {
                 if which == 0 {
                     if (ilo..ihi).contains(&r) {
-                        for &(off, x) in piece {
-                            a_block[r - ilo][off as usize] = x;
-                        }
+                        a_pieces[r - ilo] = piece;
                     }
                 } else if (klo..khi).contains(&r) {
-                    for &(off, x) in piece {
-                        b_block[r - klo][off as usize] = x;
-                    }
+                    b_pieces[r - klo] = piece;
                 }
             }
         }
         let mut outbox = Vec::with_capacity(ihi - ilo);
-        for (il, a_row) in a_block.iter().enumerate() {
+        for (il, a_row) in a_pieces.iter().enumerate() {
+            // Dense scratch for one partial row (O(block side), reused
+            // allocation would not change bits; kept simple).
             let mut acc = vec![0.0f64; jhi - jlo];
-            for (kl, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                for (jl, o) in acc.iter_mut().enumerate() {
-                    *o += av * b_block[kl][jl];
+            for &(kl, av) in a_row {
+                for &(jl, bv) in &b_pieces[kl as usize] {
+                    acc[jl as usize] += av * bv;
                 }
             }
+            // Ship only the non-zero partials; the charged bandwidth
+            // stays the analytic dense segment width.
+            let piece: Vec<(u32, f64)> = acc
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x != 0.0)
+                .map(|(off, &x)| (off as u32, x))
+                .collect();
             outbox.push(Envelope::new(
                 ilo + il,
                 acc.len(),
-                SemiringMsg::Partial(ilo + il, jlo, acc),
+                SemiringMsg::Partial(ilo + il, jlo, piece),
             ));
         }
         outbox
@@ -311,12 +346,22 @@ impl MachineProgram for SemiringMachine<'_> {
             _ => {
                 // Terminal round: accumulate the owned output row. The
                 // inbox order is route's deterministic (sender, send
-                // order), matching the sequential accumulation exactly.
+                // order), so every column receives its additions in the
+                // same order under either accumulator — same bits.
                 for env in inbox {
                     if let SemiringMsg::Partial(r, jlo, piece) = env.payload {
                         debug_assert_eq!(r, self.id);
-                        for (off, v) in piece.into_iter().enumerate() {
-                            self.row[jlo + off] += v;
+                        match &mut self.acc {
+                            RowAcc::Dense(row) => {
+                                for (off, v) in piece {
+                                    row[jlo + off as usize] += v;
+                                }
+                            }
+                            RowAcc::Sparse(map) => {
+                                for (off, v) in piece {
+                                    *map.entry((jlo + off as usize) as u32).or_insert(0.0) += v;
+                                }
+                            }
                         }
                     }
                 }
@@ -334,8 +379,12 @@ impl Default for SemiringEngine {
 
 impl SemiringEngine {
     /// The shared three-round protocol over borrowed operands in either
-    /// representation.
-    fn run(&self, clique: &mut Clique, a: Rows<'_>, b: Rows<'_>) -> Matrix {
+    /// representation. With `sparse_out` the machines accumulate their
+    /// owned rows sparsely and the result is assembled straight into
+    /// CSR — no `Θ(n²)` staging buffer, no densifying round-trip — then
+    /// run through the promotion tracker (the exact same representation
+    /// decision `compacted()` would have made, on the exact same bits).
+    fn run(&self, clique: &mut Clique, a: Rows<'_>, b: Rows<'_>, sparse_out: bool) -> PMatrix {
         let n = clique.n();
         assert_eq!(a.shape(), (n, n), "operand A must be n × n");
         assert_eq!(b.shape(), (n, n), "operand B must be n × n");
@@ -355,7 +404,11 @@ impl SemiringEngine {
                 s,
                 a,
                 b,
-                row: vec![0.0f64; n],
+                acc: if sparse_out {
+                    RowAcc::Sparse(std::collections::BTreeMap::new())
+                } else {
+                    RowAcc::Dense(vec![0.0f64; n])
+                },
             })
             .collect();
         let mut driver = ParallelClique::new(clique, self.threads);
@@ -363,17 +416,35 @@ impl SemiringEngine {
         let inboxes = driver.step(CostCategory::MatMul, &mut machines, 1, inboxes);
         driver.finish(&mut machines, 2, inboxes);
 
-        let mut out = Matrix::zeros(n, n);
-        for (r, machine) in machines.into_iter().enumerate() {
-            out.row_mut(r).copy_from_slice(&machine.row);
+        if sparse_out {
+            let mut out = CsrMatrix::builder(n, n);
+            for machine in machines {
+                if let RowAcc::Sparse(map) = machine.acc {
+                    for (col, v) in map {
+                        // Exact-zero sums are dropped by the builder —
+                        // the same entries `from_dense` would skip.
+                        out.push(col as usize, v);
+                    }
+                }
+                out.finish_row();
+            }
+            PMatrix::Sparse(out.build()).promoted()
+        } else {
+            let mut out = Matrix::zeros(n, n);
+            for (r, machine) in machines.into_iter().enumerate() {
+                if let RowAcc::Dense(row) = machine.acc {
+                    out.row_mut(r).copy_from_slice(&row);
+                }
+            }
+            PMatrix::Dense(out)
         }
-        out
     }
 }
 
 impl MatMulEngine for SemiringEngine {
     fn multiply(&self, clique: &mut Clique, a: &Matrix, b: &Matrix) -> Matrix {
-        self.run(clique, Rows::Dense(a), Rows::Dense(b))
+        self.run(clique, Rows::Dense(a), Rows::Dense(b), false)
+            .into_dense()
     }
 
     fn multiply_p(&self, clique: &mut Clique, a: &PMatrix, b: &PMatrix) -> PMatrix {
@@ -383,14 +454,10 @@ impl MatMulEngine for SemiringEngine {
                 PMatrix::Sparse(s) => Rows::Sparse(s),
             }
         }
-        let out = self.run(clique, rows(a), rows(b));
-        if a.is_sparse() && b.is_sparse() {
-            // A sparse product may still be sparse; re-compress when
-            // that is cheaper (values unchanged bit for bit).
-            PMatrix::Dense(out).compacted()
-        } else {
-            PMatrix::Dense(out)
-        }
+        // A sparse product may still be sparse: accumulate and assemble
+        // in CSR directly (values unchanged bit for bit).
+        let sparse_out = a.is_sparse() && b.is_sparse();
+        self.run(clique, rows(a), rows(b), sparse_out)
     }
 
     fn name(&self) -> &'static str {
@@ -480,6 +547,13 @@ impl MatMulEngine for FastOracleEngine {
     fn rounds_for_multiply(&self, n: usize) -> u64 {
         self.rounds_per_multiply(n)
     }
+
+    fn analytic_multiply_charges(&self, n: usize) -> Option<(u64, u64)> {
+        Some((
+            self.rounds_per_multiply(n),
+            (n * n * self.words_per_entry) as u64,
+        ))
+    }
 }
 
 /// Unit-cost engine: local compute, one round per multiply. For tests that
@@ -508,6 +582,10 @@ impl MatMulEngine for UnitCostEngine {
 
     fn rounds_for_multiply(&self, _n: usize) -> u64 {
         1
+    }
+
+    fn analytic_multiply_charges(&self, _n: usize) -> Option<(u64, u64)> {
+        Some((1, 0))
     }
 }
 
@@ -555,6 +633,194 @@ pub fn distributed_powers_p(
     distributed_powers_impl(clique, m, levels, fp, |clique, last| {
         engine.multiply_p(clique, last, last)
     })
+}
+
+/// A lazily materialized Algorithm-1 power table: level `k` holds
+/// `M^{2^k}`, computed on demand and memoized.
+///
+/// # The charge-up-front contract
+///
+/// The constructor ([`distributed_powers_deferred`]) charges the
+/// clique's ledger for **every** level immediately — the same per-
+/// category totals the eager [`distributed_powers_p`] route charges —
+/// and defers only the local numeric work. Ledger equality is
+/// per-category totals (the [`crate::RoundLedger`] representation), so
+/// *when* a charge lands is invisible: a run that touches only the
+/// first three levels produces the same ledger as one that touches all
+/// of them, and both match the eager route bit for bit.
+///
+/// Deferral requires the engine's multiply cost to be an analytic
+/// function of `n` ([`MatMulEngine::analytic_multiply_charges`]);
+/// engines that measure real traffic (the semiring protocol) fall back
+/// to eager materialization inside the constructor, so callers hold a
+/// single type either way.
+///
+/// Each level is squared from the previous with the representation-
+/// adaptive [`PMatrix::matmul`] followed by the same fixed-point
+/// truncation the eager route applies — identical bits, identical
+/// promotion decisions. Levels live in [`std::sync::OnceLock`] slots, so
+/// a shared table is `Sync` and prepared samplers stay shareable across
+/// worker threads.
+pub struct DeferredPowers {
+    levels: Vec<std::sync::OnceLock<PMatrix>>,
+    threads: usize,
+    fp: Option<FixedPoint>,
+}
+
+impl DeferredPowers {
+    /// Wraps an already materialized table (the eager fallback; also
+    /// useful for callers that built levels by other means and want the
+    /// uniform lazy-table interface).
+    pub fn from_materialized(table: Vec<PMatrix>, threads: usize, fp: Option<FixedPoint>) -> Self {
+        let levels = table
+            .into_iter()
+            .map(|m| {
+                let slot = std::sync::OnceLock::new();
+                slot.set(m).expect("fresh slot");
+                slot
+            })
+            .collect();
+        DeferredPowers {
+            levels,
+            threads,
+            fp,
+        }
+    }
+
+    /// Creates a table whose level 0 is `first` and whose higher levels
+    /// materialize on first access.
+    fn lazy(first: PMatrix, levels: usize, threads: usize, fp: Option<FixedPoint>) -> Self {
+        let mut slots = Vec::with_capacity(levels);
+        let slot = std::sync::OnceLock::new();
+        slot.set(first).expect("fresh slot");
+        slots.push(slot);
+        for _ in 1..levels {
+            slots.push(std::sync::OnceLock::new());
+        }
+        DeferredPowers {
+            levels: slots,
+            threads,
+            fp,
+        }
+    }
+
+    /// Number of levels (`K + 1` for a table up to `M^{2^K}`).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` if the table has no levels (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Level `k` (`M^{2^k}`), materializing it — and any missing lower
+    /// levels — on first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn level(&self, k: usize) -> &PMatrix {
+        assert!(k < self.levels.len(), "level {k} out of range");
+        // Materialize bottom-up so the recursion depth is 1.
+        for i in 1..=k {
+            if self.levels[i].get().is_none() {
+                let prev = self.levels[i - 1].get().expect("lower level materialized");
+                let mut sq = prev.matmul(prev, self.threads);
+                if let Some(fp) = self.fp {
+                    sq.truncate_inplace(fp);
+                }
+                // A concurrent materializer may have won the race; the
+                // value is identical either way (pure function of the
+                // previous level), so the losing square is dropped.
+                let _ = self.levels[i].set(sq);
+            }
+        }
+        self.levels[k].get().expect("materialized above")
+    }
+
+    /// How many levels are currently materialized.
+    pub fn materialized_levels(&self) -> usize {
+        self.levels.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Allocated heap bytes of the materialized levels — the power-table
+    /// term of a prepared sampler's resident-byte accounting. Absent
+    /// levels cost nothing: that is the point.
+    pub fn resident_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|m| m.resident_bytes())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for DeferredPowers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DeferredPowers {{ {}/{} levels materialized, {} bytes }}",
+            self.materialized_levels(),
+            self.len(),
+            self.resident_bytes()
+        )
+    }
+}
+
+/// [`distributed_powers_p`] with lazy level materialization: charges the
+/// full Algorithm-1 cost (squarings plus column redistributions) up
+/// front and returns a [`DeferredPowers`] whose levels compute on
+/// demand.
+///
+/// `threads` is the local worker width for deferred squarings; pass the
+/// same width the engine was constructed with so deferred and eager
+/// products shard identically (they are bit-identical at any width —
+/// this is about work, not bits).
+///
+/// Engines without analytic charges fall back to eager materialization
+/// through the engine itself — same type, same totals, no deferral.
+///
+/// # Panics
+///
+/// As [`distributed_powers`].
+pub fn distributed_powers_deferred(
+    clique: &mut Clique,
+    engine: &dyn MatMulEngine,
+    m: &PMatrix,
+    levels: usize,
+    fp: Option<FixedPoint>,
+    threads: usize,
+) -> DeferredPowers {
+    let n = clique.n();
+    assert_eq!(m.shape(), (n, n), "matrix must match clique size");
+    assert!(levels > 0, "need at least one level");
+    let threads = threads.max(1);
+    let Some((rounds, words)) = engine.analytic_multiply_charges(n) else {
+        // Measured-cost engine: the charges only exist if the protocol
+        // actually runs, so materialize eagerly.
+        let table = distributed_powers_p(clique, engine, m, levels, fp);
+        return DeferredPowers::from_materialized(table, threads, fp);
+    };
+    // Charge everything the eager route would charge, in one place:
+    // levels−1 squarings plus the per-level column redistribution of
+    // Algorithm 1 step 3. Per-category totals equal the eager route's.
+    let wpe = fp.map_or(1, |fp| fp.words_per_entry(n)) as u64;
+    for _ in 1..levels {
+        clique.ledger_mut().charge(CostCategory::MatMul, rounds);
+        clique.ledger_mut().add_words(CostCategory::MatMul, words);
+    }
+    for _ in 0..levels {
+        clique.ledger_mut().charge(CostCategory::MatMul, wpe);
+        clique
+            .ledger_mut()
+            .add_words(CostCategory::MatMul, (n * n) as u64 * wpe);
+    }
+    let mut first = m.clone();
+    if let Some(fp) = fp {
+        first.truncate_inplace(fp);
+    }
+    DeferredPowers::lazy(first, levels, threads, fp)
 }
 
 /// The shared Algorithm-1 skeleton behind both power-table builders.
@@ -830,6 +1096,99 @@ mod tests {
             None,
         );
         assert!(table[0].is_sparse() && table[1].is_sparse());
+    }
+
+    fn banded_stochastic(n: usize) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |i, j| {
+            if i.abs_diff(j) <= 1 || (i + 1) % n == j || (j + 1) % n == i {
+                ((i * 31 + j * 17) % 97) as f64 / 97.0 + 1e-9
+            } else {
+                0.0
+            }
+        });
+        normalize_rows(&mut m);
+        m
+    }
+
+    #[test]
+    fn deferred_powers_charge_up_front_and_match_eager_bits() {
+        let n = 32;
+        let p = banded_stochastic(n);
+        let pm = PMatrix::Sparse(CsrMatrix::from_dense(&p));
+        let engines: Vec<Box<dyn MatMulEngine>> = vec![
+            Box::new(UnitCostEngine { threads: 1 }),
+            Box::new(FastOracleEngine::new(ALPHA, 2, 1)),
+        ];
+        for fp in [None, Some(FixedPoint::new(24))] {
+            for engine in &engines {
+                let mut eager_clique = Clique::new(n);
+                let eager = distributed_powers_p(&mut eager_clique, engine.as_ref(), &pm, 6, fp);
+                let mut lazy_clique = Clique::new(n);
+                let lazy =
+                    distributed_powers_deferred(&mut lazy_clique, engine.as_ref(), &pm, 6, fp, 1);
+                // The full cost lands at construction, before any level
+                // beyond 0 exists.
+                assert_eq!(
+                    lazy_clique.ledger(),
+                    eager_clique.ledger(),
+                    "{}: up-front charges diverged",
+                    engine.name()
+                );
+                assert_eq!(lazy.materialized_levels(), 1);
+                assert!(lazy.resident_bytes() < eager.iter().map(|m| m.resident_bytes()).sum());
+                // Materialization is charge-free and bit-identical.
+                for (k, want) in eager.iter().enumerate() {
+                    assert_eq!(
+                        lazy.level(k).to_dense(),
+                        want.to_dense(),
+                        "{}: level {k} diverged",
+                        engine.name()
+                    );
+                    assert_eq!(lazy.level(k).repr(), want.repr(), "level {k} repr");
+                }
+                assert_eq!(lazy.materialized_levels(), 6);
+                assert_eq!(lazy_clique.ledger(), eager_clique.ledger());
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_powers_fall_back_to_eager_for_measured_engines() {
+        // The semiring engine measures real traffic: no analytic charge
+        // exists, so the constructor materializes everything through the
+        // engine — same ledger, same bits, same type.
+        let n = 27;
+        let p = banded_stochastic(n);
+        let pm = PMatrix::Sparse(CsrMatrix::from_dense(&p));
+        let engine = SemiringEngine::new(1);
+        assert!(engine.analytic_multiply_charges(n).is_none());
+        let mut eager_clique = Clique::new(n);
+        let eager = distributed_powers_p(&mut eager_clique, &engine, &pm, 4, None);
+        let mut lazy_clique = Clique::new(n);
+        let lazy = distributed_powers_deferred(&mut lazy_clique, &engine, &pm, 4, None, 1);
+        assert_eq!(lazy.materialized_levels(), 4);
+        assert_eq!(lazy_clique.ledger(), eager_clique.ledger());
+        for (k, want) in eager.iter().enumerate() {
+            assert_eq!(lazy.level(k).to_dense(), want.to_dense(), "level {k}");
+        }
+    }
+
+    #[test]
+    fn semiring_sparse_product_assembles_csr_directly() {
+        // Both operands sparse: the product must come back in the same
+        // representation (and with the same bits) the old densify-then-
+        // compact route produced — but via direct CSR assembly.
+        let n = 30;
+        let p = banded_stochastic(n);
+        let sparse = PMatrix::Sparse(CsrMatrix::from_dense(&p));
+        let engine = SemiringEngine::new(1);
+        let mut c1 = Clique::new(n);
+        let prod = engine.multiply_p(&mut c1, &sparse, &sparse);
+        assert!(prod.is_sparse(), "banded square stays under break-even");
+        let mut c2 = Clique::new(n);
+        let reference = engine.multiply(&mut c2, &p, &p);
+        assert_eq!(prod.to_dense(), reference);
+        assert_eq!(c1.ledger(), c2.ledger(), "analytic charges unchanged");
     }
 
     #[test]

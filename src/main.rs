@@ -38,7 +38,14 @@ OPTIONS:
                    grid:RxC  torus:RxC  hypercube:D  binarytree:D
                    petersen  diamond  barbell:K  lollipop:K:T
                    bipartite:AxB  kdense:N  er:N:P  regular:N:D
-                   (size parameters are capped at 8192)
+                   file:PATH (streaming 'u v [w]' edge-list loader —
+                   million-vertex graphs; '#' comments; whitespace-
+                   separated; vertices are 0-based ids)
+                   Generated size parameters are capped at 8192;
+                   CCT_MAX_N is the single override for every cap,
+                   including file: loads (unset = file: is uncapped,
+                   generated sparse families raise to 8x under
+                   --backend sparse)
     --seed N       RNG seed (default 2025)
     --trials N     sample N trees (default 1)
     --samples N    thm1/exact only: prepare the graph once and draw N
@@ -56,6 +63,9 @@ OPTIONS:
                    memory and raises the size cap for sparse-friendly
                    specs (cycle, path, star, low-density er) to 8x.
                    CCT_MAX_N overrides the base cap (default 8192).
+                   Inputs whose dense doubling table would exceed 2 GiB
+                   take the out-of-core route automatically: CSR-only
+                   state, streamed phase walks, no n^2 allocation.
     --dot          print the tree as Graphviz instead of an edge list
     --help         this text
 

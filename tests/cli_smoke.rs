@@ -298,6 +298,46 @@ fn sparse_backend_raises_the_cap_for_sparse_friendly_specs() {
 }
 
 #[test]
+fn file_spec_loads_the_edge_list_fixture_and_matches_the_pinned_tree() {
+    // `file:` is a first-class graph source: the committed Petersen
+    // edge-list fixture describes the same graph as `petersen`, so the
+    // seed-42 run must print the exact pinned tree and round total —
+    // loading from disk is invisible to the sampler.
+    let (_, _, tree, rounds) = fixtures::standard_suite()
+        .into_iter()
+        .find(|(spec, _, _, _)| *spec == "petersen")
+        .expect("petersen is in the pinned suite");
+    let out = run_cct(&[
+        "thm1",
+        "--graph",
+        "file:tests/data/petersen.el",
+        "--seed",
+        "42",
+    ]);
+    assert!(
+        out.status.success(),
+        "file: spec failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim_end(),
+        fixtures::tree_line(&tree),
+        "file:petersen.el drifted from the pinned petersen tree"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains(&format!("rounds: {rounds} over")),
+        "file:petersen.el round total drifted"
+    );
+    // Malformed paths surface the loader's typed error, not a panic.
+    let out = run_cct(&["thm1", "--graph", "file:tests/data/no_such_file.el"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("edge list"),
+        "missing file must report the loader error"
+    );
+}
+
+#[test]
 fn cct_max_n_overrides_the_cap() {
     // A lowered cap rejects what the default admits…
     let out = run_cct_env(

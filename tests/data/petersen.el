@@ -1,0 +1,18 @@
+# The Petersen graph as a `file:` edge-list fixture — identical (edge
+# set, unit weights) to `generators::petersen()`, so the pinned seed-42
+# tree must come out of `cct thm1 --graph file:tests/data/petersen.el`.
+0 1
+0 5
+5 7
+1 2
+1 6
+6 8
+2 3
+2 7
+7 9
+3 4
+3 8
+8 5
+4 0
+4 9
+9 6
