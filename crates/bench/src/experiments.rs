@@ -1367,6 +1367,120 @@ pub fn e20(quick: bool) -> crate::json::Json {
     ])
 }
 
+/// E21 — weighted sampling & MST on the `-w` spec families: round
+/// totals (deterministic, gated against `BENCH_e21.json`) and
+/// wall-clock (reported, never gated) for the Borůvka `MstEngine` and
+/// the weight-proportional Theorem 1 sampler on `er-w` / `grid-w`
+/// graphs. Every row also cross-validates the MST edge set against
+/// sequential Kruskal and re-runs the MST at 4 workers, so a row can
+/// only reach the JSON if the distributed answer is right *and*
+/// worker-invariant.
+pub fn e21(quick: bool) -> crate::json::Json {
+    use crate::json::Json;
+    use cct_core::MstEngine;
+    banner(
+        "E21",
+        "Weighted graphs — MST and weight-proportional thm1 round totals on -w spec families",
+    );
+
+    // (family, spec, seed). Quick rows are a strict subset of the full
+    // sweep so a quick CI run always overlaps the committed baseline.
+    let mut suite: Vec<(&str, &str)> = vec![("er-w", "er-w:64:0.2"), ("grid-w", "grid-w:8x8")];
+    if !quick {
+        suite.push(("er-w", "er-w:128:0.12"));
+        suite.push(("grid-w", "grid-w:12x12"));
+        suite.push(("er-w", "er-w:256:0.06"));
+    }
+    println!(
+        "\n(MST: Borůvka MachineProgram, workers 1 and 4 must agree; thm1: UnitCost,\n\
+         ℓ = 2^12, seed 4900 + n. Round totals are deterministic — the gated metric;\n\
+         wall-clock is reported only.)\n\
+         {:<8} {:>6} {:>7} {:>11} {:>7} {:>10} {:>8} {:>12} {:>9} {:>5}",
+        "family",
+        "n",
+        "m",
+        "mst rounds",
+        "phases",
+        "mst weight",
+        "mst ms",
+        "thm1 rounds",
+        "thm1 ms",
+        "fail"
+    );
+    let mut rows = Vec::new();
+    for &(family, spec) in &suite {
+        // The same deterministic recipe the serving layer uses: the
+        // graph is a pure function of the spec string (the `-w` weights
+        // are RNG-independent; the fixed seed pins the ER topology).
+        let g = cct_graph::spec::parse_spec(spec, &mut rng(4900)).expect("valid spec");
+        let (n, m) = (g.n(), g.m());
+        let seed = 4900 + n as u64;
+
+        let t = std::time::Instant::now();
+        let mst = MstEngine::new().run(&g).expect("connected input");
+        let mst_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Correctness before speed: the distributed edge set must equal
+        // sequential Kruskal's, and a 4-worker rerun must be identical
+        // (tree AND ledger) — otherwise the gated rounds mean nothing.
+        let reference = cct_walks::kruskal_mst(&g).expect("connected input");
+        assert_eq!(
+            mst.tree.edges(),
+            reference.edges(),
+            "{spec}: Borůvka diverged from Kruskal"
+        );
+        let rerun = MstEngine::new()
+            .workers(cct_core::Workers::Fixed(4))
+            .run(&g)
+            .expect("connected input");
+        assert_eq!(rerun.tree, mst.tree, "{spec}: MST not worker-invariant");
+        assert_eq!(
+            rerun.rounds, mst.rounds,
+            "{spec}: MST ledger not worker-invariant"
+        );
+        let mst_rounds = mst.rounds.total_rounds();
+
+        let config = SamplerConfig::new()
+            .engine(EngineChoice::UnitCost)
+            .walk_length(WalkLength::Fixed(1 << 12))
+            .threads(1);
+        let t = std::time::Instant::now();
+        let thm1 = run_once(&g, config, seed);
+        let thm1_ms = t.elapsed().as_secs_f64() * 1e3;
+        let thm1_rounds = thm1.total_rounds();
+        let failed = thm1.monte_carlo_failure;
+
+        println!(
+            "{family:<8} {n:>6} {m:>7} {mst_rounds:>11} {:>7} {:>10} {mst_ms:>8.1} {thm1_rounds:>12} {thm1_ms:>9.1} {failed:>5}",
+            mst.phases, mst.total_weight,
+        );
+        rows.push(Json::Obj(vec![
+            ("family".into(), Json::Str(family.into())),
+            ("spec".into(), Json::Str(spec.into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("m".into(), Json::Num(m as f64)),
+            ("mst_rounds".into(), Json::Num(mst_rounds as f64)),
+            ("mst_phases".into(), Json::Num(mst.phases as f64)),
+            ("mst_weight".into(), Json::Num(mst.total_weight)),
+            ("mst_ms".into(), Json::Num(mst_ms)),
+            ("thm1_rounds".into(), Json::Num(thm1_rounds as f64)),
+            ("thm1_ms".into(), Json::Num(thm1_ms)),
+            ("mc_failure".into(), Json::Bool(failed)),
+        ]));
+    }
+    println!(
+        "\n(every row passed MST == Kruskal and the 1-vs-4-worker identity before being\n\
+         emitted; `harness --baseline BENCH_e21.json` gates the two round columns)"
+    );
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e21".into())),
+        (
+            "mode".into(),
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+}
+
 /// Variant trio used by `harness all`: Monte Carlo failure-rate probe —
 /// complements E2 by measuring how often the ℓ-budget fails at small ℓ.
 pub fn failure_probe(quick: bool) {

@@ -65,8 +65,93 @@ pub fn check_against_baseline(current: &Json, baseline: &Json) -> Result<GateRep
         "e18" => check_e18_against_baseline(current, baseline),
         "e19" => check_e19_against_baseline(current, baseline),
         "e20" => check_e20_against_baseline(current, baseline),
+        "e21" => check_e21_against_baseline(current, baseline),
         other => Err(format!("no baseline gate for experiment {other}")),
     }
+}
+
+/// Row identity in e21's `rows` array: `(family, n)`.
+fn e21_row_key(row: &Json) -> Option<(String, i64)> {
+    Some((
+        row.get("family")?.as_str()?.to_string(),
+        row.get("n")?.as_f64()? as i64,
+    ))
+}
+
+/// Compares `current` against `baseline` (both `e21` reports).
+///
+/// Gated metrics — both **deterministic round totals**, so the gate is
+/// machine-independent:
+///
+/// * `rows[].mst_rounds` — the Borůvka MachineProgram's ledger total
+///   must not grow past [`REGRESSION_FACTOR`]× the baseline for the
+///   same `(family, n)` (the experiment itself already asserts the
+///   rounds are worker-invariant and the edge set matches Kruskal);
+/// * `rows[].thm1_rounds` — the weight-proportional Theorem 1 sampler's
+///   round total under the same ceiling.
+///
+/// `mst_ms` / `thm1_ms` wall-clock columns are reported but never
+/// gated: absolute times are machine-dependent even within a 2× band.
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed `e21`
+/// report.
+pub fn check_e21_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("e21") {
+            return Err(format!("{label} report is not an e21 document"));
+        }
+    }
+    let current_rows = current
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("current report lacks a rows array")?;
+    let baseline_rows = baseline
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("baseline report lacks a rows array")?;
+
+    let mut report = GateReport {
+        compared: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for row in current_rows {
+        let Some(key) = e21_row_key(row) else {
+            return Err("current e21 row missing family/n".into());
+        };
+        let Some(base_row) = baseline_rows
+            .iter()
+            .find(|b| e21_row_key(b).as_ref() == Some(&key))
+        else {
+            continue; // not in the baseline (e.g. quick vs full sweep)
+        };
+        let metric = |doc: &Json, name: &str| {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(format!("e21 row missing {name}"))
+        };
+        let cur_mst = metric(row, "mst_rounds")?;
+        let base_mst = metric(base_row, "mst_rounds")?;
+        let cur_thm1 = metric(row, "thm1_rounds")?;
+        let base_thm1 = metric(base_row, "thm1_rounds")?;
+        let mst_ceiling = base_mst * REGRESSION_FACTOR;
+        let thm1_ceiling = base_thm1 * REGRESSION_FACTOR;
+        let line = format!(
+            "{}/n={}: mst {:.0} rounds vs baseline {:.0} (ceiling {:.0}); thm1 {:.0} vs {:.0} (ceiling {:.0})",
+            key.0, key.1, cur_mst, base_mst, mst_ceiling, cur_thm1, base_thm1, thm1_ceiling
+        );
+        if cur_mst > mst_ceiling || cur_thm1 > thm1_ceiling {
+            report.regressions.push(line.clone());
+        }
+        report.compared.push(line);
+    }
+    if report.compared.is_empty() {
+        report
+            .compared
+            .push("no overlapping e21 rows — nothing gated".into());
+    }
+    Ok(report)
 }
 
 /// Row identity in e20's `rows` array: `(family, n)`.
@@ -527,6 +612,53 @@ mod tests {
         assert!(disjoint.compared[0].contains("nothing gated"));
     }
 
+    fn e21_report(rows: &[(&str, f64, f64, f64)]) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e21".into())),
+            (
+                "rows".into(),
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(fam, n, mst, thm1)| {
+                            Json::Obj(vec![
+                                ("family".into(), Json::Str(fam.into())),
+                                ("n".into(), Json::Num(n)),
+                                ("mst_rounds".into(), Json::Num(mst)),
+                                ("thm1_rounds".into(), Json::Num(thm1)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e21_gate_checks_both_round_ceilings() {
+        let baseline = e21_report(&[("grid-w", 64.0, 40.0, 1_200.0)]);
+        // Within band: both round totals below 2× baseline.
+        let ok =
+            check_e21_against_baseline(&e21_report(&[("grid-w", 64.0, 75.0, 2_300.0)]), &baseline)
+                .unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        // MST rounds more than doubled: regression.
+        let bad_mst =
+            check_e21_against_baseline(&e21_report(&[("grid-w", 64.0, 81.0, 1_200.0)]), &baseline)
+                .unwrap();
+        assert!(!bad_mst.passed());
+        // thm1 rounds more than doubled: regression.
+        let bad_thm1 =
+            check_e21_against_baseline(&e21_report(&[("grid-w", 64.0, 40.0, 2_500.0)]), &baseline)
+                .unwrap();
+        assert!(!bad_thm1.passed());
+        // Non-overlapping rows pass vacuously.
+        let disjoint =
+            check_e21_against_baseline(&e21_report(&[("er-w", 128.0, 50.0, 1_000.0)]), &baseline)
+                .unwrap();
+        assert!(disjoint.passed());
+        assert!(disjoint.compared[0].contains("nothing gated"));
+    }
+
     #[test]
     fn dispatcher_routes_by_experiment_and_rejects_mismatches() {
         let e18 = report(&[("er", 64.0, 6.0, 100.0)]);
@@ -535,11 +667,14 @@ mod tests {
             &[("path", 16384.0, 500_000.0)],
             &[("path", 16384.0, 131072.0, 8.0)],
         );
+        let e21 = e21_report(&[("grid-w", 64.0, 40.0, 1_200.0)]);
         assert!(check_against_baseline(&e18, &e18).unwrap().passed());
         assert!(check_against_baseline(&e19, &e19).unwrap().passed());
         assert!(check_against_baseline(&e20, &e20).unwrap().passed());
+        assert!(check_against_baseline(&e21, &e21).unwrap().passed());
         assert!(check_against_baseline(&e18, &e19).is_err());
         assert!(check_against_baseline(&e19, &e18).is_err());
         assert!(check_against_baseline(&e20, &e18).is_err());
+        assert!(check_against_baseline(&e21, &e20).is_err());
     }
 }

@@ -42,6 +42,7 @@
 
 mod config;
 mod direction4;
+mod mst;
 mod phase;
 mod report;
 mod sampler;
@@ -52,6 +53,7 @@ pub use config::{
     WalkLength,
 };
 pub use direction4::{direction4_sample, Direction4Report};
+pub use mst::{MstEngine, MstReport};
 pub use phase::PhaseError;
 pub use report::{PhaseMethod, PhaseReport, SampleReport};
 pub use sampler::{CliqueTreeSampler, PreparedSampler, SampleTreeError};

@@ -354,6 +354,78 @@ pub fn with_random_integer_weights<R: Rng + ?Sized>(
     Graph::from_weighted_edges(g.n(), &edges)
 }
 
+/// SplitMix64's finalizer over a `(master, key)` pair — the same mix as
+/// `cct_sim::machine_seed` (replicated here because `cct-graph` sits
+/// below `cct-sim` in the dependency order). Used to derive per-edge
+/// weights that are a pure function of the edge, independent of any RNG
+/// stream.
+fn splitmix_pair(master: u64, key: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(key.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic weight the weighted spec families (`er-w`,
+/// `grid-w`, …) assign to the edge `{u, v}`: an integer in
+/// `1..=max_weight`, a pure function of `(stream, min(u,v), max(u,v))`
+/// via two chained SplitMix64 finalizers. No RNG is consumed, so a
+/// weighted spec still denotes *one* fixed weighting however the caller
+/// seeded the generator RNG — the invariant the sampling service's
+/// spec-keyed cache relies on.
+///
+/// # Panics
+///
+/// Panics if `max_weight == 0`.
+pub fn deterministic_edge_weight(stream: u64, u: usize, v: usize, max_weight: u64) -> u64 {
+    assert!(max_weight >= 1, "max_weight must be at least 1");
+    let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+    1 + splitmix_pair(splitmix_pair(stream, a), b) % max_weight
+}
+
+/// Replaces every weight with [`deterministic_edge_weight`]`(stream, u,
+/// v, max_weight)` — footnote 1's bounded positive integer weights, but
+/// reproducible from the edge alone (no RNG stream to keep in sync).
+///
+/// # Errors
+///
+/// Propagates [`GraphError`] (cannot occur for a valid input graph).
+///
+/// # Panics
+///
+/// Panics if `max_weight == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cct_graph::generators::{complete, with_deterministic_integer_weights};
+///
+/// let a = with_deterministic_integer_weights(&complete(5), 8, 7).unwrap();
+/// let b = with_deterministic_integer_weights(&complete(5), 8, 7).unwrap();
+/// assert_eq!(a.edges(), b.edges());
+/// assert!(a.has_integer_weights() && a.max_weight() <= 8.0);
+/// ```
+pub fn with_deterministic_integer_weights(
+    g: &Graph,
+    max_weight: u64,
+    stream: u64,
+) -> Result<Graph, GraphError> {
+    let edges: Vec<(usize, usize, f64)> = g
+        .edges()
+        .iter()
+        .map(|&(u, v, _)| {
+            (
+                u,
+                v,
+                deterministic_edge_weight(stream, u, v, max_weight) as f64,
+            )
+        })
+        .collect();
+    Graph::from_weighted_edges(g.n(), &edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,13 +9,21 @@
 //! be expressed (an edge list names only endpoints), which is fine for
 //! the sampler: it requires connected inputs anyway.
 //!
+//! The weight column is load-bearing: a file is either entirely `u v`
+//! (every edge gets weight 1) or entirely `u v w` — a file that mixes
+//! the two forms is rejected with a typed [`EdgeListError::MixedWeights`]
+//! naming the first offending line, because silently defaulting some
+//! rows to weight 1 turns a truncated column into a plausible-looking
+//! but wrong weighting. Weight values are validated at parse time too:
+//! `NaN`, infinities and non-positive weights fail with the 1-based line
+//! number instead of surfacing later as a positionless [`GraphError`].
+//!
 //! Reading is streaming — one `BufRead` line at a time, `O(m)` peak
 //! memory for the edge triples — so a million-vertex path costs ~24 MB
 //! of transient triples plus the final `O(nnz)` adjacency, never `Θ(n²)`
-//! of anything. Validation (range, self-loops, duplicates, weight
-//! domain) is delegated to [`Graph::from_weighted_edges`], so a file
-//! rejects with the same typed [`GraphError`] a programmatic caller
-//! would see.
+//! of anything. Structural validation (range, self-loops, duplicates) is
+//! delegated to [`Graph::from_weighted_edges`], so a file rejects with
+//! the same typed [`GraphError`] a programmatic caller would see.
 //!
 //! The spec form `file:PATH` ([`crate::spec`]) routes CLI `--graph` and
 //! service `graph_spec` requests here.
@@ -36,6 +44,13 @@ pub enum EdgeListError {
         /// What was wrong with it.
         message: String,
     },
+    /// The file mixes `u v` and `u v w` lines. The payload is the
+    /// 1-based line number of the first line whose form disagrees with
+    /// the lines before it.
+    MixedWeights {
+        /// 1-based line number of the first inconsistent line.
+        line: usize,
+    },
     /// The edges parsed but do not form a valid simple weighted graph
     /// (out-of-range id, self-loop, duplicate, bad weight).
     Graph(GraphError),
@@ -50,6 +65,11 @@ impl std::fmt::Display for EdgeListError {
             EdgeListError::Parse { line, message } => {
                 write!(f, "edge list line {line}: {message}")
             }
+            EdgeListError::MixedWeights { line } => write!(
+                f,
+                "edge list line {line}: mixes weighted 'u v w' and unweighted 'u v' lines \
+                 (the weight column must be all-present or all-absent)"
+            ),
             EdgeListError::Graph(e) => write!(f, "edge list is not a valid graph: {e:?}"),
             EdgeListError::Empty => f.write_str("edge list contains no edges"),
         }
@@ -90,12 +110,16 @@ impl From<GraphError> for EdgeListError {
 /// ```
 /// use cct_graph::io::parse_edge_list;
 ///
-/// let g = parse_edge_list("# a 3-path\n0 1\n1,2 0.5\n".as_bytes()).unwrap();
+/// let g = parse_edge_list("# a weighted 3-path\n0 1 2\n1,2 0.5\n".as_bytes()).unwrap();
 /// assert_eq!((g.n(), g.m()), (3, 2));
+/// assert_eq!(g.edge_weight(0, 1), Some(2.0));
 /// ```
 pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Graph, EdgeListError> {
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     let mut max_id = 0usize;
+    // Whether the file's data lines carry a weight column — set by the
+    // first data line, enforced on every later one.
+    let mut weighted: Option<bool> = None;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let text = line.trim();
@@ -125,11 +149,33 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Graph, EdgeListError> {
             message: "missing target vertex".into(),
         })?)?;
         let w = match fields.next() {
-            None => 1.0,
-            Some(s) => s.parse::<f64>().map_err(|_| EdgeListError::Parse {
-                line: lineno,
-                message: format!("bad weight '{s}'"),
-            })?,
+            None => {
+                if weighted == Some(true) {
+                    return Err(EdgeListError::MixedWeights { line: lineno });
+                }
+                weighted = Some(false);
+                1.0
+            }
+            Some(s) => {
+                if weighted == Some(false) {
+                    return Err(EdgeListError::MixedWeights { line: lineno });
+                }
+                weighted = Some(true);
+                let w = s.parse::<f64>().map_err(|_| EdgeListError::Parse {
+                    line: lineno,
+                    message: format!("bad weight '{s}'"),
+                })?;
+                // `f64::parse` accepts "nan"/"inf"; reject the weight
+                // domain here so the error carries a line number instead
+                // of a positionless GraphError::BadWeight later.
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(EdgeListError::Parse {
+                        line: lineno,
+                        message: format!("weight '{s}' is not a finite positive number"),
+                    });
+                }
+                w
+            }
         };
         if let Some(extra) = fields.next() {
             return Err(EdgeListError::Parse {
@@ -172,12 +218,68 @@ mod tests {
 
     #[test]
     fn comments_blanks_and_weights() {
-        let text = "# comment\n% more\n// and more\n\n0 1 2.5\n1 2\n";
+        let text = "# comment\n% more\n// and more\n\n0 1 2.5\n1 2 1\n";
         let g = parse_edge_list(text.as_bytes()).unwrap();
         assert_eq!(g.m(), 2);
         let w: Vec<_> = g.edges().to_vec();
         assert_eq!(w[0], (0, 1, 2.5));
         assert_eq!(w[1], (1, 2, 1.0));
+    }
+
+    #[test]
+    fn weight_column_surfaces_in_graph() {
+        let g = parse_edge_list("0,1,3\n1,2,0.25\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+        assert_eq!(g.edge_weight(1, 2), Some(0.25));
+        assert!(!g.has_integer_weights());
+        assert_eq!(g.total_weight(), 3.25);
+    }
+
+    #[test]
+    fn mixed_weighted_and_unweighted_lines_rejected() {
+        // Unweighted first, weighted later — and the reverse; comments
+        // and blank lines must not reset the tracked form.
+        for (text, want_line) in [
+            ("0 1\n1 2 2.0\n", 2),
+            ("0 1 2.0\n1 2\n", 2),
+            ("# c\n0 1\n\n% c\n1 2 2.0\n", 5),
+            ("0,1,1.5\n# c\n1 2\n", 3),
+        ] {
+            match parse_edge_list(text.as_bytes()) {
+                Err(EdgeListError::MixedWeights { line }) => {
+                    assert_eq!(line, want_line, "{text:?}")
+                }
+                other => panic!("{text:?}: expected MixedWeights, got {other:?}"),
+            }
+        }
+        let msg = parse_edge_list("0 1\n1 2 2.0\n".as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("mixes weighted"), "{msg}");
+    }
+
+    #[test]
+    fn weight_domain_rejected_at_parse_time_with_line_numbers() {
+        // "nan"/"inf" parse as f64, and negatives/zero are syntactically
+        // fine — all must still fail here, with the line number.
+        for (text, want_line) in [
+            ("0 1 nan\n", 1),
+            ("0 1 NaN\n", 1),
+            ("0 1 2.0\n1 2 inf\n", 2),
+            ("0 1 1.0\n1 2 -inf\n", 2),
+            ("0 1 -2\n", 1),
+            ("0 1 0\n", 1),
+            ("0 1 0.0\n", 1),
+        ] {
+            match parse_edge_list(text.as_bytes()) {
+                Err(EdgeListError::Parse { line, message }) => {
+                    assert_eq!(line, want_line, "{text:?}");
+                    assert!(message.contains("finite positive"), "{message}");
+                }
+                other => panic!("{text:?}: expected Parse error, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -215,10 +317,6 @@ mod tests {
         assert!(matches!(
             parse_edge_list("0 1\n1 0\n".as_bytes()),
             Err(EdgeListError::Graph(GraphError::DuplicateEdge(0, 1)))
-        ));
-        assert!(matches!(
-            parse_edge_list("0 1 -2\n".as_bytes()),
-            Err(EdgeListError::Graph(_))
         ));
         assert!(matches!(
             parse_edge_list("".as_bytes()),

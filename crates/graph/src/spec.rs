@@ -10,6 +10,14 @@
 //! *one* fixed graph (the service's cache does) should seed that RNG as
 //! a pure function of the spec string.
 //!
+//! Every generator family also has a weighted twin named by a `-w`
+//! suffix (`er-w:64:0.2`, `grid-w:3x4`, `complete-w:9`, `diamond-w`):
+//! same topology, but each edge `{u, v}` carries the deterministic
+//! integer weight [`generators::deterministic_edge_weight`]`(`
+//! [`WEIGHTED_SPEC_STREAM`]`, u, v, `[`WEIGHTED_SPEC_MAX_WEIGHT`]`)` —
+//! a pure function of the edge, independent of the RNG, so the
+//! spec-denotes-one-graph contract extends to weights.
+//!
 //! # Size caps
 //!
 //! The default cap is [`MAX_SPEC_SIZE`] vertices; the `CCT_MAX_N`
@@ -42,6 +50,19 @@ pub const SPARSE_CAP_FACTOR: usize = 8;
 /// `P·N` stays below this bound (edges scale as `N·deg/2`, so a large-N
 /// admission must not smuggle in `Θ(n²)` edges through P).
 pub const SPARSE_ER_MAX_EXPECTED_DEGREE: f64 = 64.0;
+
+/// Largest integer weight the weighted (`-w`) spec families assign —
+/// footnote 1's bounded positive-integer-weight setting. Weights are
+/// drawn from `1..=WEIGHTED_SPEC_MAX_WEIGHT`.
+pub const WEIGHTED_SPEC_MAX_WEIGHT: u64 = 8;
+
+/// The SplitMix64 stream the `-w` families feed to
+/// [`generators::deterministic_edge_weight`] (`"cct_wght"` in ASCII).
+/// Weights are a pure function of `(this stream, u, v)` — no RNG state
+/// is consumed, so a weighted spec denotes one fixed weighting however
+/// the caller seeded the generator RNG, preserving the service's
+/// spec-keyed cache contract for the randomized families too.
+pub const WEIGHTED_SPEC_STREAM: u64 = 0x6363_745f_7767_6874;
 
 /// The active size caps for spec parsing.
 ///
@@ -208,7 +229,9 @@ pub const SPEC_HELP: &str = "\
 complete:N  cycle:N  path:N  star:N  wheel:N
 grid:RxC  torus:RxC  hypercube:D  binarytree:D
 petersen  diamond  barbell:K  lollipop:K:T  bipartite:AxB
-kdense:N  er:N:P  regular:N:D  file:PATH";
+kdense:N  er:N:P  regular:N:D  file:PATH
+any family but file takes a -w suffix (er-w:N:P, grid-w:RxC, ...):
+same topology, deterministic integer edge weights in 1..=8";
 
 /// Builds the graph a spec describes, under the default [`SpecLimits`]
 /// (dense backend, `CCT_MAX_N`-overridable cap).
@@ -327,12 +350,18 @@ pub fn parse_spec_with_limits<R: Rng + ?Sized>(
             Ok(v)
         }
     };
+    // A `-w` suffix on any generator family keeps the topology and
+    // replaces every weight with a deterministic integer in
+    // `1..=WEIGHTED_SPEC_MAX_WEIGHT` (`file:` carries its own weight
+    // column and takes no suffix — `file-w` falls through to the
+    // unknown-spec error).
+    let family = parts.first().copied().unwrap_or("");
+    let (family, weighted) = match family.strip_suffix("-w") {
+        Some(base) if !base.is_empty() => (base, true),
+        _ => (family, false),
+    };
     // `(built graph, family is sparse-friendly)`.
-    let (g, sparse_friendly) = match (
-        parts.first().copied().unwrap_or(""),
-        parts.get(1),
-        parts.get(2),
-    ) {
+    let (g, sparse_friendly) = match (family, parts.get(1), parts.get(2)) {
         ("complete", Some(n), _) => (
             generators::complete(at_least(capped(num(n)?, false)?, 1, "N")?),
             false,
@@ -469,6 +498,14 @@ pub fn parse_spec_with_limits<R: Rng + ?Sized>(
     // the per-parameter cap yet still blow past what the O(n²) simulator
     // can hold — bound the built graph too, before any sampler allocates.
     capped(g.n(), sparse_friendly)?;
+    if weighted {
+        return Ok(generators::with_deterministic_integer_weights(
+            &g,
+            WEIGHTED_SPEC_MAX_WEIGHT,
+            WEIGHTED_SPEC_STREAM,
+        )
+        .expect("reweighting a valid graph with positive integers cannot fail"));
+    }
     Ok(g)
 }
 
@@ -514,6 +551,76 @@ mod tests {
         assert!(g.has_edge(0, 2), "the chord is 0-2");
         assert!(!g.has_edge(1, 3), "1-3 is the removed edge");
         assert_eq!(crate::spanning_tree_count_exact(&g).unwrap(), 8);
+    }
+
+    #[test]
+    fn weighted_families_build_with_deterministic_weights() {
+        for (spec, n) in [
+            ("complete-w:9", 9),
+            ("grid-w:2x5", 10),
+            ("cycle-w:5", 5),
+            ("diamond-w", 4),
+            ("er-w:24:0.3", 24),
+        ] {
+            let g = parse_spec(spec, &mut rng()).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(g.n(), n, "{spec}");
+            assert!(g.has_integer_weights(), "{spec}");
+            assert!(
+                g.edges()
+                    .iter()
+                    .all(|&(_, _, w)| (1.0..=WEIGHTED_SPEC_MAX_WEIGHT as f64).contains(&w)),
+                "{spec}: weights out of 1..=max range"
+            );
+            assert!(
+                g.edges().iter().any(|&(_, _, w)| w != 1.0),
+                "{spec}: all weights 1 — the weighting did not apply"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_twin_keeps_topology_and_is_reproducible() {
+        let base = parse_spec("grid:3x4", &mut rng()).unwrap();
+        let a = parse_spec("grid-w:3x4", &mut rng()).unwrap();
+        let b = parse_spec("grid-w:3x4", &mut rng()).unwrap();
+        assert_eq!(a.edges(), b.edges(), "same spec, same weighting");
+        assert_eq!(a.unweighted().edges(), base.edges(), "same topology");
+        // Per-edge weights match the exported pure function.
+        for &(u, v, w) in a.edges() {
+            let want = generators::deterministic_edge_weight(
+                WEIGHTED_SPEC_STREAM,
+                u,
+                v,
+                WEIGHTED_SPEC_MAX_WEIGHT,
+            );
+            assert_eq!(w, want as f64, "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn weighted_er_weights_do_not_depend_on_the_rng() {
+        // Different RNG seeds can change er-w's topology, but any edge
+        // present in both draws must carry the same weight.
+        let a = parse_spec("er-w:24:0.4", &mut rand::rngs::StdRng::seed_from_u64(1)).unwrap();
+        let b = parse_spec("er-w:24:0.4", &mut rand::rngs::StdRng::seed_from_u64(2)).unwrap();
+        for &(u, v, w) in a.edges() {
+            if let Some(wb) = b.edge_weight(u, v) {
+                assert_eq!(w, wb, "edge ({u},{v}) weight depends on RNG state");
+            }
+        }
+    }
+
+    #[test]
+    fn bogus_weighted_specs_rejected() {
+        for bad in [
+            "file-w:whatever.el",
+            "-w",
+            "nope-w:3",
+            "er-w:8:1.5",
+            "grid-w:0x4",
+        ] {
+            assert!(parse_spec(bad, &mut rng()).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]

@@ -143,6 +143,19 @@ impl SpanningTree {
             .product()
     }
 
+    /// Sum of the host graph's weights over the tree edges — the
+    /// objective a minimum spanning tree minimizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tree edge is missing from `g`.
+    pub fn weight_sum_in(&self, g: &Graph) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(u, v)| g.edge_weight(u, v).expect("tree edge must exist in graph"))
+            .sum()
+    }
+
     /// Any-order parent array rooted at `root` (parent of root is root).
     ///
     /// # Panics

@@ -18,6 +18,35 @@
 //! seed-42 fixtures) enforce it at exact `==`, the same standard as the
 //! PR-3 block-squaring refactor.
 //!
+//! # The weighted contract
+//!
+//! [`PMatrix`] is weight-agnostic: it stores whatever row-stochastic
+//! entries its builder computed, and the bit-identity contract above is
+//! stated over *entries*, not over where they came from. What makes
+//! weighted graphs work end to end is a discipline upstream builders
+//! follow (`Graph::transition_pmatrix` in `cct-graph`, the Schur
+//! pipeline in `cct-schur`):
+//!
+//! * entries are `P[u,v] = w(u,v) / deg(u)` with `deg(u) = Σ_v w(u,v)`
+//!   the **weighted** degree, computed with the identical expression on
+//!   the dense and the CSR route — so the backend axis stays
+//!   bit-identical on weighted inputs too;
+//! * a graph whose weights are all exactly `1.0` produces the same
+//!   division `1.0 / k` as an unweighted graph of equal topology, hence
+//!   the *same bits* in every entry — the weighted path is a strict
+//!   generalization, and the pinned seed-42 fixtures must reproduce
+//!   byte for byte under a weight-1 rebuild (enforced by
+//!   `tests/pinned_trees.rs`);
+//! * weights are strictly positive and finite (the loaders and
+//!   generators reject anything else), so no entry is `-0.0`, `NaN`, or
+//!   a sign-flipping additive term — the promotion no-op argument above
+//!   survives unchanged.
+//!
+//! Sampling a spanning tree from such a matrix draws trees with
+//! probability proportional to the product of their edge weights
+//! (footnote 1 of the paper); `tests/weighted_uniformity.rs` pins that
+//! distribution against the weighted Matrix–Tree oracle.
+//!
 //! # Promotion
 //!
 //! Squaring densifies: powers of a sparse transition matrix fill in

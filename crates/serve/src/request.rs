@@ -38,24 +38,28 @@ pub const MAX_SPEC_LEN: usize = 256;
 /// stream, which hashes the request's master seed instead).
 const SPEC_STREAM: u64 = 0x6363_745f_7370_6563; // b"cct_spec"
 
-/// Which phase sampler serves the request.
+/// Which engine serves the request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Algorithm {
     /// Theorem 1's `Õ(n^{1/2+α})`-round Monte Carlo sampler (default).
     Thm1,
     /// The Appendix's exact `Õ(n^{2/3+α})` Las Vegas variant.
     Exact,
+    /// The deterministic Borůvka minimum-spanning-tree engine: `seed`
+    /// is ignored, every draw is the same tree.
+    Mst,
 }
 
 impl Algorithm {
-    /// Both algorithms, for iteration.
-    pub const ALL: [Algorithm; 2] = [Algorithm::Thm1, Algorithm::Exact];
+    /// All algorithms, for iteration.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Thm1, Algorithm::Exact, Algorithm::Mst];
 
-    /// The wire name (`thm1` / `exact`).
+    /// The wire name (`thm1` / `exact` / `mst`).
     pub fn as_str(self) -> &'static str {
         match self {
             Algorithm::Thm1 => "thm1",
             Algorithm::Exact => "exact",
+            Algorithm::Mst => "mst",
         }
     }
 
@@ -64,6 +68,7 @@ impl Algorithm {
         match s {
             "thm1" => Some(Algorithm::Thm1),
             "exact" => Some(Algorithm::Exact),
+            "mst" => Some(Algorithm::Mst),
             _ => None,
         }
     }
@@ -252,7 +257,7 @@ impl SampleRequest {
                         .ok_or_else(|| ProtocolError::new("'algorithm' must be a string"))?;
                     algorithm = Algorithm::parse(name).ok_or_else(|| {
                         ProtocolError::new(format!(
-                            "unknown algorithm '{name}' (expected thm1 or exact)"
+                            "unknown algorithm '{name}' (expected thm1, exact, or mst)"
                         ))
                     })?;
                 }
@@ -380,6 +385,18 @@ mod tests {
         assert_eq!(r.backend, Backend::Auto);
         let err = SampleRequest::parse_line(r#"{"graph": "k", "backend": "csr"}"#).unwrap_err();
         assert!(err.to_string().contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn mst_parses_and_roundtrips() {
+        let r = SampleRequest::new("grid-w:3x3")
+            .algorithm(Algorithm::Mst)
+            .count(3);
+        let parsed = SampleRequest::parse_line(&r.to_json().compact()).unwrap();
+        assert_eq!(parsed, r);
+        assert_eq!(Algorithm::parse("mst"), Some(Algorithm::Mst));
+        assert_eq!(Algorithm::Mst.as_str(), "mst");
+        assert_eq!(Algorithm::ALL.len(), 3);
     }
 
     #[test]

@@ -202,10 +202,13 @@ impl ServeOptions {
     /// Overrides the sampler configuration behind one algorithm.
     /// Changing a config changes the served streams — it is part of the
     /// determinism contract's "(graph, config) key", fixed per service.
+    /// The MST engine takes no sampler configuration (it is
+    /// deterministic and walk-free), so an `Mst` override is a no-op.
     pub fn config(mut self, algorithm: Algorithm, config: SamplerConfig) -> Self {
         match algorithm {
             Algorithm::Thm1 => self.thm1 = config,
             Algorithm::Exact => self.exact = config,
+            Algorithm::Mst => {}
         }
         self
     }
@@ -214,6 +217,9 @@ impl ServeOptions {
         match algorithm {
             Algorithm::Thm1 => &self.thm1,
             Algorithm::Exact => &self.exact,
+            Algorithm::Mst => {
+                unreachable!("the MST path never builds a phase sampler")
+            }
         }
     }
 }
@@ -353,12 +359,57 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, shared: &Shared) {
     }
 }
 
+/// Builds the graph a spec denotes — a pure function of the spec string
+/// (RNG seeded by [`spec_seed`]), with size limits following the
+/// requested backend. Shared by the cached phase-sampler path and the
+/// uncached MST path so the two can never disagree on what a spec means.
+fn build_spec_graph(spec: &str, backend: cct_core::Backend) -> Result<cct_graph::Graph, String> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec_seed(spec));
+    let limits = cct_graph::spec::SpecLimits::from_env()
+        .with_sparse_backend(backend == cct_core::Backend::Sparse);
+    cct_graph::spec::parse_spec_with_limits(spec, &mut rng, &limits)
+        .map_err(|e| format!("bad graph spec: {e}"))
+}
+
+/// Serves one MST request: build the graph, run the deterministic
+/// Borůvka engine **once**, and emit `count` identical draws. No
+/// prepared-sampler cache entry is involved (there is no per-graph
+/// preprocessing to reuse), and the request's `seed` is ignored — the
+/// draws still carry their derived seeds so the response shape matches
+/// the sampler algorithms.
+fn process_mst(request: SampleRequest) -> Result<SampleResponse, ServeError> {
+    let graph = build_spec_graph(&request.graph_spec, request.backend).map_err(ServeError::new)?;
+    let report = cct_core::MstEngine::new()
+        .run(&graph)
+        .map_err(|e| ServeError::new(e.to_string()))?;
+    let draws = (0..request.count)
+        .map(|i| Draw {
+            draw_seed: request.draw_seed(i),
+            edges: report.tree.edges().to_vec(),
+            ledger: report.rounds.clone(),
+            monte_carlo_failure: false,
+        })
+        .collect();
+    Ok(SampleResponse {
+        request,
+        cache: CacheInfo {
+            hit: false,
+            prepares: 0,
+        },
+        resident_bytes: 0,
+        draws,
+    })
+}
+
 /// Serves one request: resolve the prepared sampler through the cache
 /// (single-flight), then draw `count` trees from derived RNG streams.
 fn process(shared: &Shared, request: SampleRequest) -> Result<SampleResponse, ServeError> {
     request
         .validate()
         .map_err(|e| ServeError::new(e.to_string()))?;
+    if request.algorithm == Algorithm::Mst {
+        return process_mst(request);
+    }
     let key = CacheKey {
         algorithm: request.algorithm,
         backend: request.backend,
@@ -373,14 +424,8 @@ fn process(shared: &Shared, request: SampleRequest) -> Result<SampleResponse, Se
         .backend(request.backend);
     let (prepared, cache) = shared.cache.get_or_prepare(&key, || {
         // The graph is a pure function of the spec string (the cache
-        // key's half of the determinism contract). Spec size limits
-        // follow the requested backend: sparse-friendly families get
-        // the raised cap under a non-dense backend.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(spec_seed(&key.graph_spec));
-        let limits = cct_graph::spec::SpecLimits::from_env()
-            .with_sparse_backend(key.backend == cct_core::Backend::Sparse);
-        let graph = cct_graph::spec::parse_spec_with_limits(&key.graph_spec, &mut rng, &limits)
-            .map_err(|e| format!("bad graph spec: {e}"))?;
+        // key's half of the determinism contract).
+        let graph = build_spec_graph(&key.graph_spec, key.backend)?;
         CliqueTreeSampler::new(config)
             .prepare(&graph)
             .map_err(|e| e.to_string())
@@ -524,6 +569,42 @@ mod tests {
             assert_eq!(handle.cache_stats().misses, 2, "distinct keys");
             // …but byte-identical draws (the backend contract).
             assert_eq!(dense.draws, sparse.draws);
+        });
+    }
+
+    #[test]
+    fn mst_serves_identical_deterministic_draws() {
+        serve(quick_options(), |handle| {
+            let req = SampleRequest::new("grid-w:3x3")
+                .algorithm(Algorithm::Mst)
+                .seed(7)
+                .count(3);
+            let response = handle.request(req).unwrap();
+            assert_eq!(response.draws.len(), 3);
+            // Every draw is the same tree; none is a Monte Carlo failure.
+            assert!(response
+                .draws
+                .iter()
+                .all(|d| d.edges == response.draws[0].edges));
+            assert!(response.draws.iter().all(|d| !d.monte_carlo_failure));
+            // The seed is ignored: a different master seed serves the
+            // same tree (with different derived draw seeds).
+            let other = handle
+                .request(
+                    SampleRequest::new("grid-w:3x3")
+                        .algorithm(Algorithm::Mst)
+                        .seed(8),
+                )
+                .unwrap();
+            assert_eq!(other.draws[0].edges, response.draws[0].edges);
+            assert_eq!(other.draws[0].ledger, response.draws[0].ledger);
+            // No prepared-cache entry was created for the MST path.
+            assert_eq!(handle.cache_stats().total_prepares(), 0);
+            // Cold verification: the served tree is the Kruskal MST of
+            // the graph the spec denotes.
+            let graph = super::build_spec_graph("grid-w:3x3", cct_core::Backend::Auto).unwrap();
+            let reference = cct_walks::kruskal_mst(&graph).unwrap();
+            assert_eq!(response.draws[0].edges, reference.edges());
         });
     }
 

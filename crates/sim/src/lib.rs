@@ -46,6 +46,7 @@
 mod clique;
 mod ledger;
 mod matmul;
+mod mst;
 mod parallel;
 
 pub use clique::{Clique, Envelope};
@@ -54,4 +55,5 @@ pub use matmul::{
     distributed_powers, distributed_powers_deferred, distributed_powers_p, DeferredPowers,
     FastOracleEngine, MatMulEngine, SemiringEngine, UnitCostEngine, ALPHA,
 };
+pub use mst::{boruvka_mst, MstError, MstMsg, MstOutcome, MstProgram};
 pub use parallel::{machine_seed, par_map, MachineProgram, ParallelClique, Workers};

@@ -1,0 +1,526 @@
+//! A Borůvka-style minimum spanning tree protocol as a Congested Clique
+//! [`MachineProgram`] — the weighted-workload counterpart to the paper's
+//! samplers, pointing at the MST line of Congested Clique results
+//! (Lotker et al.'s O(log log n), Pemmaraju–Sardeshmukh, and the
+//! O(1)-round bound of Jurdziński–Nowicki).
+//!
+//! # Protocol
+//!
+//! Machine `i` holds vertex `i`'s adjacency list and a replicated vector
+//! of component labels. Each Borůvka phase costs three exchanges:
+//!
+//! 1. **Candidates** ([`CostCategory::Gather`]): every machine picks its
+//!    vertex's minimum outgoing edge — minimum under the total order
+//!    `(w, min(u,v), max(u,v))`, so ties cannot create cycles — and
+//!    sends it to the leader as a 3-word `(w, u, v)` triple. At most
+//!    `3n` words converge on the leader, so Lenzen routing charges
+//!    `⌈3n/n⌉ = 3` rounds.
+//! 2. **Merge** ([`CostCategory::Broadcast`]): the leader reduces the
+//!    candidates to one minimum per component, merges the touched
+//!    components in a union–find, records the chosen edges, and scatters
+//!    each machine its new label (1 word each — `⌈n/n⌉ = 1` round). If
+//!    the merge leaves a single component the leader sends nothing and
+//!    flags completion; if no candidates arrived while several
+//!    components remain, it flags the graph disconnected.
+//! 3. **Relay** ([`CostCategory::Broadcast`]): each machine re-broadcasts
+//!    its fresh label to all `n` machines — the second hop of the
+//!    standard two-step broadcast, `n` words sent and received per
+//!    machine, 1 round — so every machine enters the next phase with the
+//!    full label vector.
+//!
+//! Components at least halve per phase, so a connected `n`-vertex graph
+//! finishes in `≤ ⌈log₂ n⌉` phases ≈ `5⌈log₂ n⌉` ledger rounds. The
+//! protocol draws no randomness at all, which makes its output and its
+//! ledger worker-count-invariant by the [`ParallelClique`] contract —
+//! there is no seed to keep in sync.
+//!
+//! The chosen edge set equals the MST under the total order
+//! `(w, min(u,v), max(u,v))`: that order makes all edge weights
+//! distinct, and a graph with distinct weights has a *unique* MST, which
+//! both Borůvka's merging and any sequential reference (e.g. Kruskal
+//! with a stable sort over the same order) must find.
+//!
+//! This crate sits below the graph crate, so the entry point
+//! [`boruvka_mst`] takes a raw adjacency structure; the `Graph`-typed
+//! wrapper lives in the pipeline crate.
+
+use crate::{Clique, CostCategory, Envelope, MachineProgram, ParallelClique};
+
+/// Why the MST protocol failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MstError {
+    /// Some phase found a component with no outgoing edge while several
+    /// components remained: the graph is disconnected and has no
+    /// spanning tree.
+    Disconnected,
+    /// `adjacency.len()` disagreed with the clique size.
+    WrongMachineCount {
+        /// Number of machines in the clique.
+        clique: usize,
+        /// Number of adjacency rows supplied.
+        rows: usize,
+    },
+}
+
+impl std::fmt::Display for MstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MstError::Disconnected => f.write_str("graph is disconnected: no spanning tree exists"),
+            MstError::WrongMachineCount { clique, rows } => write!(
+                f,
+                "adjacency has {rows} rows but the clique has {clique} machines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MstError {}
+
+/// The result of [`boruvka_mst`]: the tree edges plus phase accounting
+/// (round/word costs land on the clique's own [`crate::RoundLedger`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MstOutcome {
+    /// The `n − 1` tree edges as `(u, v, w)` with `u < v`, sorted
+    /// lexicographically.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Number of Borůvka phases it took (`≤ ⌈log₂ n⌉`).
+    pub phases: usize,
+}
+
+/// A message of the MST protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MstMsg {
+    /// A vertex's minimum outgoing edge `(w, u, v)` — 3 words.
+    Candidate {
+        /// Edge weight.
+        weight: f64,
+        /// The sending endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A component label — 1 word.
+    Label(usize),
+}
+
+/// The total order that makes every edge weight distinct: weight first,
+/// then the canonical endpoint pair. Shared by the candidate selection
+/// here and by any sequential reference implementation.
+fn edge_key(w: f64, a: usize, b: usize) -> (f64, usize, usize) {
+    (w, a.min(b), a.max(b))
+}
+
+fn key_less(x: (f64, usize, usize), y: (f64, usize, usize)) -> bool {
+    // Weights are finite by the graph contract, so partial_cmp cannot
+    // fail; fall through to the endpoint pair on exact weight ties.
+    x.0 < y.0 || (x.0 == y.0 && (x.1, x.2) < (y.1, y.2))
+}
+
+/// Leader-only bookkeeping (lives on machine 0).
+#[derive(Debug)]
+struct LeaderState {
+    /// Union–find over component labels.
+    parent: Vec<usize>,
+    /// MST edges chosen so far, as `(u, v, w)` with `u < v`.
+    chosen: Vec<(usize, usize, f64)>,
+    /// Completed Borůvka phases.
+    phases: usize,
+    /// Set once a merge leaves a single component.
+    done: bool,
+    /// Set when a phase proves the graph disconnected.
+    disconnected: bool,
+}
+
+impl LeaderState {
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+}
+
+/// One machine of the MST protocol (see the module docs for the round
+/// structure).
+#[derive(Debug)]
+pub struct MstProgram {
+    id: usize,
+    n: usize,
+    /// Vertex `id`'s neighbors as `(other endpoint, weight)`.
+    adj: Vec<(usize, f64)>,
+    /// Replicated component labels, refreshed by each relay round.
+    labels: Vec<usize>,
+    /// `Some` on machine 0 only.
+    leader: Option<LeaderState>,
+}
+
+impl MstProgram {
+    fn new(id: usize, n: usize, adj: Vec<(usize, f64)>) -> Self {
+        MstProgram {
+            id,
+            n,
+            adj,
+            labels: (0..n).collect(),
+            leader: (id == 0).then(|| LeaderState {
+                parent: (0..n).collect(),
+                chosen: Vec::new(),
+                phases: 0,
+                done: false,
+                disconnected: false,
+            }),
+        }
+    }
+
+    /// This vertex's minimum outgoing edge under the total order, if any
+    /// neighbor lies in a different component.
+    fn candidate(&self) -> Option<(usize, f64)> {
+        let my = self.labels[self.id];
+        let mut best: Option<(usize, f64)> = None;
+        for &(v, w) in &self.adj {
+            if self.labels[v] == my {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bv, bw)) => key_less(edge_key(w, self.id, v), edge_key(bw, self.id, bv)),
+            };
+            if better {
+                best = Some((v, w));
+            }
+        }
+        best
+    }
+
+    /// The leader's merge step: reduce candidates per component, union
+    /// the components, record the chosen edges, and emit the relabel
+    /// scatter (or nothing, when finished or provably disconnected).
+    fn merge(&mut self, inbox: Vec<Envelope<MstMsg>>) -> Vec<Envelope<MstMsg>> {
+        let n = self.n;
+        // Per-component minimum candidate, keyed by the component's
+        // current label.
+        let mut best: Vec<Option<(f64, usize, usize)>> = vec![None; n];
+        let mut any = false;
+        for e in inbox {
+            let MstMsg::Candidate { weight, u, v } = e.payload else {
+                unreachable!("merge round receives only candidates");
+            };
+            any = true;
+            let comp = self.labels[u];
+            let key = edge_key(weight, u, v);
+            if best[comp].is_none_or(|b| key_less(key, edge_key(b.0, b.1, b.2))) {
+                best[comp] = Some((weight, u, v));
+            }
+        }
+        let components: std::collections::BTreeSet<usize> = self.labels.iter().copied().collect();
+        let leader = self.leader.as_mut().expect("merge runs on the leader");
+        if !any {
+            if components.len() > 1 {
+                leader.disconnected = true;
+            } else {
+                leader.done = true;
+            }
+            return Vec::new();
+        }
+        // Union the endpoints of every chosen edge. Two components can
+        // choose the same edge (each other's minimum); recording it once
+        // is exactly what the union–find's no-op second union gives us.
+        for comp in &components {
+            let Some((w, u, v)) = best[*comp] else {
+                continue;
+            };
+            let (ru, rv) = (leader.find(self.labels[u]), leader.find(self.labels[v]));
+            if ru != rv {
+                leader.parent[ru.max(rv)] = ru.min(rv);
+                leader.chosen.push((u.min(v), u.max(v), w));
+            }
+        }
+        leader.phases += 1;
+        // Relabel every vertex to its component root.
+        let new_labels: Vec<usize> = (0..n)
+            .map(|j| {
+                let l = self.labels[j];
+                self.leader.as_mut().expect("leader").find(l)
+            })
+            .collect();
+        let done = new_labels.iter().all(|&l| l == new_labels[0]);
+        self.labels = new_labels;
+        let leader = self.leader.as_mut().expect("leader");
+        if done {
+            leader.done = true;
+            return Vec::new();
+        }
+        (0..n)
+            .map(|j| Envelope::new(j, 1, MstMsg::Label(self.labels[j])))
+            .collect()
+    }
+}
+
+impl MachineProgram for MstProgram {
+    type Msg = MstMsg;
+
+    fn round(&mut self, round: usize, inbox: Vec<Envelope<MstMsg>>) -> Vec<Envelope<MstMsg>> {
+        match round % 3 {
+            // Candidates: absorb the previous phase's relayed labels,
+            // then send this vertex's minimum outgoing edge to the
+            // leader.
+            0 => {
+                for e in inbox {
+                    let MstMsg::Label(l) = e.payload else {
+                        unreachable!("candidate round receives only labels");
+                    };
+                    self.labels[e.from] = l;
+                }
+                match self.candidate() {
+                    Some((v, w)) => vec![Envelope::new(
+                        0,
+                        3,
+                        MstMsg::Candidate {
+                            weight: w,
+                            u: self.id,
+                            v,
+                        },
+                    )],
+                    None => Vec::new(),
+                }
+            }
+            // Merge: leader only.
+            1 => {
+                if self.id != 0 {
+                    debug_assert!(inbox.is_empty());
+                    return Vec::new();
+                }
+                self.merge(inbox)
+            }
+            // Relay: re-broadcast the label the leader scattered to us.
+            _ => {
+                let mut label = None;
+                for e in inbox {
+                    let MstMsg::Label(l) = e.payload else {
+                        unreachable!("relay round receives only labels");
+                    };
+                    label = Some(l);
+                }
+                let label = label.expect("the leader scatters a label to every machine");
+                self.labels[self.id] = label;
+                (0..self.n)
+                    .map(|to| Envelope::new(to, 1, MstMsg::Label(label)))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Runs the Borůvka MST protocol on `clique`, whose machine `i` holds
+/// `adjacency[i]` — vertex `i`'s neighbors as `(other endpoint, weight)`
+/// pairs (both directions of every edge must be present). Round and
+/// word costs are charged to the clique's own ledger under
+/// [`CostCategory::Gather`] (candidates) and [`CostCategory::Broadcast`]
+/// (merge scatter + relay).
+///
+/// Deterministic at any `workers` count: the protocol draws no
+/// randomness, so the [`ParallelClique`] sharding contract alone makes
+/// the output and the ledger worker-invariant.
+///
+/// # Errors
+///
+/// [`MstError::Disconnected`] when the graph has no spanning tree;
+/// [`MstError::WrongMachineCount`] on an adjacency/clique size mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use cct_sim::{boruvka_mst, Clique};
+///
+/// // A triangle with one heavy edge: the MST drops it.
+/// let adj = vec![
+///     vec![(1, 1.0), (2, 5.0)],
+///     vec![(0, 1.0), (2, 2.0)],
+///     vec![(0, 5.0), (1, 2.0)],
+/// ];
+/// let mut clique = Clique::new(3);
+/// let out = boruvka_mst(&mut clique, &adj, 1).unwrap();
+/// assert_eq!(out.edges, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+/// assert!(clique.ledger().total_rounds() > 0);
+/// ```
+pub fn boruvka_mst(
+    clique: &mut Clique,
+    adjacency: &[Vec<(usize, f64)>],
+    workers: usize,
+) -> Result<MstOutcome, MstError> {
+    let n = clique.n();
+    if adjacency.len() != n {
+        return Err(MstError::WrongMachineCount {
+            clique: n,
+            rows: adjacency.len(),
+        });
+    }
+    if n == 1 {
+        return Ok(MstOutcome {
+            edges: Vec::new(),
+            phases: 0,
+        });
+    }
+    let mut programs: Vec<MstProgram> = adjacency
+        .iter()
+        .enumerate()
+        .map(|(id, adj)| MstProgram::new(id, n, adj.clone()))
+        .collect();
+    let mut driver = ParallelClique::new(clique, workers);
+    let mut inboxes = Vec::new();
+    let mut round = 0;
+    // Components at least halve per phase; the +2 covers the final
+    // nothing-left-to-merge phase and the n = 2 floor.
+    let max_phases = (usize::BITS - (n - 1).leading_zeros()) as usize + 2;
+    for _ in 0..max_phases {
+        inboxes = driver.step(CostCategory::Gather, &mut programs, round, inboxes);
+        inboxes = driver.step(CostCategory::Broadcast, &mut programs, round + 1, inboxes);
+        round += 2;
+        let leader = programs[0]
+            .leader
+            .as_ref()
+            .expect("machine 0 is the leader");
+        if leader.disconnected {
+            return Err(MstError::Disconnected);
+        }
+        if leader.done {
+            let leader = programs
+                .into_iter()
+                .next()
+                .expect("n >= 2")
+                .leader
+                .expect("machine 0 is the leader");
+            let mut edges = leader.chosen;
+            edges.sort_by_key(|&(u, v, _)| (u, v));
+            debug_assert_eq!(edges.len(), n - 1);
+            return Ok(MstOutcome {
+                edges,
+                phases: leader.phases,
+            });
+        }
+        inboxes = driver.step(CostCategory::Broadcast, &mut programs, round, inboxes);
+        round += 1;
+    }
+    unreachable!("Borůvka halves the component count every phase");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundLedger;
+
+    fn adjacency(n: usize, edges: &[(usize, usize, f64)]) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        adj
+    }
+
+    fn run(n: usize, edges: &[(usize, usize, f64)], workers: usize) -> (MstOutcome, RoundLedger) {
+        let mut clique = Clique::new(n);
+        let out = boruvka_mst(&mut clique, &adjacency(n, edges), workers).unwrap();
+        (out, clique.ledger().clone())
+    }
+
+    #[test]
+    fn path_and_star_are_their_own_msts() {
+        let path = [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0)];
+        let (out, _) = run(4, &path, 1);
+        assert_eq!(out.edges, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0)]);
+        let star = [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)];
+        let (out, _) = run(4, &star, 1);
+        assert_eq!(out.edges.len(), 3);
+    }
+
+    #[test]
+    fn heavy_edges_are_dropped() {
+        // C4 plus a heavy chord; MST drops the heaviest cycle edge.
+        let edges = [
+            (0, 1, 1.0),
+            (1, 2, 4.0),
+            (2, 3, 1.0),
+            (0, 3, 2.0),
+            (0, 2, 9.0),
+        ];
+        let (out, _) = run(4, &edges, 1);
+        assert_eq!(out.edges, vec![(0, 1, 1.0), (0, 3, 2.0), (2, 3, 1.0)]);
+    }
+
+    #[test]
+    fn tied_weights_resolve_by_the_endpoint_order() {
+        // All weights equal: the unique MST under (w, u, v) is whatever
+        // Kruskal-by-lex picks — for K4 that is the star at 0.
+        let edges = [
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (0, 3, 1.0),
+            (1, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 3, 1.0),
+        ];
+        let (out, _) = run(4, &edges, 1);
+        assert_eq!(out.edges, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+    }
+
+    #[test]
+    fn worker_count_changes_nothing() {
+        let edges = [
+            (0, 1, 3.0),
+            (1, 2, 3.0),
+            (2, 3, 3.0),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+            (0, 5, 2.0),
+            (1, 4, 7.0),
+            (2, 5, 2.0),
+        ];
+        let (out1, ledger1) = run(6, &edges, 1);
+        for workers in [2, 4, 8] {
+            let (out, ledger) = run(6, &edges, workers);
+            assert_eq!(out, out1, "workers = {workers}");
+            assert_eq!(ledger, ledger1, "workers = {workers}");
+        }
+        assert_eq!(out1.edges.len(), 5);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected() {
+        let mut clique = Clique::new(4);
+        let adj = adjacency(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(
+            boruvka_mst(&mut clique, &adj, 1).unwrap_err(),
+            MstError::Disconnected
+        );
+    }
+
+    #[test]
+    fn trivial_and_mismatched_inputs() {
+        let mut clique = Clique::new(1);
+        let out = boruvka_mst(&mut clique, &[Vec::new()], 1).unwrap();
+        assert!(out.edges.is_empty());
+        let mut clique = Clique::new(3);
+        assert!(matches!(
+            boruvka_mst(&mut clique, &[Vec::new()], 1),
+            Err(MstError::WrongMachineCount { clique: 3, rows: 1 })
+        ));
+    }
+
+    #[test]
+    fn phases_stay_logarithmic_and_rounds_are_charged() {
+        // A 64-cycle with equal weights: log2(64) = 6 phases suffice.
+        let n = 64;
+        let edges: Vec<(usize, usize, f64)> = (0..n).map(|u| (u, (u + 1) % n, 1.0)).collect();
+        let (out, ledger) = run(n, &edges, 4);
+        assert_eq!(out.edges.len(), n - 1);
+        assert!(out.phases <= 7, "phases = {}", out.phases);
+        // Candidates land under Gather, relabel/relay under Broadcast.
+        assert!(ledger.rounds(CostCategory::Gather) > 0);
+        assert!(ledger.rounds(CostCategory::Broadcast) > 0);
+        assert_eq!(
+            ledger.total_rounds(),
+            ledger.rounds(CostCategory::Gather) + ledger.rounds(CostCategory::Broadcast)
+        );
+    }
+}

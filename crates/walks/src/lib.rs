@@ -45,7 +45,7 @@ mod wilson;
 
 pub use aldous_broder::{aldous_broder, aldous_broder_capped, SampleError};
 pub use cover::{cover_time_once, estimate_cover_time, CoverTimeStats};
-pub use strawman::{kruskal_by_keys, random_mst_distribution, random_weight_mst};
+pub use strawman::{kruskal_by_keys, kruskal_mst, random_mst_distribution, random_weight_mst};
 pub use topdown::{
     direct_truncated_walk, sample_midpoint, top_down_walk, truncated_top_down_walk, TruncatedWalk,
 };

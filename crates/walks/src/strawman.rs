@@ -46,6 +46,24 @@ pub fn kruskal_by_keys(g: &Graph, keys: &[f64]) -> Result<SpanningTree, SampleEr
     SpanningTree::new(n, edges).map_err(|_| SampleError::Disconnected)
 }
 
+/// The sequential minimum-spanning-tree reference: Kruskal over the
+/// graph's *own* edge weights.
+///
+/// Ties are deterministic: `sort_by` is stable and [`Graph::edges`] is
+/// sorted lexicographically by `(u, v)`, so the effective total order is
+/// `(w, u, v)` — under which all weights are distinct and the MST is
+/// *unique*. The distributed Borůvka engine selects minima under the
+/// same order, which is what makes edge-set-for-edge-set cross-validation
+/// between the two meaningful even on graphs with tied weights.
+///
+/// # Errors
+///
+/// Returns [`SampleError::Disconnected`] if the graph does not span.
+pub fn kruskal_mst(g: &Graph) -> Result<SpanningTree, SampleError> {
+    let keys: Vec<f64> = g.edges().iter().map(|&(_, _, w)| w).collect();
+    kruskal_by_keys(g, &keys)
+}
+
 /// The strawman sampler: i.i.d. uniform `\[0, 1\]` edge weights, then the
 /// MST. Fast — and *biased* (see [`random_mst_distribution`] and
 /// experiment E15).

@@ -26,6 +26,8 @@ USAGE:
 ALGORITHMS:
     thm1           the paper's main sampler, Õ(n^{1/2+α}) rounds (default)
     exact          the Appendix exact variant, Õ(n^{2/3+α}) rounds
+    mst            Borůvka minimum spanning tree (deterministic,
+                   O(log n) rounds; ties break by the (w, u, v) order)
     doubling       Corollary 1: Aldous-Broder over doubling walks
     direction4     the §1.4 'Direction 4' prototype (doubling per phase)
     aldous-broder  sequential baseline
@@ -38,9 +40,14 @@ OPTIONS:
                    grid:RxC  torus:RxC  hypercube:D  binarytree:D
                    petersen  diamond  barbell:K  lollipop:K:T
                    bipartite:AxB  kdense:N  er:N:P  regular:N:D
-                   file:PATH (streaming 'u v [w]' edge-list loader —
-                   million-vertex graphs; '#' comments; whitespace-
-                   separated; vertices are 0-based ids)
+                   any family but file takes a -w suffix (er-w:N:P,
+                   grid-w:RxC, ...): same topology, deterministic
+                   integer edge weights in 1..=8; thm1/exact then
+                   sample trees with probability ∝ ∏ edge weights
+                   file:PATH (streaming edge-list loader — million-
+                   vertex graphs; '#' comments; whitespace-separated;
+                   vertices are 0-based ids; lines are 'u v' or
+                   'u v w' but never a mix)
                    Generated size parameters are capped at 8192;
                    CCT_MAX_N is the single override for every cap,
                    including file: loads (unset = file: is uncapped,
@@ -80,7 +87,7 @@ SERVE OPTIONS (cct serve — the batched sampling service):
 REQUEST OPTIONS (cct request — one request against a running service):
     --connect ADDR   unix:PATH or HOST:PORT
     --graph SPEC     graph spec (default complete:16)
-    --algorithm A    thm1 or exact (default thm1)
+    --algorithm A    thm1, exact, or mst (default thm1)
     --seed N         master seed; draw i runs at machine_seed(N, i)
     --count K        trees to draw (default 1)
     --backend B      auto (default), dense, or sparse — keyed separately
@@ -215,7 +222,7 @@ fn run_request(args: &[String]) -> Result<(), String> {
             "--algorithm" => {
                 let name = value(&mut it, "--algorithm")?;
                 request.algorithm = cct::serve::Algorithm::parse(&name)
-                    .ok_or(format!("unknown algorithm '{name}' (thm1 or exact)"))?;
+                    .ok_or(format!("unknown algorithm '{name}' (thm1, exact, or mst)"))?;
             }
             "--seed" => {
                 request.seed = value(&mut it, "--seed")?.parse().map_err(|_| "bad seed")?;
@@ -349,11 +356,12 @@ fn run() -> Result<(), String> {
         }
     }
 
-    // The parallel round engine backs the phase samplers only; reject
-    // the flags elsewhere rather than silently running sequentially.
-    if workers != Workers::Sequential && !matches!(algorithm.as_str(), "thm1" | "exact") {
+    // The parallel round engine backs the phase samplers and the MST
+    // engine; reject the flags elsewhere rather than silently running
+    // sequentially.
+    if workers != Workers::Sequential && !matches!(algorithm.as_str(), "thm1" | "exact" | "mst") {
         return Err(format!(
-            "--parallel/--workers only apply to the phase samplers (thm1, exact); \
+            "--parallel/--workers only apply to the parallelized engines (thm1, exact, mst); \
              '{algorithm}' is not parallelized (see --help)"
         ));
     }
@@ -445,6 +453,20 @@ fn run() -> Result<(), String> {
             "wilson" => {
                 let tree = wilson(&g, 0, &mut rng).map_err(|e| e.to_string())?;
                 print_tree(&tree, dot);
+            }
+            "mst" => {
+                let report = cct::core::MstEngine::new()
+                    .workers(workers)
+                    .run(&g)
+                    .map_err(|e| e.to_string())?;
+                print_tree(&report.tree, dot);
+                eprintln!(
+                    "rounds: {} over {} Borůvka phases, tree weight {} ({})",
+                    report.rounds.total_rounds(),
+                    report.phases,
+                    report.total_weight,
+                    report.rounds
+                );
             }
             "mst-strawman" => {
                 let tree =

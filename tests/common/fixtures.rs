@@ -30,6 +30,17 @@ pub fn backends() -> [Backend; 3] {
     Backend::ALL
 }
 
+/// Rebuilds `g` through the *weighted* constructor with every weight
+/// explicitly `1.0`. The result must be indistinguishable from the
+/// unweighted original everywhere: `P = w/deg` collapses to the
+/// unweighted transition matrix bit for bit, so every pinned tree and
+/// round total must reproduce exactly (the weight-1 degenerate axis of
+/// the weighted-graph contract).
+pub fn weight_one(g: &Graph) -> Graph {
+    let edges: Vec<(usize, usize, f64)> = g.edges().iter().map(|&(u, v, _)| (u, v, 1.0)).collect();
+    Graph::from_weighted_edges(g.n(), &edges).expect("same topology")
+}
+
 /// Parses `0-1 2-3 …` into an edge list.
 pub fn edges(spec: &str) -> Vec<(usize, usize)> {
     spec.split_whitespace()

@@ -139,6 +139,45 @@ proptest! {
         }
     }
 
+    /// The same contract on the *weighted* axis: integer-weighted
+    /// graphs (weights 1..=8, the `-w` spec range) through both
+    /// variants must stay bit-identical across worker counts and
+    /// matrix backends — the weighted transition matrices `P = w/deg`
+    /// ride the identical sharding and storage paths.
+    #[test]
+    fn weighted_phase_samplers_are_worker_and_backend_invariant(
+        kind in 0u8..5,
+        n in 4usize..=10,
+        graph_seed in any::<u64>(),
+        weight_seed in any::<u64>(),
+        sample_seed in any::<u64>(),
+        engine in any_engine(),
+    ) {
+        let g = generators::with_random_integer_weights(
+            &build_graph(kind, n, graph_seed), 8, &mut rng(weight_seed),
+        ).unwrap();
+        for exact in [false, true] {
+            let reference =
+                run_phase_sampler(&g, engine, exact, 1, Backend::Dense, sample_seed);
+            for backend in backend_sweep() {
+                for workers in worker_sweep() {
+                    let got =
+                        run_phase_sampler(&g, engine, exact, workers, backend, sample_seed);
+                    prop_assert_eq!(
+                        &got.0, &reference.0,
+                        "weighted tree mismatch: exact={} workers={} backend={}",
+                        exact, workers, backend
+                    );
+                    prop_assert_eq!(
+                        &got.1, &reference.1,
+                        "weighted ledger mismatch: exact={} workers={} backend={}",
+                        exact, workers, backend
+                    );
+                }
+            }
+        }
+    }
+
     /// The forced-sparse backend on larger, genuinely sparse inputs
     /// (where Auto also resolves sparse and CSR levels really appear):
     /// byte-identical trees and ledgers to the dense route, cold and

@@ -98,6 +98,50 @@ fn exact_variant_fixtures_hold() {
 }
 
 #[test]
+fn weight_one_graphs_reproduce_the_unweighted_fixtures_bit_for_bit() {
+    // The weighted-graph degenerate case: rebuilding every fixture
+    // graph through `from_weighted_edges` with explicit weight 1.0 must
+    // leave the sampled stream untouched — same pinned tree, same round
+    // total — across the backend axis and across worker counts. Any
+    // drift here means the weighted code path is not a strict
+    // generalization of the unweighted one.
+    use cct::core::Workers;
+    for backend in [cct::core::Backend::Dense, cct::core::Backend::Sparse] {
+        for workers in [1usize, 4] {
+            let sampler = CliqueTreeSampler::new(
+                cli_config()
+                    .backend(backend)
+                    .workers(Workers::Fixed(workers)),
+            );
+            for (name, g, tree, rounds) in standard_suite() {
+                let wg = fixtures::weight_one(&g);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+                let report = sampler.sample(&wg, &mut rng).unwrap();
+                assert_eq!(
+                    report.tree.edges(),
+                    &tree[..],
+                    "weight-1 tree drifted on {name} under {backend} with {workers} workers"
+                );
+                assert_eq!(
+                    report.total_rounds(),
+                    rounds,
+                    "weight-1 rounds drifted on {name} under {backend} with {workers} workers"
+                );
+            }
+        }
+    }
+    // The exact variant's fixtures hold under weight-1 too.
+    let sampler = CliqueTreeSampler::new(cct::core::SamplerConfig::exact_variant().threads(4));
+    for (name, g, tree, rounds) in exact_suite() {
+        let wg = fixtures::weight_one(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let report = sampler.sample(&wg, &mut rng).unwrap();
+        assert_eq!(report.tree.edges(), &tree[..], "exact weight-1 on {name}");
+        assert_eq!(report.total_rounds(), rounds, "exact weight-1 on {name}");
+    }
+}
+
+#[test]
 fn iterated_squaring_route_matches_exact_solve_trees() {
     // The block-squaring rewrite sits on the IteratedSquaring Schur
     // route; at tight tolerance it must sample the same trees as the
