@@ -66,8 +66,56 @@ pub fn check_against_baseline(current: &Json, baseline: &Json) -> Result<GateRep
         "e19" => check_e19_against_baseline(current, baseline),
         "e20" => check_e20_against_baseline(current, baseline),
         "e21" => check_e21_against_baseline(current, baseline),
+        "serve" => check_serve_against_baseline(current, baseline),
         other => Err(format!("no baseline gate for experiment {other}")),
     }
+}
+
+/// Compares `current` against `baseline` (both `serve` loadgen
+/// reports, see the `loadgen` bin).
+///
+/// Gated metric: `concurrency_speedup` — warm pipelined throughput at
+/// the target concurrency divided by strict single-connection
+/// sequential throughput, measured in the same run on the same
+/// machine, so the ratio is machine-independent. A speedup has a
+/// natural floor at ×1 (a front-end that serializes every request
+/// still measures ×1), so the band applies to the **margin over ×1**:
+/// the current margin must keep at least `1 / `[`REGRESSION_FACTOR`]
+/// of the baseline's margin. A serialized front-end (margin ≈ 0)
+/// always fails against any healthy baseline.
+///
+/// The wall-clock columns (`per_sec`, `p50_us`, `p99_us`) are reported
+/// but never gated: absolute times are machine-dependent even within a
+/// 2× band.
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed
+/// `serve` report.
+pub fn check_serve_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("serve") {
+            return Err(format!("{label} report is not a serve document"));
+        }
+    }
+    let metric = |doc: &Json, label: &str| {
+        doc.get("concurrency_speedup")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{label} report missing concurrency_speedup"))
+    };
+    let cur = metric(current, "current")?;
+    let base = metric(baseline, "baseline")?;
+    let floor = 1.0 + (base - 1.0) / REGRESSION_FACTOR;
+    let line =
+        format!("serve: concurrency speedup ×{cur:.2} vs baseline ×{base:.2} (floor ×{floor:.2})");
+    let mut report = GateReport {
+        compared: vec![line.clone()],
+        regressions: Vec::new(),
+    };
+    if cur < floor {
+        report.regressions.push(line);
+    }
+    Ok(report)
 }
 
 /// Row identity in e21's `rows` array: `(family, n)`.
@@ -659,6 +707,32 @@ mod tests {
         assert!(disjoint.compared[0].contains("nothing gated"));
     }
 
+    fn serve_report(speedup: f64) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("serve".into())),
+            ("concurrency_speedup".into(), Json::Num(speedup)),
+        ])
+    }
+
+    #[test]
+    fn serve_gate_checks_the_concurrency_speedup_floor() {
+        // The band applies to the margin over ×1: baseline ×3 keeps a
+        // ×2 margin, so the floor is ×1 + margin/2 = ×2.
+        let baseline = serve_report(3.0);
+        let ok = check_serve_against_baseline(&serve_report(2.1), &baseline).unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        // The multiplexing win collapsed below the floor: regression.
+        let bad = check_serve_against_baseline(&serve_report(1.9), &baseline).unwrap();
+        assert!(!bad.passed());
+        assert_eq!(bad.regressions.len(), 1);
+        // A fully serialized front-end (×1) fails any healthy baseline.
+        let flat = check_serve_against_baseline(&serve_report(1.0), &serve_report(1.8)).unwrap();
+        assert!(!flat.passed());
+        // Malformed documents are hard errors, not silent passes.
+        let empty = Json::Obj(vec![("experiment".into(), Json::Str("serve".into()))]);
+        assert!(check_serve_against_baseline(&empty, &baseline).is_err());
+    }
+
     #[test]
     fn dispatcher_routes_by_experiment_and_rejects_mismatches() {
         let e18 = report(&[("er", 64.0, 6.0, 100.0)]);
@@ -668,13 +742,16 @@ mod tests {
             &[("path", 16384.0, 131072.0, 8.0)],
         );
         let e21 = e21_report(&[("grid-w", 64.0, 40.0, 1_200.0)]);
+        let serve = serve_report(40.0);
         assert!(check_against_baseline(&e18, &e18).unwrap().passed());
         assert!(check_against_baseline(&e19, &e19).unwrap().passed());
         assert!(check_against_baseline(&e20, &e20).unwrap().passed());
         assert!(check_against_baseline(&e21, &e21).unwrap().passed());
+        assert!(check_against_baseline(&serve, &serve).unwrap().passed());
         assert!(check_against_baseline(&e18, &e19).is_err());
         assert!(check_against_baseline(&e19, &e18).is_err());
         assert!(check_against_baseline(&e20, &e18).is_err());
         assert!(check_against_baseline(&e21, &e20).is_err());
+        assert!(check_against_baseline(&serve, &e18).is_err());
     }
 }

@@ -56,4 +56,6 @@ pub use direction4::{direction4_sample, Direction4Report};
 pub use mst::{MstEngine, MstReport};
 pub use phase::PhaseError;
 pub use report::{PhaseMethod, PhaseReport, SampleReport};
-pub use sampler::{CliqueTreeSampler, PreparedSampler, SampleTreeError};
+pub use sampler::{
+    CliqueTreeSampler, PreparedPhase1State, PreparedSampler, PreparedState, SampleTreeError,
+};

@@ -766,6 +766,123 @@ impl PreparedSampler {
     pub fn into_shared(self) -> std::sync::Arc<PreparedSampler> {
         std::sync::Arc::new(self)
     }
+
+    /// A borrowed view of the cached state a snapshot must persist: the
+    /// transition matrix, the **materialized** phase-1 table levels
+    /// (absent levels stay `None` — they cost nothing and rebuild on
+    /// demand), and the exact ledger delta replayed per draw.
+    ///
+    /// This is the write half of warm-restart persistence; the read
+    /// half is [`PreparedSampler::restore`].
+    pub fn snapshot_state(&self) -> PreparedState<'_> {
+        PreparedState {
+            p: &self.data.p,
+            phase1: self.data.phase1.as_ref().map(|cache| PreparedPhase1State {
+                levels: (0..cache.powers.len())
+                    .map(|k| cache.powers.materialized_level(k))
+                    .collect(),
+                ledger: &cache.ledger,
+            }),
+        }
+    }
+
+    /// Rebuilds a prepared sampler from snapshotted state, **verifying
+    /// before trusting**: the skeleton is re-prepared from scratch via
+    /// [`PreparedSampler::new`] (cheap for analytic engines — the
+    /// doubling table is deferred), the fresh transition matrix and
+    /// ledger are compared bit-for-bit against the snapshot, and only
+    /// then are the snapshot's materialized table levels injected into
+    /// the fresh lazy table. A snapshot taken under a different config,
+    /// graph, or code version therefore fails closed — the caller
+    /// rebuilds cold instead of serving corrupt bits.
+    ///
+    /// `levels[k]` is the snapshotted level `k` of the phase-1 table
+    /// (`None` where the server never materialized it); level 0 is
+    /// always rebuilt fresh and any snapshot entry for it is ignored.
+    /// `ledger` must be `Some` exactly when the configuration builds a
+    /// phase-1 cache.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch (or the
+    /// underlying prepare error). Restore never returns a partially
+    /// trusted sampler.
+    pub fn restore(
+        config: SamplerConfig,
+        g: &Graph,
+        p: &PMatrix,
+        levels: Vec<Option<PMatrix>>,
+        ledger: Option<&RoundLedger>,
+    ) -> Result<Self, String> {
+        let fresh = PreparedSampler::new(config, g).map_err(|e| format!("prepare failed: {e}"))?;
+        if fresh.data.p != *p {
+            return Err(
+                "transition matrix mismatch (config, graph, or code version changed)".into(),
+            );
+        }
+        match (&fresh.data.phase1, ledger) {
+            (Some(cache), Some(snap_ledger)) => {
+                if !cache.ledger.same_totals(snap_ledger) {
+                    return Err("phase-1 ledger mismatch (config or code version changed)".into());
+                }
+                if levels.len() != cache.powers.len() {
+                    return Err(format!(
+                        "phase-1 table has {} levels, snapshot has {}",
+                        cache.powers.len(),
+                        levels.len()
+                    ));
+                }
+                for (k, level) in levels.into_iter().enumerate() {
+                    let Some(m) = level else { continue };
+                    if k == 0 || cache.powers.materialized_level(k).is_some() {
+                        // Level 0 (and every eagerly built level) was
+                        // just recomputed from verified inputs; the
+                        // snapshot copy is redundant.
+                        continue;
+                    }
+                    cache.powers.set_level(k, m)?;
+                }
+            }
+            (None, None) => {
+                if levels.iter().any(Option::is_some) {
+                    return Err(
+                        "snapshot carries phase-1 levels but this configuration builds no table"
+                            .into(),
+                    );
+                }
+            }
+            (Some(_), None) => {
+                return Err(
+                    "snapshot lacks a phase-1 ledger but this configuration builds a table".into(),
+                )
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "snapshot carries a phase-1 ledger but this configuration builds no table"
+                        .into(),
+                )
+            }
+        }
+        Ok(fresh)
+    }
+}
+
+/// Borrowed snapshot view of a [`PreparedSampler`] — see
+/// [`PreparedSampler::snapshot_state`].
+pub struct PreparedState<'a> {
+    /// The graph's transition matrix in its resolved representation.
+    pub p: &'a PMatrix,
+    /// The phase-1 doubling-table state, when the configuration builds
+    /// one.
+    pub phase1: Option<PreparedPhase1State<'a>>,
+}
+
+/// The phase-1 half of [`PreparedState`].
+pub struct PreparedPhase1State<'a> {
+    /// `levels[k]` is table level `k` (`P^{2^k}`) if materialized.
+    pub levels: Vec<Option<&'a PMatrix>>,
+    /// The exact ledger delta the table's construction charged.
+    pub ledger: &'a RoundLedger,
 }
 
 /// Compile-time audit that the prepare-once/sample-many handle stays

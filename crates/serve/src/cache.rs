@@ -293,6 +293,43 @@ impl PreparedCache {
         inner.entries.retain(|(_, s)| !Arc::ptr_eq(s, slot));
     }
 
+    /// The ready entries in LRU order (least recently used first) —
+    /// the write half of snapshot persistence. In-flight and failed
+    /// preparations are skipped: a snapshot captures only state that
+    /// has proven itself by serving.
+    pub fn ready_entries(&self) -> Vec<(CacheKey, Arc<PreparedSampler>)> {
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .entries
+            .iter()
+            .filter_map(|(k, slot)| match &*slot.state.lock().expect("slot lock") {
+                SlotState::Ready(p) => Some((k.clone(), Arc::clone(p))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Installs an already-prepared sampler — the restore half of
+    /// snapshot persistence. Counts **neither** a hit, a miss, nor a
+    /// preparation: a restored server reports `prepares: 0` until live
+    /// traffic forces real work, which is the snapshot round-trip
+    /// test's observable. A key that already has an entry is left
+    /// alone (live state beats snapshot state); capacity is enforced
+    /// as usual, evicting the LRU entry.
+    pub fn insert_ready(&self, key: CacheKey, prepared: Arc<PreparedSampler>) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.entries.iter().any(|(k, _)| k == &key) {
+            return;
+        }
+        let slot = Arc::new(Slot::new());
+        slot.fill(Ok(prepared));
+        inner.entries.push((key, slot));
+        if inner.entries.len() > self.capacity {
+            inner.entries.remove(0);
+            inner.evictions += 1;
+        }
+    }
+
     /// A snapshot of the counters.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -474,6 +511,38 @@ mod tests {
             "counter map grew unbounded: {} entries",
             stats.prepares.len()
         );
+    }
+
+    #[test]
+    fn insert_ready_restores_without_counting() {
+        let cache = PreparedCache::new(2);
+        let k = key("restored");
+        cache.insert_ready(k.clone(), prepare(6).unwrap().into_shared());
+        // The restored entry serves as a plain hit; nothing was ever
+        // "prepared" as far as the counters know.
+        let (r, info) = cache.get_or_prepare(&k, || panic!("restored entries must hit"));
+        assert!(r.is_ok());
+        assert_eq!(
+            info,
+            CacheInfo {
+                hit: true,
+                prepares: 0
+            }
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.len), (0, 1));
+        assert_eq!(stats.total_prepares(), 0);
+        // ready_entries sees it; a second insert for the same key is a
+        // no-op (live state wins).
+        assert_eq!(cache.ready_entries().len(), 1);
+        cache.insert_ready(k, prepare(6).unwrap().into_shared());
+        assert_eq!(cache.stats().len, 1);
+        // Capacity still bounds restored entries.
+        cache.insert_ready(key("b"), prepare(4).unwrap().into_shared());
+        cache.insert_ready(key("c"), prepare(5).unwrap().into_shared());
+        let stats = cache.stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
     }
 
     #[test]

@@ -64,16 +64,27 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod mux;
 mod request;
 mod service;
+pub mod snapshot;
+pub mod stats;
 mod wire;
 
 pub use cache::{CacheInfo, CacheKey, CacheStats, PreparedCache};
-pub use request::{spec_seed, Algorithm, ProtocolError, SampleRequest, MAX_COUNT, MAX_SPEC_LEN};
+pub use request::{
+    spec_seed, Algorithm, ControlCommand, ProtocolError, SampleRequest, WireFrame, MAX_COUNT,
+    MAX_SPEC_LEN,
+};
 pub use service::{
     error_frame, serve, Draw, Pending, SampleResponse, ServeError, ServeHandle, ServeOptions,
 };
-pub use wire::{exchange, request_endpoint, serve_connection, serve_endpoint, Endpoint};
+pub use snapshot::RestoreSummary;
+pub use stats::{LatencyHistogram, ServeStats};
+pub use wire::{
+    exchange, exchange_frame, request_endpoint, request_endpoint_frame, serve_connection,
+    serve_endpoint, serve_endpoint_with_shutdown, Endpoint, MAX_FRAME_LEN,
+};
 
 // Re-exported so service clients replaying draws cold don't need a
 // direct cct-sim dependency for the derivation hash.

@@ -318,6 +318,105 @@ impl SampleRequest {
     }
 }
 
+/// An operational command frame — `{"cmd": "stats"}` and friends —
+/// dispatched before [`SampleRequest`] parsing (which rejects unknown
+/// fields) so control traffic shares the sampling connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlCommand {
+    /// Return the service's observability counters
+    /// ([`crate::ServeStats`] rendered as one frame).
+    Stats,
+    /// Write the prepared-cache snapshot to the server's configured
+    /// snapshot path now.
+    Snapshot,
+    /// Begin a graceful drain: stop accepting connections, flush every
+    /// in-flight reply, then exit.
+    Shutdown,
+}
+
+impl ControlCommand {
+    /// The wire name (`stats` / `snapshot` / `shutdown`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ControlCommand::Stats => "stats",
+            ControlCommand::Snapshot => "snapshot",
+            ControlCommand::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<ControlCommand> {
+        match s {
+            "stats" => Some(ControlCommand::Stats),
+            "snapshot" => Some(ControlCommand::Snapshot),
+            "shutdown" => Some(ControlCommand::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// The command's wire value: `{"cmd": <name>}`.
+    pub fn to_json(self) -> Json {
+        Json::Obj(vec![("cmd".into(), Json::Str(self.as_str().into()))])
+    }
+}
+
+impl std::fmt::Display for ControlCommand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Any frame a client may send: a sampling request or a control
+/// command. An object carrying a `cmd` field is a command (and must
+/// carry nothing else); everything else parses as a [`SampleRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A batched sampling job.
+    Sample(SampleRequest),
+    /// An operational command.
+    Control(ControlCommand),
+}
+
+impl WireFrame {
+    /// Decodes a wire value.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] for unknown commands, commands with extra
+    /// fields, and everything [`SampleRequest::from_json`] rejects.
+    pub fn from_json(value: &Json) -> Result<Self, ProtocolError> {
+        if let Json::Obj(fields) = value {
+            if let Some((_, cmd)) = fields.iter().find(|(k, _)| k == "cmd") {
+                let name = cmd
+                    .as_str()
+                    .ok_or_else(|| ProtocolError::new("'cmd' must be a string"))?;
+                let command = ControlCommand::parse(name).ok_or_else(|| {
+                    ProtocolError::new(format!(
+                        "unknown command '{name}' (expected stats, snapshot, or shutdown)"
+                    ))
+                })?;
+                if fields.len() > 1 {
+                    return Err(ProtocolError::new(
+                        "command frames carry only the 'cmd' field",
+                    ));
+                }
+                return Ok(WireFrame::Control(command));
+            }
+        }
+        SampleRequest::from_json(value).map(WireFrame::Sample)
+    }
+
+    /// Parses one wire line (strict JSON; trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireFrame::from_json`], plus JSON syntax errors.
+    pub fn parse_line(line: &str) -> Result<Self, ProtocolError> {
+        let value = Json::parse(line).map_err(ProtocolError::new)?;
+        WireFrame::from_json(&value)
+    }
+}
+
 /// The seed of the generator RNG behind a graph spec: FNV-1a over the
 /// spec bytes, finalized through the workspace's SplitMix64
 /// [`machine_seed`] hash. A pure function of the string, so a spec
@@ -436,6 +535,38 @@ mod tests {
     fn overlong_spec_rejected() {
         let r = SampleRequest::new("x".repeat(MAX_SPEC_LEN + 1));
         assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn control_frames_parse_and_reject() {
+        for (line, want) in [
+            (r#"{"cmd": "stats"}"#, ControlCommand::Stats),
+            (r#"{"cmd": "snapshot"}"#, ControlCommand::Snapshot),
+            (r#"{"cmd": "shutdown"}"#, ControlCommand::Shutdown),
+        ] {
+            assert_eq!(
+                WireFrame::parse_line(line),
+                Ok(WireFrame::Control(want)),
+                "{line}"
+            );
+            assert_eq!(
+                WireFrame::parse_line(&want.to_json().compact()),
+                Ok(WireFrame::Control(want))
+            );
+        }
+        // Non-command objects still parse as sampling requests.
+        assert_eq!(
+            WireFrame::parse_line(r#"{"graph": "petersen"}"#),
+            Ok(WireFrame::Sample(SampleRequest::new("petersen")))
+        );
+        for (line, needle) in [
+            (r#"{"cmd": "reboot"}"#, "unknown command"),
+            (r#"{"cmd": 7}"#, "'cmd' must be a string"),
+            (r#"{"cmd": "stats", "x": 1}"#, "only the 'cmd' field"),
+        ] {
+            let err = WireFrame::parse_line(line).unwrap_err();
+            assert!(err.to_string().contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

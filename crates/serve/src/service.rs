@@ -9,11 +9,15 @@
 
 use crate::cache::{CacheInfo, CacheKey, CacheStats, PreparedCache};
 use crate::request::{spec_seed, Algorithm, SampleRequest};
+use crate::snapshot;
+use crate::stats::ServeStats;
 use cct_core::{CliqueTreeSampler, SamplerConfig};
 use cct_json::Json;
 use cct_sim::{RoundLedger, Workers};
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A request the service could not serve: invalid values, an unknown or
 /// unbuildable graph spec, a disconnected graph, or a phase failure.
@@ -168,20 +172,36 @@ pub struct ServeOptions {
     cache_capacity: usize,
     thm1: SamplerConfig,
     exact: SamplerConfig,
+    read_timeout: Option<Duration>,
+    max_concurrent: usize,
+    /// `None` = derive from the final worker count (`4 × workers`), so
+    /// a later [`Self::workers`] call moves the default with it.
+    max_inflight: Option<usize>,
+    drain_grace: Duration,
+    snapshot_path: Option<PathBuf>,
 }
 
 impl ServeOptions {
     /// Defaults: worker count from `CCT_WORKERS` (else the machine's
-    /// parallelism), a 16-entry cache, and the CLI's sampler configs.
+    /// parallelism), a 16-entry cache, the CLI's sampler configs, a
+    /// 30 s idle read timeout, up to 256 concurrent connections,
+    /// `4 × workers` in-flight requests, a 5 s drain grace period, and
+    /// no snapshot persistence.
     pub fn new() -> Self {
+        let workers = Workers::Auto.resolve(usize::MAX);
         ServeOptions {
             // Reuse the round engine's policy resolution: CCT_WORKERS
             // overrides, hardware parallelism otherwise. The `usize::MAX`
             // argument is the "machine count" cap, irrelevant here.
-            workers: Workers::Auto.resolve(usize::MAX),
+            workers,
             cache_capacity: 16,
             thm1: SamplerConfig::new().threads(4),
             exact: SamplerConfig::exact_variant().threads(4),
+            read_timeout: Some(Duration::from_secs(30)),
+            max_concurrent: 256,
+            max_inflight: None,
+            drain_grace: Duration::from_secs(5),
+            snapshot_path: None,
         }
     }
 
@@ -213,7 +233,52 @@ impl ServeOptions {
         self
     }
 
-    fn config_for(&self, algorithm: Algorithm) -> &SamplerConfig {
+    /// Sets the idle read timeout the socket front-end applies per
+    /// connection: a client that sends nothing for this long (with no
+    /// reply in flight toward it) is closed cleanly. `None` disables
+    /// the timeout — half-open clients then pin connection slots
+    /// forever, which is exactly the bug the default guards against.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Bounds **concurrent** connections (floored at 1). A connection
+    /// arriving at the bound is answered with one structured
+    /// `{"ok": false, "error": "overloaded"}` frame and closed — never
+    /// silently dropped.
+    pub fn max_concurrent(mut self, max: usize) -> Self {
+        self.max_concurrent = max.max(1);
+        self
+    }
+
+    /// Bounds in-flight requests across all connections (floored at 1).
+    /// Requests beyond the bound are refused with the `overloaded`
+    /// error frame instead of queueing without limit. Unset, the bound
+    /// tracks the worker count: `4 × workers`.
+    pub fn max_inflight(mut self, max: usize) -> Self {
+        self.max_inflight = Some(max.max(1));
+        self
+    }
+
+    /// Sets the grace period a draining server gives open connections
+    /// to read their flushed replies and close before it exits anyway.
+    pub fn drain_grace(mut self, grace: Duration) -> Self {
+        self.drain_grace = grace;
+        self
+    }
+
+    /// Enables cache persistence: the prepared-sampler cache is
+    /// restored from `path` at startup (corrupted or mismatched
+    /// snapshots are rejected and rebuilt cold — see
+    /// [`crate::snapshot`]) and written back on graceful shutdown or
+    /// on a `{"cmd": "snapshot"}` frame.
+    pub fn snapshot(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    pub(crate) fn config_for(&self, algorithm: Algorithm) -> &SamplerConfig {
         match algorithm {
             Algorithm::Thm1 => &self.thm1,
             Algorithm::Exact => &self.exact,
@@ -221,6 +286,26 @@ impl ServeOptions {
                 unreachable!("the MST path never builds a phase sampler")
             }
         }
+    }
+
+    pub(crate) fn read_timeout_value(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    pub(crate) fn max_concurrent_value(&self) -> usize {
+        self.max_concurrent
+    }
+
+    pub(crate) fn max_inflight_value(&self) -> usize {
+        self.max_inflight.unwrap_or(4 * self.workers)
+    }
+
+    pub(crate) fn drain_grace_value(&self) -> Duration {
+        self.drain_grace
+    }
+
+    pub(crate) fn snapshot_path_value(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
     }
 }
 
@@ -235,9 +320,10 @@ struct Job {
     reply: mpsc::Sender<Result<SampleResponse, ServeError>>,
 }
 
-struct Shared {
-    options: ServeOptions,
-    cache: PreparedCache,
+pub(crate) struct Shared {
+    pub(crate) options: ServeOptions,
+    pub(crate) cache: PreparedCache,
+    pub(crate) stats: ServeStats,
 }
 
 /// A client's handle to a running service: submit jobs, read cache
@@ -270,7 +356,7 @@ pub struct ServeHandle {
     shared: Arc<Shared>,
 }
 
-/// A submitted job's future response (blocking).
+/// A submitted job's future response (blocking or polled).
 pub struct Pending {
     reply: mpsc::Receiver<Result<SampleResponse, ServeError>>,
 }
@@ -285,6 +371,19 @@ impl Pending {
         self.reply
             .recv()
             .unwrap_or_else(|_| Err(ServeError::new("service shut down before replying")))
+    }
+
+    /// Polls for the response without blocking — the multiplexed
+    /// front-end's shape, where one thread drains many pending replies.
+    /// Returns `None` while the job is still running.
+    pub fn try_wait(&self) -> Option<Result<SampleResponse, ServeError>> {
+        match self.reply.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err(ServeError::new("service shut down before replying")))
+            }
+        }
     }
 }
 
@@ -317,6 +416,58 @@ impl ServeHandle {
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
     }
+
+    /// The service's observability counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Renders the `{"cmd": "stats"}` response frame: request counts,
+    /// error/overload totals, cache counters, and per-algorithm latency
+    /// histograms (see [`crate::stats`] for the schema).
+    pub fn stats_frame(&self) -> Json {
+        self.shared.stats.frame(&self.shared.cache.stats())
+    }
+
+    /// Writes the cache's ready entries to `path` as a versioned
+    /// snapshot (see [`crate::snapshot`]). Returns the entry count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] for I/O failures.
+    pub fn write_snapshot(&self, path: &Path) -> Result<usize, ServeError> {
+        snapshot::write_snapshot(
+            path,
+            &self.shared.cache.ready_entries(),
+            &self.shared.options,
+        )
+        .map_err(ServeError::new)
+    }
+
+    /// The snapshot path configured via [`ServeOptions::snapshot`].
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.shared.options.snapshot_path_value()
+    }
+
+    /// Serves a `{"cmd": "snapshot"}` frame: writes to the configured
+    /// path and reports `{"ok": true, "entries": N}`, or an error frame
+    /// when no path is configured / the write failed.
+    pub fn snapshot_frame(&self) -> Json {
+        match self.snapshot_path() {
+            None => error_frame("no snapshot path configured (start with --snapshot PATH)"),
+            Some(path) => match self.write_snapshot(path) {
+                Ok(entries) => Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("entries".into(), Json::Num(entries as f64)),
+                ]),
+                Err(e) => error_frame(&e.to_string()),
+            },
+        }
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
 }
 
 /// Runs a service for the duration of `f`: spawns the worker pool on a
@@ -328,8 +479,26 @@ impl ServeHandle {
 /// ([`crate::serve_endpoint`]) is built on this same entry point.
 pub fn serve<R>(options: ServeOptions, f: impl FnOnce(ServeHandle) -> R) -> R {
     let cache = PreparedCache::new(options.cache_capacity);
+    if let Some(path) = options.snapshot_path_value() {
+        // A rejected snapshot is a warm-start opportunity lost, never a
+        // startup failure: report it and serve cold.
+        match snapshot::load_snapshot(path, &options, &cache) {
+            Ok(summary) if summary.skipped > 0 => eprintln!(
+                "snapshot {}: restored {}, skipped {} (stale entries rebuild cold)",
+                path.display(),
+                summary.restored,
+                summary.skipped
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("snapshot {} rejected, serving cold: {e}", path.display()),
+        }
+    }
     let workers = options.workers;
-    let shared = Arc::new(Shared { options, cache });
+    let shared = Arc::new(Shared {
+        options,
+        cache,
+        stats: ServeStats::new(),
+    });
     let (tx, rx) = mpsc::channel::<Job>();
     let rx = Arc::new(Mutex::new(rx));
     std::thread::scope(|s| {
@@ -353,9 +522,15 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, shared: &Shared) {
             Ok(job) => job,
             Err(_) => break, // every handle dropped: drain complete
         };
+        let algorithm = job.request.algorithm;
+        let started = Instant::now();
+        let result = process(shared, job.request);
+        shared
+            .stats
+            .record(algorithm, started.elapsed(), result.is_ok());
         // A client that gave up on its Pending just drops the receiver;
         // the send error is not the worker's problem.
-        let _ = job.reply.send(process(shared, job.request));
+        let _ = job.reply.send(result);
     }
 }
 
@@ -363,7 +538,10 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>, shared: &Shared) {
 /// (RNG seeded by [`spec_seed`]), with size limits following the
 /// requested backend. Shared by the cached phase-sampler path and the
 /// uncached MST path so the two can never disagree on what a spec means.
-fn build_spec_graph(spec: &str, backend: cct_core::Backend) -> Result<cct_graph::Graph, String> {
+pub(crate) fn build_spec_graph(
+    spec: &str,
+    backend: cct_core::Backend,
+) -> Result<cct_graph::Graph, String> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(spec_seed(spec));
     let limits = cct_graph::spec::SpecLimits::from_env()
         .with_sparse_backend(backend == cct_core::Backend::Sparse);

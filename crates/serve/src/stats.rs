@@ -1,0 +1,302 @@
+//! Serving-side observability: lock-cheap request/latency counters
+//! rendered as the `{"cmd": "stats"}` wire frame.
+//!
+//! Every counter is a plain [`AtomicU64`] bumped with relaxed ordering
+//! on the worker's way out of a job — no locks, no allocation, no
+//! effect on the determinism contract (stats are metadata, like cache
+//! hits). Latencies land in fixed **log-spaced buckets** (bucket `i`
+//! holds durations in `[2^{i-1}, 2^i)` microseconds), so a histogram is
+//! 40 words regardless of traffic and quantiles are a cumulative walk:
+//! the reported p50/p99 are bucket upper bounds, i.e. within 2× of the
+//! true quantile by construction.
+//!
+//! The wire schema (see the README's "Serving" section):
+//!
+//! ```json
+//! {"ok": true, "stats": {
+//!   "requests": {"thm1": 5, "exact": 1, "mst": 0, "total": 6},
+//!   "errors": 0, "overloaded": 0,
+//!   "cache": {"hits": 4, "misses": 2, "evictions": 0, "prepares": 2, "entries": 2},
+//!   "latency_us": {"thm1": {"count": 5, "p50": 1024, "p99": 4096,
+//!                            "buckets": [[1024, 3], [4096, 2]]}, …}
+//! }}
+//! ```
+
+use crate::cache::CacheStats;
+use crate::request::Algorithm;
+use cct_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log-spaced latency buckets: bucket 39's upper bound is
+/// `2^39` µs ≈ 6.4 days, far past any serveable request.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-size log-spaced latency histogram over atomic counters.
+///
+/// Bucket 0 counts sub-microsecond durations; bucket `i ≥ 1` counts
+/// durations in `[2^{i-1}, 2^i)` µs (the last bucket absorbs
+/// everything above its floor). Recording is one relaxed
+/// `fetch_add` — safe to call from any number of worker threads.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        }
+    }
+
+    /// The upper bound (µs) of bucket `i`.
+    fn upper_bound(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Records one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a bucket upper bound in µs
+    /// (0 when the histogram is empty). `quantile(0.5)` is the reported
+    /// p50, `quantile(0.99)` the p99.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(LATENCY_BUCKETS - 1)
+    }
+
+    /// The non-empty buckets as `(upper_bound_us, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((Self::upper_bound(i), c))
+            })
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from_u64(self.count())),
+            ("p50".into(), Json::from_u64(self.quantile(0.5))),
+            ("p99".into(), Json::from_u64(self.quantile(0.99))),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(ub, c)| Json::Arr(vec![Json::from_u64(ub), Json::from_u64(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The service's observability counters: per-algorithm request counts
+/// and latency histograms, plus error and overload totals. One instance
+/// lives in the service's shared state; workers record into it after
+/// every job, the wire layer bumps `overloaded`/`errors` for frames
+/// that never reach a worker.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    requests: [AtomicU64; Algorithm::ALL.len()],
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    latency: [LatencyHistogram; Algorithm::ALL.len()],
+}
+
+fn index(algorithm: Algorithm) -> usize {
+    Algorithm::ALL
+        .iter()
+        .position(|&a| a == algorithm)
+        .expect("ALL is exhaustive")
+}
+
+impl ServeStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServeStats::default()
+    }
+
+    /// Records one completed request (counted even when it failed —
+    /// `ok = false` additionally bumps the error total).
+    pub fn record(&self, algorithm: Algorithm, elapsed: Duration, ok: bool) {
+        let i = index(algorithm);
+        self.requests[i].fetch_add(1, Ordering::Relaxed);
+        self.latency[i].record(elapsed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a frame rejected before reaching a worker (malformed
+    /// JSON, oversized frame, unknown command).
+    pub fn record_protocol_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused with the `overloaded` backpressure
+    /// frame.
+    pub fn record_overload(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests recorded for one algorithm.
+    pub fn requests_for(&self, algorithm: Algorithm) -> u64 {
+        self.requests[index(algorithm)].load(Ordering::Relaxed)
+    }
+
+    /// Total overload refusals recorded.
+    pub fn overloads(&self) -> u64 {
+        self.overloaded.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram of one algorithm.
+    pub fn latency_for(&self, algorithm: Algorithm) -> &LatencyHistogram {
+        &self.latency[index(algorithm)]
+    }
+
+    /// Renders the full `{"ok": true, "stats": …}` wire frame, folding
+    /// in the prepared-cache counters.
+    pub fn frame(&self, cache: &CacheStats) -> Json {
+        let total: u64 = self
+            .requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        let mut request_fields: Vec<(String, Json)> = Algorithm::ALL
+            .iter()
+            .map(|&a| (a.as_str().to_string(), Json::from_u64(self.requests_for(a))))
+            .collect();
+        request_fields.push(("total".into(), Json::from_u64(total)));
+        let latency_fields: Vec<(String, Json)> = Algorithm::ALL
+            .iter()
+            .map(|&a| (a.as_str().to_string(), self.latency_for(a).to_json()))
+            .collect();
+        let stats = Json::Obj(vec![
+            ("requests".into(), Json::Obj(request_fields)),
+            (
+                "errors".into(),
+                Json::from_u64(self.errors.load(Ordering::Relaxed)),
+            ),
+            ("overloaded".into(), Json::from_u64(self.overloads())),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::from_u64(cache.hits)),
+                    ("misses".into(), Json::from_u64(cache.misses)),
+                    ("evictions".into(), Json::from_u64(cache.evictions)),
+                    ("prepares".into(), Json::from_u64(cache.total_prepares())),
+                    ("entries".into(), Json::from_u64(cache.len as u64)),
+                ]),
+            ),
+            ("latency_us".into(), Json::Obj(latency_fields)),
+        ]);
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("stats".into(), stats),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 99 fast observations (~100 µs) and 1 slow (~50 ms).
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 128, "p50 in the 100 µs bucket");
+        assert_eq!(h.quantile(0.99), 128, "p99 rank 99 still fast");
+        assert_eq!(h.quantile(1.0), 65536, "max in the 50 ms bucket");
+        assert_eq!(h.nonzero_buckets(), vec![(128, 99), (65536, 1)]);
+    }
+
+    #[test]
+    fn frame_shape_matches_schema() {
+        let stats = ServeStats::new();
+        stats.record(Algorithm::Thm1, Duration::from_micros(10), true);
+        stats.record(Algorithm::Thm1, Duration::from_micros(10), false);
+        stats.record(Algorithm::Mst, Duration::from_micros(1), true);
+        stats.record_overload();
+        stats.record_protocol_error();
+        let frame = stats.frame(&CacheStats::default());
+        assert_eq!(frame.get("ok"), Some(&Json::Bool(true)));
+        let s = frame.get("stats").unwrap();
+        assert_eq!(
+            s.get("requests").unwrap().get("thm1"),
+            Some(&Json::Num(2.0))
+        );
+        assert_eq!(s.get("requests").unwrap().get("mst"), Some(&Json::Num(1.0)));
+        assert_eq!(
+            s.get("requests").unwrap().get("total"),
+            Some(&Json::Num(3.0))
+        );
+        assert_eq!(s.get("errors"), Some(&Json::Num(2.0)));
+        assert_eq!(s.get("overloaded"), Some(&Json::Num(1.0)));
+        assert!(s.get("cache").unwrap().get("hits").is_some());
+        let lat = s.get("latency_us").unwrap().get("thm1").unwrap();
+        assert_eq!(lat.get("count"), Some(&Json::Num(2.0)));
+        assert!(lat.get("p50").is_some() && lat.get("p99").is_some());
+    }
+}

@@ -7,17 +7,42 @@
 //! Malformed frames produce an error response on the same connection —
 //! never a disconnect or a panic — so a client can pipeline requests
 //! and recover from its own bad input. Blank lines are ignored.
+//!
+//! Request frames are capped at [`MAX_FRAME_LEN`] bytes: an oversized
+//! frame is answered with a structured error and its remaining bytes
+//! are discarded up to the terminating newline, after which the
+//! connection keeps serving.
+//!
+//! Besides sampling requests, a connection accepts control frames
+//! ([`crate::ControlCommand`]): `{"cmd": "stats"}`,
+//! `{"cmd": "snapshot"}`, and `{"cmd": "shutdown"}` (which starts a
+//! graceful drain of the whole endpoint — see [`crate::mux`]'s
+//! module docs via [`serve_endpoint`]).
+//!
+//! [`serve_endpoint`] drives every connection from one multiplexed
+//! nonblocking event loop with explicit backpressure
+//! ([`crate::ServeOptions::max_concurrent`],
+//! [`crate::ServeOptions::max_inflight`]) and idle-connection timeouts
+//! ([`crate::ServeOptions::read_timeout`]).
 
+use crate::mux::{self, LineOutcome, MuxConfig};
 use crate::request::SampleRequest;
 use crate::service::{error_frame, serve, ServeHandle, ServeOptions};
 use cct_json::Json;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
 
 use crate::service::ServeError;
+
+/// Hard cap on the length of one request frame, in bytes. A line that
+/// exceeds it is answered with `{"ok": false, "error": …}` and
+/// discarded; the connection stays usable. Response frames are not
+/// capped (a large `count` legitimately produces a large reply).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 /// Where a service listens (or a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,9 +91,60 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+enum FrameRead {
+    Eof,
+    Line,
+    Oversized,
+}
+
+/// Reads one `\n`-terminated frame into `buf`, never buffering more
+/// than [`MAX_FRAME_LEN`] + 1 bytes. On overflow the remainder of the
+/// line is discarded so the next read starts on a frame boundary.
+fn read_frame<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<FrameRead> {
+    let mut limited = reader.take((MAX_FRAME_LEN + 1) as u64);
+    let n = limited.read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(FrameRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') || n <= MAX_FRAME_LEN {
+        return Ok(FrameRead::Line);
+    }
+    drain_to_newline(reader)?;
+    Ok(FrameRead::Oversized)
+}
+
+fn drain_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(()); // EOF inside the oversized frame
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return Ok(());
+        }
+        let n = available.len();
+        reader.consume(n);
+    }
+}
+
+fn write_frame<W: Write>(writer: &mut W, frame: &Json) -> io::Result<()> {
+    writer.write_all(frame.compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
 /// Serves one connection: reads request lines until EOF, writing one
 /// response line each. I/O errors end the connection; request errors do
-/// not.
+/// not. Frames longer than [`MAX_FRAME_LEN`] are answered with an error
+/// frame and skipped. Control frames are dispatched inline; a
+/// `{"cmd": "shutdown"}` frame is acknowledged and ends *this
+/// connection* (only the multiplexed [`serve_endpoint`] loop drains the
+/// whole endpoint).
+///
+/// This is the blocking, in-memory-friendly path — tests and embedders
+/// drive it over any `BufRead`/`Write` pair; [`serve_endpoint`] serves
+/// sockets through the multiplexed loop instead.
 ///
 /// # Errors
 ///
@@ -77,7 +153,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
     mut reader: R,
     writer: &mut W,
     handle: &ServeHandle,
-) -> std::io::Result<()> {
+) -> io::Result<()> {
     let mut buf = Vec::new();
     loop {
         // Read raw bytes rather than `lines()`: a non-UTF-8 line must be
@@ -85,24 +161,68 @@ pub fn serve_connection<R: BufRead, W: Write>(
         // not turned into an InvalidData error that drops the
         // connection (and any pipelined requests behind it).
         buf.clear();
-        if reader.read_until(b'\n', &mut buf)? == 0 {
-            return Ok(()); // EOF
+        match read_frame(&mut reader, &mut buf)? {
+            FrameRead::Eof => return Ok(()),
+            FrameRead::Oversized => {
+                handle.shared().stats.record_protocol_error();
+                write_frame(writer, &mux::oversized_frame())?;
+                continue;
+            }
+            FrameRead::Line => {}
         }
-        let parsed = match std::str::from_utf8(&buf) {
-            Ok(line) if line.trim().is_empty() => continue,
-            Ok(line) => SampleRequest::parse_line(line.trim_end_matches(['\n', '\r'])),
-            Err(_) => Err(crate::ProtocolError::new("request line is not valid UTF-8")),
-        };
-        let frame = match parsed {
-            Ok(request) => match handle.request(request) {
-                Ok(response) => response.to_json(),
-                Err(e) => error_frame(&e.to_string()),
-            },
-            Err(e) => error_frame(&e.to_string()),
-        };
-        writer.write_all(frame.compact().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        match mux::classify_line(handle, &buf) {
+            LineOutcome::Skip => {}
+            LineOutcome::Frame(frame) => write_frame(writer, &frame)?,
+            LineOutcome::Shutdown(frame) => {
+                write_frame(writer, &frame)?;
+                return Ok(());
+            }
+            LineOutcome::Submit(request) => {
+                let frame = match handle.request(request) {
+                    Ok(response) => response.to_json(),
+                    Err(e) => error_frame(&e.to_string()),
+                };
+                write_frame(writer, &frame)?;
+            }
+        }
+    }
+}
+
+/// Client half of one frame exchange on an established stream: writes
+/// `frame` as one line, reads one response line, and interprets its
+/// `"ok"` field.
+///
+/// # Errors
+///
+/// [`ServeError`] for I/O failures, unparseable response frames, and
+/// `{"ok": false}` responses (carrying the server's error message).
+pub fn exchange_frame<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    frame: &Json,
+) -> Result<Json, ServeError> {
+    let io_err = |e: io::Error| ServeError::new(format!("connection error: {e}"));
+    writer
+        .write_all(frame.compact().as_bytes())
+        .map_err(io_err)?;
+    writer.write_all(b"\n").map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(io_err)?;
+    if n == 0 {
+        return Err(ServeError::new("server closed the connection"));
+    }
+    let reply = Json::parse(line.trim_end())
+        .map_err(|e| ServeError::new(format!("unparseable response frame: {e}")))?;
+    match reply.get("ok") {
+        Some(Json::Bool(true)) => Ok(reply),
+        Some(Json::Bool(false)) => Err(ServeError::new(
+            reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error"),
+        )),
+        _ => Err(ServeError::new("response frame missing 'ok' field")),
     }
 }
 
@@ -118,42 +238,26 @@ pub fn exchange<R: BufRead, W: Write>(
     writer: &mut W,
     request: &SampleRequest,
 ) -> Result<Json, ServeError> {
-    let io_err = |e: std::io::Error| ServeError::new(format!("connection error: {e}"));
-    writer
-        .write_all(request.to_json().compact().as_bytes())
-        .map_err(io_err)?;
-    writer.write_all(b"\n").map_err(io_err)?;
-    writer.flush().map_err(io_err)?;
-    let mut line = String::new();
-    let n = reader.read_line(&mut line).map_err(io_err)?;
-    if n == 0 {
-        return Err(ServeError::new("server closed the connection"));
-    }
-    let frame = Json::parse(line.trim_end())
-        .map_err(|e| ServeError::new(format!("unparseable response frame: {e}")))?;
-    match frame.get("ok") {
-        Some(Json::Bool(true)) => Ok(frame),
-        Some(Json::Bool(false)) => Err(ServeError::new(
-            frame
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unspecified server error"),
-        )),
-        _ => Err(ServeError::new("response frame missing 'ok' field")),
-    }
+    exchange_frame(reader, writer, &request.to_json())
 }
 
-/// Binds `endpoint`, runs a service, and accepts connections (each on
-/// its own scoped thread) until `max_conns` connections have been
-/// accepted (forever if `None`). `on_ready` runs once with the bound
-/// address — for TCP with port 0, the *resolved* address — before the
-/// first accept, so callers can print it or connect from another
-/// thread.
+/// Binds `endpoint`, runs a service, and drives every connection from
+/// one multiplexed nonblocking event loop (see [`crate::ServeOptions`]
+/// for the backpressure and timeout knobs: `max_concurrent` bounds
+/// *concurrent* connections, `max_inflight` bounds queued jobs,
+/// `read_timeout` closes idle connections). `on_ready` runs once with
+/// the bound address — for TCP with port 0, the *resolved* address —
+/// before the first accept, so callers can print it or connect from
+/// another thread.
 ///
-/// `max_conns` counts *accepted connections*, including empty ones
-/// (e.g. another instance's liveness probe of a Unix path), so treat it
-/// as a shutdown valve for scripts and tests, not an exact request
-/// quota.
+/// `accept_limit` is a **test-only shutdown valve**: after that many
+/// *lifetime* accepted connections (including empty ones, e.g. another
+/// instance's liveness probe of a Unix path) the server stops
+/// accepting and exits once every open connection closes. Production
+/// servers pass `None` and bound load with
+/// [`crate::ServeOptions::max_concurrent`] instead, which refuses
+/// excess connections with `{"ok": false, "error": "overloaded"}`
+/// without ever self-terminating.
 ///
 /// # Errors
 ///
@@ -162,24 +266,55 @@ pub fn exchange<R: BufRead, W: Write>(
 pub fn serve_endpoint(
     endpoint: &Endpoint,
     options: ServeOptions,
-    max_conns: Option<u64>,
+    accept_limit: Option<u64>,
     on_ready: impl FnOnce(&str),
 ) -> Result<(), ServeError> {
+    serve_endpoint_with_shutdown(
+        endpoint,
+        options,
+        accept_limit,
+        &AtomicBool::new(false),
+        on_ready,
+    )
+}
+
+/// [`serve_endpoint`] with an external shutdown flag: setting
+/// `shutdown` to `true` starts the same graceful drain a
+/// `{"cmd": "shutdown"}` frame does — stop accepting, flush every
+/// in-flight reply, exit once all connections close (bounded by
+/// [`crate::ServeOptions::drain_grace`]). If a snapshot path is
+/// configured, the cache is snapshotted on the way out.
+///
+/// # Errors
+///
+/// [`ServeError`] for bind failures.
+pub fn serve_endpoint_with_shutdown(
+    endpoint: &Endpoint,
+    options: ServeOptions,
+    accept_limit: Option<u64>,
+    shutdown: &AtomicBool,
+    on_ready: impl FnOnce(&str),
+) -> Result<(), ServeError> {
+    let cfg = MuxConfig::from_options(&options, accept_limit);
     match endpoint {
         Endpoint::Tcp(addr) => {
             let listener = TcpListener::bind(addr)
                 .map_err(|e| ServeError::new(format!("bind {addr}: {e}")))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| ServeError::new(format!("set_nonblocking: {e}")))?;
             let local = listener
                 .local_addr()
                 .map_err(|e| ServeError::new(format!("local_addr: {e}")))?;
             serve(options, |handle| {
                 on_ready(&local.to_string());
-                accept_loop(
-                    || listener.accept().map(|(s, _)| s),
-                    tcp_split,
+                mux::mux_loop(
+                    || nonblocking_accept(listener.accept().map(|(s, _)| s)),
                     &handle,
-                    max_conns,
+                    &cfg,
+                    shutdown,
                 );
+                final_snapshot(&handle);
             });
             Ok(())
         }
@@ -200,14 +335,18 @@ pub fn serve_endpoint(
             }
             let listener = UnixListener::bind(path)
                 .map_err(|e| ServeError::new(format!("bind {}: {e}", path.display())))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| ServeError::new(format!("set_nonblocking: {e}")))?;
             serve(options, |handle| {
                 on_ready(&format!("unix:{}", path.display()));
-                accept_loop(
-                    || listener.accept().map(|(s, _)| s),
-                    unix_split,
+                mux::mux_loop(
+                    || nonblocking_accept(listener.accept().map(|(s, _)| s)),
                     &handle,
-                    max_conns,
+                    &cfg,
+                    shutdown,
                 );
+                final_snapshot(&handle);
             });
             let _ = std::fs::remove_file(path);
             Ok(())
@@ -219,68 +358,31 @@ pub fn serve_endpoint(
     }
 }
 
-fn tcp_split(stream: TcpStream) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+fn nonblocking_accept<S>(result: io::Result<S>) -> io::Result<Option<S>> {
+    match result {
+        Ok(stream) => Ok(Some(stream)),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes a final cache snapshot on graceful exit, if a path is
+/// configured. Best-effort: a failure is reported, not fatal.
+fn final_snapshot(handle: &ServeHandle) {
+    if let Some(path) = handle.snapshot_path().map(Path::to_path_buf) {
+        if let Err(e) = handle.write_snapshot(&path) {
+            eprintln!("snapshot write failed: {e}");
+        }
+    }
+}
+
+fn tcp_split(stream: TcpStream) -> io::Result<(BufReader<TcpStream>, TcpStream)> {
     Ok((BufReader::new(stream.try_clone()?), stream))
 }
 
 #[cfg(unix)]
-fn unix_split(stream: UnixStream) -> std::io::Result<(BufReader<UnixStream>, UnixStream)> {
+fn unix_split(stream: UnixStream) -> io::Result<(BufReader<UnixStream>, UnixStream)> {
     Ok((BufReader::new(stream.try_clone()?), stream))
-}
-
-/// Accepts up to `max_conns` connections, serving each on a scoped
-/// thread so slow clients do not block the accept loop; joins them all
-/// before returning.
-fn accept_loop<S, R, W>(
-    mut accept: impl FnMut() -> std::io::Result<S>,
-    split: impl Fn(S) -> std::io::Result<(R, W)> + Copy + Send,
-    handle: &ServeHandle,
-    max_conns: Option<u64>,
-) where
-    S: Send,
-    R: BufRead + Send,
-    W: Write + Send,
-{
-    std::thread::scope(|s| {
-        let mut accepted = 0u64;
-        let mut consecutive_errors = 0u32;
-        loop {
-            if let Some(max) = max_conns {
-                if accepted >= max {
-                    break;
-                }
-            }
-            let stream = match accept() {
-                Ok(stream) => stream,
-                Err(e) => {
-                    // Transient errors (a client aborting mid-handshake)
-                    // are worth retrying with a breather; a listener
-                    // that fails persistently (fd exhaustion, closed
-                    // socket) would otherwise spin this loop at 100%
-                    // CPU forever — give up instead.
-                    consecutive_errors += 1;
-                    if consecutive_errors >= 16 {
-                        eprintln!("accept failing persistently, shutting down: {e}");
-                        break;
-                    }
-                    eprintln!("accept error: {e}");
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        10 << consecutive_errors.min(6),
-                    ));
-                    continue;
-                }
-            };
-            consecutive_errors = 0;
-            accepted += 1;
-            let handle = handle.clone();
-            s.spawn(move || {
-                // Disconnects mid-request are the client's business.
-                if let Ok((reader, mut writer)) = split(stream) {
-                    let _ = serve_connection(reader, &mut writer, &handle);
-                }
-            });
-        }
-    });
 }
 
 /// Connects to a served endpoint, performs one request/response
@@ -290,13 +392,24 @@ fn accept_loop<S, R, W>(
 ///
 /// [`ServeError`] for connect/I-O failures and error responses.
 pub fn request_endpoint(endpoint: &Endpoint, request: &SampleRequest) -> Result<Json, ServeError> {
+    request_endpoint_frame(endpoint, &request.to_json())
+}
+
+/// Connects to a served endpoint, sends one arbitrary frame (e.g. a
+/// [`crate::ControlCommand`]'s `to_json`), and returns the parsed
+/// `{"ok": true}` reply.
+///
+/// # Errors
+///
+/// [`ServeError`] for connect/I-O failures and error responses.
+pub fn request_endpoint_frame(endpoint: &Endpoint, frame: &Json) -> Result<Json, ServeError> {
     match endpoint {
         Endpoint::Tcp(addr) => {
             let stream = TcpStream::connect(addr)
                 .map_err(|e| ServeError::new(format!("connect {addr}: {e}")))?;
             let (mut reader, mut writer) =
                 tcp_split(stream).map_err(|e| ServeError::new(format!("connection error: {e}")))?;
-            exchange(&mut reader, &mut writer, request)
+            exchange_frame(&mut reader, &mut writer, frame)
         }
         #[cfg(unix)]
         Endpoint::Unix(path) => {
@@ -304,7 +417,7 @@ pub fn request_endpoint(endpoint: &Endpoint, request: &SampleRequest) -> Result<
                 .map_err(|e| ServeError::new(format!("connect {}: {e}", path.display())))?;
             let (mut reader, mut writer) = unix_split(stream)
                 .map_err(|e| ServeError::new(format!("connection error: {e}")))?;
-            exchange(&mut reader, &mut writer, request)
+            exchange_frame(&mut reader, &mut writer, frame)
         }
         #[cfg(not(unix))]
         Endpoint::Unix(_) => Err(ServeError::new(
@@ -316,7 +429,7 @@ pub fn request_endpoint(endpoint: &Endpoint, request: &SampleRequest) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::Algorithm;
+    use crate::request::{Algorithm, ControlCommand};
     use cct_core::{EngineChoice, SamplerConfig, WalkLength};
 
     fn quick_options() -> ServeOptions {
@@ -331,10 +444,10 @@ mod tests {
 
     /// Drives `serve_connection` over in-memory buffers: each input
     /// line must yield exactly one response line.
-    fn roundtrip_lines(input: &str) -> Vec<Json> {
+    fn roundtrip_lines(input: &[u8]) -> Vec<Json> {
         let mut out: Vec<u8> = Vec::new();
         serve(quick_options(), |handle| {
-            serve_connection(input.as_bytes(), &mut out, &handle).unwrap();
+            serve_connection(input, &mut out, &handle).unwrap();
         });
         let text = String::from_utf8(out).unwrap();
         text.lines().map(|l| Json::parse(l).unwrap()).collect()
@@ -343,7 +456,7 @@ mod tests {
     #[test]
     fn one_response_line_per_request_line() {
         let frames = roundtrip_lines(
-            "{\"graph\": \"petersen\", \"seed\": 7, \"count\": 2}\n\
+            b"{\"graph\": \"petersen\", \"seed\": 7, \"count\": 2}\n\
              \n\
              not json at all\n\
              {\"graph\": \"complete:8\"}\n",
@@ -354,6 +467,63 @@ mod tests {
         assert_eq!(frames[1].get("ok"), Some(&Json::Bool(false)));
         assert!(frames[1].get("error").unwrap().as_str().is_some());
         assert_eq!(frames[2].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn oversized_frames_get_an_error_and_the_connection_survives() {
+        // One giant junk line (over the cap, no newline until the end),
+        // then a valid request: both answered, in order.
+        let mut input = vec![b'x'; MAX_FRAME_LEN + 100];
+        input.push(b'\n');
+        input.extend_from_slice(
+            SampleRequest::new("complete:4")
+                .to_json()
+                .compact()
+                .as_bytes(),
+        );
+        input.push(b'\n');
+        let frames = roundtrip_lines(&input);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].get("ok"), Some(&Json::Bool(false)));
+        assert!(
+            frames[0]
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("exceeds"),
+            "{:?}",
+            frames[0]
+        );
+        assert_eq!(frames[1].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn exactly_max_len_frames_still_parse() {
+        // A valid request padded with trailing spaces to exactly the
+        // cap must still be served (the limit is exclusive).
+        let mut line = SampleRequest::new("complete:4").to_json().compact();
+        let pad = MAX_FRAME_LEN - line.len();
+        line.extend(std::iter::repeat_n(' ', pad));
+        assert_eq!(line.len(), MAX_FRAME_LEN);
+        line.push('\n');
+        let frames = roundtrip_lines(line.as_bytes());
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].get("ok"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn control_frames_answer_inline() {
+        let input = format!(
+            "{}\n{}\n",
+            SampleRequest::new("petersen").to_json().compact(),
+            ControlCommand::Stats.to_json().compact()
+        );
+        let frames = roundtrip_lines(input.as_bytes());
+        assert_eq!(frames.len(), 2);
+        let stats = frames[1].get("stats").expect("stats frame");
+        let requests = stats.get("requests").unwrap();
+        assert_eq!(requests.get("thm1").and_then(Json::as_u64), Some(1));
     }
 
     #[test]
@@ -391,15 +561,7 @@ mod tests {
                 .as_bytes(),
         );
         input.push(b'\n');
-        let mut out: Vec<u8> = Vec::new();
-        serve(quick_options(), |handle| {
-            serve_connection(&input[..], &mut out, &handle).unwrap();
-        });
-        let frames: Vec<Json> = String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(|l| Json::parse(l).unwrap())
-            .collect();
+        let frames = roundtrip_lines(&input);
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0].get("ok"), Some(&Json::Bool(false)));
         assert!(frames[0]

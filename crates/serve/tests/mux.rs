@@ -1,0 +1,251 @@
+//! Socket-level tests of the multiplexed front-end: backpressure
+//! (connection and in-flight bounds answered with structured
+//! `overloaded` frames), idle-connection timeouts, graceful
+//! drain-under-load (every accepted request gets exactly one reply),
+//! and cache snapshot/restore across a server restart.
+//!
+//! Everything runs over real TCP loopback sockets through
+//! [`serve_endpoint`] — the same accept loop production uses — with
+//! the test-only `accept_limit` valve providing deterministic
+//! shutdown where the test doesn't drain explicitly.
+
+use cct_core::{EngineChoice, SamplerConfig, WalkLength};
+use cct_json::Json;
+use cct_serve::{serve_endpoint, Algorithm, ControlCommand, Endpoint, SampleRequest, ServeOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn quick_options() -> ServeOptions {
+    let config = SamplerConfig::new()
+        .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+        .engine(EngineChoice::UnitCost);
+    ServeOptions::new()
+        .workers(2)
+        .config(Algorithm::Thm1, config.clone())
+        .config(Algorithm::Exact, config)
+}
+
+/// Starts a TCP server on an ephemeral port in a scoped thread and
+/// hands the resolved address to `client`; returns the serve result.
+fn with_server<R>(
+    options: ServeOptions,
+    accept_limit: Option<u64>,
+    client: impl FnOnce(&str) -> R + Send,
+) -> R {
+    let endpoint = Endpoint::parse("127.0.0.1:0").unwrap();
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel::<String>();
+    std::thread::scope(|s| {
+        let server = s.spawn(move || {
+            serve_endpoint(&endpoint, options, accept_limit, move |addr| {
+                addr_tx.send(addr.to_string()).unwrap();
+            })
+        });
+        let addr = addr_rx.recv().expect("server publishes its address");
+        let out = client(&addr);
+        server.join().unwrap().expect("server exits cleanly");
+        out
+    })
+}
+
+fn read_frame(reader: &mut impl BufRead) -> Json {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("read reply");
+    assert!(n > 0, "connection closed before a reply arrived");
+    Json::parse(line.trim_end()).expect("reply is a JSON frame")
+}
+
+fn sample_line(i: u64) -> String {
+    SampleRequest::new("petersen").seed(i).to_json().compact() + "\n"
+}
+
+#[test]
+fn stalled_connections_are_closed_by_the_read_timeout() {
+    let options = quick_options().read_timeout(Some(Duration::from_millis(150)));
+    with_server(options, Some(2), |addr| {
+        // The staller connects first and sends nothing.
+        let mut staller = TcpStream::connect(addr).unwrap();
+        // A working client is served while the staller idles — the
+        // stalled connection must not wedge the loop.
+        let mut live = TcpStream::connect(addr).unwrap();
+        live.write_all(sample_line(1).as_bytes()).unwrap();
+        let mut reader = BufReader::new(live.try_clone().unwrap());
+        let reply = read_frame(&mut reader);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        // The server hangs up on the staller once the timeout passes
+        // (EOF on our side), instead of holding the slot forever.
+        staller
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        staller.read_to_end(&mut buf).expect("clean EOF");
+        assert!(buf.is_empty(), "no frames were owed to the staller");
+    });
+}
+
+#[test]
+fn pipelined_bursts_beyond_max_inflight_get_overloaded_frames() {
+    // One worker, one in-flight slot: a burst of 8 pipelined requests
+    // must produce exactly 8 in-order replies — some served, the
+    // overflow refused with the structured backpressure frame, none
+    // silently dropped.
+    let options = quick_options().workers(1).max_inflight(1);
+    with_server(options, Some(1), |addr| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let burst: String = (0..8).map(sample_line).collect();
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut served = 0;
+        let mut refused = 0;
+        for _ in 0..8 {
+            let frame = read_frame(&mut reader);
+            match frame.get("ok") {
+                Some(&Json::Bool(true)) => served += 1,
+                Some(&Json::Bool(false)) => {
+                    assert_eq!(
+                        frame.get("error").and_then(Json::as_str),
+                        Some("overloaded"),
+                        "refusals carry the structured overload error: {frame:?}"
+                    );
+                    refused += 1;
+                }
+                other => panic!("frame without ok field: {other:?}"),
+            }
+        }
+        assert!(served >= 1, "at least the first request is served");
+        assert!(refused >= 1, "a 1-slot queue cannot absorb an 8-burst");
+        assert_eq!(served + refused, 8, "exactly one reply per request");
+    });
+}
+
+#[test]
+fn connections_beyond_max_concurrent_are_refused_with_a_frame() {
+    let options = quick_options().max_concurrent(1);
+    with_server(options, Some(2), |addr| {
+        // First connection occupies the only slot.
+        let mut first = TcpStream::connect(addr).unwrap();
+        first.write_all(sample_line(1).as_bytes()).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        assert_eq!(
+            read_frame(&mut first_reader).get("ok"),
+            Some(&Json::Bool(true))
+        );
+        // Second connection: answered with the overload frame and
+        // closed — not silently dropped, not queued.
+        let second = TcpStream::connect(addr).unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut second_reader = BufReader::new(second);
+        let refusal = read_frame(&mut second_reader);
+        assert_eq!(refusal.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            refusal.get("error").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        let mut rest = Vec::new();
+        second_reader.read_to_end(&mut rest).expect("clean EOF");
+        assert!(rest.is_empty(), "nothing follows the refusal frame");
+        // The surviving connection keeps serving.
+        first.write_all(sample_line(2).as_bytes()).unwrap();
+        assert_eq!(
+            read_frame(&mut first_reader).get("ok"),
+            Some(&Json::Bool(true))
+        );
+    });
+}
+
+#[test]
+fn drain_under_load_answers_every_accepted_request() {
+    // A burst of requests with a shutdown frame pipelined behind them:
+    // the server must flush one reply per request plus the draining
+    // acknowledgement, then exit — no accept limit involved.
+    let options = quick_options().drain_grace(Duration::from_secs(2));
+    with_server(options, None, |addr| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut burst: String = (0..6).map(sample_line).collect();
+        burst.push_str(&(ControlCommand::Shutdown.to_json().compact() + "\n"));
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..6 {
+            let frame = read_frame(&mut reader);
+            assert_eq!(
+                frame.get("ok"),
+                Some(&Json::Bool(true)),
+                "request {i} lost in the drain: {frame:?}"
+            );
+        }
+        let draining = read_frame(&mut reader);
+        assert_eq!(draining.get("draining"), Some(&Json::Bool(true)));
+        // Closing our end lets the drain finish before its grace
+        // deadline; with_server joins the server and asserts Ok.
+        drop(reader);
+        drop(stream);
+    });
+}
+
+#[test]
+fn snapshot_restores_across_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("cct-mux-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.snapshot");
+    let request = SampleRequest::new("petersen").seed(7).count(2);
+
+    let serve_once = |probe_stats: bool| -> (Json, Option<Json>) {
+        let options = quick_options().snapshot(&path);
+        with_server(options, Some(1), |addr| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all((request.to_json().compact() + "\n").as_bytes())
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let reply = read_frame(&mut reader);
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+            let stats = probe_stats.then(|| {
+                stream
+                    .write_all((ControlCommand::Stats.to_json().compact() + "\n").as_bytes())
+                    .unwrap();
+                read_frame(&mut reader)
+            });
+            (reply.get("draws").unwrap().clone(), stats)
+        })
+    };
+
+    // Cold server: serves, then writes the snapshot on graceful exit.
+    let (cold_draws, _) = serve_once(false);
+    assert!(path.exists(), "graceful exit wrote the snapshot");
+
+    // Restarted server: byte-identical draws without a single prepare.
+    let (warm_draws, stats) = serve_once(true);
+    assert_eq!(
+        warm_draws.compact(),
+        cold_draws.compact(),
+        "restored draws diverged"
+    );
+    let stats = stats.unwrap();
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert_eq!(
+        cache.get("prepares").and_then(Json::as_u64),
+        Some(0),
+        "restored cache re-prepared: {cache:?}"
+    );
+
+    // Corrupted snapshot: rejected, rebuilt cold — same draws, one
+    // prepare.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x5A;
+    std::fs::write(&path, &bytes).unwrap();
+    let (rebuilt_draws, stats) = serve_once(true);
+    assert_eq!(rebuilt_draws.compact(), cold_draws.compact());
+    let stats = stats.unwrap();
+    let cache = stats.get("stats").unwrap().get("cache").unwrap();
+    assert_eq!(
+        cache.get("prepares").and_then(Json::as_u64),
+        Some(1),
+        "corrupt snapshot must rebuild cold: {cache:?}"
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}

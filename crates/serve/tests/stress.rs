@@ -147,6 +147,40 @@ fn determinism_holds_across_workers_and_cache_states() {
 }
 
 #[test]
+fn determinism_holds_through_snapshot_restore() {
+    // The acceptance matrix's third cache state: **restored**. Serve
+    // the whole workload, snapshot the prepared cache, restart from
+    // the snapshot, and replay — draws must match the cold reference
+    // bit for bit, and the restored service must not prepare a single
+    // key (12 keys, 16-entry cache, so nothing was evicted from the
+    // snapshot).
+    let dir = std::env::temp_dir().join(format!("cct-stress-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.snapshot");
+    let reference = serve_workload(1, 16);
+    serve(options(4, 16), |handle| {
+        for request in workload() {
+            handle.request(request).unwrap();
+        }
+        handle.write_snapshot(&path).unwrap();
+    });
+    serve(options(4, 16).snapshot(&path), |handle| {
+        let restored: Vec<Vec<Draw>> = workload()
+            .into_iter()
+            .map(|request| handle.request(request).unwrap().draws)
+            .collect();
+        assert_eq!(restored, reference, "restored draws diverged from cold");
+        assert_eq!(
+            handle.cache_stats().total_prepares(),
+            0,
+            "restored cache re-prepared a key"
+        );
+    });
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+}
+
+#[test]
 fn single_flight_prepares_each_key_exactly_once() {
     // 4 keys, 4-entry cache, 8 clients racing on a barrier so all
     // first-arrivals pile onto cold keys simultaneously. No evictions

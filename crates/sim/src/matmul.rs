@@ -744,6 +744,52 @@ impl DeferredPowers {
         self.levels.iter().filter(|s| s.get().is_some()).count()
     }
 
+    /// Level `k` if it has already been materialized, without forcing
+    /// it. Snapshot writers use this to persist exactly the work a
+    /// server has actually done — absent levels stay absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.len()`.
+    pub fn materialized_level(&self, k: usize) -> Option<&PMatrix> {
+        assert!(k < self.levels.len(), "level {k} out of range");
+        self.levels[k].get()
+    }
+
+    /// Installs a previously materialized level into an empty slot —
+    /// the restore half of snapshotting. The matrix must have the same
+    /// shape as level 0; installing into an occupied slot is an error
+    /// (level 0 is always occupied), so restore targets `k >= 1` of a
+    /// freshly built lazy table.
+    ///
+    /// Because every level is a pure function of level 0, a caller that
+    /// injects bits produced by the same code from the same level 0
+    /// preserves the table's value; integrity of the surrounding state
+    /// is the caller's contract (the serve snapshot layer verifies the
+    /// base matrix and ledger before injecting).
+    pub fn set_level(&self, k: usize, m: PMatrix) -> Result<(), String> {
+        if k >= self.levels.len() {
+            return Err(format!(
+                "level {k} out of range (table has {})",
+                self.levels.len()
+            ));
+        }
+        let base_shape = self.levels[0]
+            .get()
+            .expect("level 0 always materialized")
+            .shape();
+        if m.shape() != base_shape {
+            return Err(format!(
+                "level {k} shape {:?} does not match table shape {:?}",
+                m.shape(),
+                base_shape
+            ));
+        }
+        self.levels[k]
+            .set(m)
+            .map_err(|_| format!("level {k} already materialized"))
+    }
+
     /// Allocated heap bytes of the materialized levels — the power-table
     /// term of a prepared sampler's resident-byte accounting. Absent
     /// levels cost nothing: that is the point.

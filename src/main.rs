@@ -77,12 +77,32 @@ OPTIONS:
     --help         this text
 
 SERVE OPTIONS (cct serve — the batched sampling service):
-    --listen ADDR    unix:PATH or HOST:PORT (port 0 binds ephemerally;
-                     the bound address is printed as 'serving on ADDR')
-    --workers N      service worker threads (default: CCT_WORKERS or
-                     the machine's parallelism)
-    --cache N        PreparedSampler LRU capacity (default 16)
-    --max-conns N    exit after serving N connections (default: forever)
+    --listen ADDR      unix:PATH or HOST:PORT (port 0 binds ephemerally;
+                       the bound address is printed as 'serving on ADDR')
+    --workers N        service worker threads (default: CCT_WORKERS or
+                       the machine's parallelism)
+    --cache N          PreparedSampler LRU capacity (default 16)
+    --max-conns N      bound on CONCURRENT connections (default 256);
+                       a connection over the bound is answered with one
+                       {\"ok\": false, \"error\": \"overloaded\"} frame
+                       and closed — the server never self-terminates
+    --max-inflight N   bound on queued sampling jobs (default 4x the
+                       worker count); a request over the bound gets an
+                       'overloaded' error frame in its reply slot
+    --read-timeout S   close a connection that has been idle for S
+                       seconds (default 30; 0 disables the timeout)
+    --snapshot PATH    restore the prepared-sampler cache from PATH at
+                       startup (verified entry-by-entry; corrupt or
+                       stale snapshots rebuild cold) and write it back
+                       on {\"cmd\": \"snapshot\"} frames and graceful
+                       shutdown
+    --accept-limit N   test valve: stop accepting after N lifetime
+                       connections and exit once they all close
+    The endpoint also answers control frames on any connection:
+    {\"cmd\": \"stats\"} (counters + latency histograms),
+    {\"cmd\": \"snapshot\"} (persist the cache now), and
+    {\"cmd\": \"shutdown\"} (graceful drain: stop accepting, flush
+    every in-flight reply, exit).
 
 REQUEST OPTIONS (cct request — one request against a running service):
     --connect ADDR   unix:PATH or HOST:PORT
@@ -93,6 +113,8 @@ REQUEST OPTIONS (cct request — one request against a running service):
     --backend B      auto (default), dense, or sparse — keyed separately
                      in the service's PreparedSampler cache; draws are
                      byte-identical across backends
+    --stats          print the server's stats frame as JSON and exit
+    --shutdown       ask the server to drain gracefully and exit
     Trees print to stdout ('tree: …' lines, identical across replays);
     rounds and cache metadata print to stderr.
 ";
@@ -154,12 +176,13 @@ fn print_tree(tree: &SpanningTree, dot: bool) {
     }
 }
 
-/// `cct serve`: bind the endpoint and serve until `--max-conns` is
-/// reached (or forever).
+/// `cct serve`: bind the endpoint and serve until drained (a
+/// `{"cmd": "shutdown"}` frame) or, under the `--accept-limit` test
+/// valve, until that many lifetime connections have come and gone.
 fn run_serve(args: &[String]) -> Result<(), String> {
     let mut listen: Option<String> = None;
     let mut options = cct::serve::ServeOptions::new();
-    let mut max_conns: Option<u64> = None;
+    let mut accept_limit: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let value = |it: &mut std::slice::Iter<'_, String>, what: &str| -> Result<String, String> {
@@ -186,8 +209,37 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 options = options.cache_capacity(k);
             }
             "--max-conns" => {
-                max_conns = Some(
-                    value(&mut it, "--max-conns")?
+                let k: usize = value(&mut it, "--max-conns")?
+                    .parse()
+                    .map_err(|_| "bad connection count")?;
+                if k == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+                options = options.max_concurrent(k);
+            }
+            "--max-inflight" => {
+                let k: usize = value(&mut it, "--max-inflight")?
+                    .parse()
+                    .map_err(|_| "bad in-flight bound")?;
+                if k == 0 {
+                    return Err("--max-inflight must be at least 1".into());
+                }
+                options = options.max_inflight(k);
+            }
+            "--read-timeout" => {
+                let secs: u64 = value(&mut it, "--read-timeout")?
+                    .parse()
+                    .map_err(|_| "bad timeout (whole seconds; 0 disables)")?;
+                options = options.read_timeout(if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                });
+            }
+            "--snapshot" => options = options.snapshot(value(&mut it, "--snapshot")?),
+            "--accept-limit" => {
+                accept_limit = Some(
+                    value(&mut it, "--accept-limit")?
                         .parse()
                         .map_err(|_| "bad connection count")?,
                 );
@@ -197,7 +249,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     }
     let listen = listen.ok_or("serve needs --listen (see --help)")?;
     let endpoint = cct::serve::Endpoint::parse(&listen).map_err(|e| e.to_string())?;
-    cct::serve::serve_endpoint(&endpoint, options, max_conns, |addr| {
+    cct::serve::serve_endpoint(&endpoint, options, accept_limit, |addr| {
         // Printed on stdout (and flushed by println!'s line buffering)
         // so scripts can scrape the resolved address.
         println!("serving on {addr}");
@@ -210,6 +262,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
 /// cache metadata go to stderr.
 fn run_request(args: &[String]) -> Result<(), String> {
     let mut connect: Option<String> = None;
+    let mut command: Option<cct::serve::ControlCommand> = None;
     let mut request = cct::serve::SampleRequest::new("complete:16");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -237,11 +290,21 @@ fn run_request(args: &[String]) -> Result<(), String> {
                 request.backend = Backend::parse(&name)
                     .ok_or(format!("unknown backend '{name}' (auto, dense, or sparse)"))?;
             }
+            "--stats" => command = Some(cct::serve::ControlCommand::Stats),
+            "--shutdown" => command = Some(cct::serve::ControlCommand::Shutdown),
             other => return Err(format!("unknown request option '{other}' (see --help)")),
         }
     }
     let connect = connect.ok_or("request needs --connect (see --help)")?;
     let endpoint = cct::serve::Endpoint::parse(&connect).map_err(|e| e.to_string())?;
+    // Control frames print the server's reply verbatim and exit — they
+    // carry no draws to unpack.
+    if let Some(command) = command {
+        let frame = cct::serve::request_endpoint_frame(&endpoint, &command.to_json())
+            .map_err(|e| e.to_string())?;
+        println!("{}", frame.pretty());
+        return Ok(());
+    }
     let frame = cct::serve::request_endpoint(&endpoint, &request).map_err(|e| e.to_string())?;
     let missing = || "malformed response frame".to_string();
     let draws = frame

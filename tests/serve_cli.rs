@@ -24,19 +24,19 @@ fn socket_path(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("cct-serve-cli-{tag}-{}.sock", std::process::id()))
 }
 
-fn spawn_server(socket: &Path, max_conns: u32) -> ServerGuard {
+fn spawn_server_with(socket: &Path, extra: &[&str]) -> ServerGuard {
+    let mut args = vec![
+        "serve".to_string(),
+        "--listen".to_string(),
+        format!("unix:{}", socket.display()),
+        "--workers".to_string(),
+        "2".to_string(),
+        "--cache".to_string(),
+        "4".to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
     let child = Command::new(env!("CARGO_BIN_EXE_cct"))
-        .args([
-            "serve",
-            "--listen",
-            &format!("unix:{}", socket.display()),
-            "--workers",
-            "2",
-            "--cache",
-            "4",
-            "--max-conns",
-            &max_conns.to_string(),
-        ])
+        .args(&args)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -49,6 +49,10 @@ fn spawn_server(socket: &Path, max_conns: u32) -> ServerGuard {
         std::thread::sleep(Duration::from_millis(20));
     }
     ServerGuard(child)
+}
+
+fn spawn_server(socket: &Path, accept_limit: u32) -> ServerGuard {
+    spawn_server_with(socket, &["--accept-limit", &accept_limit.to_string()])
 }
 
 fn request(socket: &Path, args: &[&str]) -> Output {
@@ -91,7 +95,7 @@ fn served_requests_replay_bit_identically() {
     assert!(String::from_utf8_lossy(&a.stderr).contains("hit = false"));
     assert!(String::from_utf8_lossy(&b.stderr).contains("hit = true"));
     assert_ne!(a.stdout, c.stdout, "different graphs, different trees");
-    // --max-conns 3 reached: the server exits on its own.
+    // --accept-limit 3 reached: the server exits on its own.
     let status = server.0.wait().expect("server exit");
     assert!(status.success(), "server exited non-zero");
     assert!(!socket.exists(), "socket file cleaned up");
@@ -122,6 +126,34 @@ fn served_draw_equals_the_cli_at_the_derived_seed() {
         served.stdout, cold.stdout,
         "served draw and cold CLI run disagree at the derived seed"
     );
+}
+
+#[test]
+fn stats_and_shutdown_control_the_server() {
+    // No accept limit: the server runs until asked to drain, so the
+    // shutdown frame — not connection exhaustion — is what stops it.
+    let socket = socket_path("control");
+    let mut server = spawn_server_with(&socket, &[]);
+    let ok = request(&socket, &["--graph", "petersen"]);
+    assert!(ok.status.success());
+    let stats = request(&socket, &["--stats"]);
+    assert!(
+        stats.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("\"thm1\""), "stats frame: {text}");
+    assert!(text.contains("\"latency_us\""), "stats frame: {text}");
+    let down = request(&socket, &["--shutdown"]);
+    assert!(
+        down.status.success(),
+        "shutdown failed: {}",
+        String::from_utf8_lossy(&down.stderr)
+    );
+    let status = server.0.wait().expect("server exit");
+    assert!(status.success(), "server exited non-zero after drain");
+    assert!(!socket.exists(), "socket file cleaned up after drain");
 }
 
 #[test]
