@@ -12,32 +12,34 @@ use cct_bench::experiments as ex;
 use cct_bench::{gate, json::Json};
 
 const HELP: &str = "\
-harness — regenerate the experiment tables (E1–E21, aux)
+harness — regenerate the experiment tables (E1–E22, aux)
 
 USAGE:
     harness [EXPERIMENT...] [OPTIONS]
 
 ARGUMENTS:
-    EXPERIMENT    experiments to run: e1 … e21, aux, or all (default all)
+    EXPERIMENT    experiments to run: e1 … e22, aux, or all (default all)
 
 OPTIONS:
     --quick           reduced-size sweep for fast iteration
     --json PATH       write the machine-readable report to PATH (the
                       file is re-parsed after writing; malformed output
-                      is a hard error). e18, e19, e20 and e21 emit
+                      is a hard error). e18, e19, e20, e21 and e22 emit
                       JSON; select exactly one of them with this flag
                       ('all' keeps the legacy behavior of writing e18's
                       report).
     --baseline PATH   compare the fresh report against a committed
                       baseline (BENCH_e18.json / BENCH_e19.json /
-                      BENCH_e20.json / BENCH_e21.json): exit non-zero
-                      on a >2x regression of the gated metric on any
-                      overlapping row (e18: prepared-mode throughput;
-                      e19: the sparse backend's bytes reduction and
-                      wall-clock ratio; e20: peak resident
-                      prepared-state bytes and their per-family scaling
-                      ratio; e21: the MST and weighted-thm1 round
-                      totals)
+                      BENCH_e20.json / BENCH_e21.json /
+                      BENCH_e22.json): exit non-zero on a >2x
+                      regression of the gated metric on any overlapping
+                      row (e18: prepared-mode throughput; e19: the
+                      sparse backend's bytes reduction and wall-clock
+                      ratio; e20: peak resident prepared-state bytes
+                      and their per-family scaling ratio; e21: the MST
+                      and weighted-thm1 round totals; e22: the panel-
+                      and f32-kernel same-run speedup ratios — timing
+                      ratios, so the gate is machine-independent)
     --help            this text
 ";
 
@@ -103,14 +105,15 @@ fn run() -> i32 {
         ("e17", ex::e17),
         ("aux", ex::failure_probe),
     ];
-    // e18, e19, e20 and e21 return reports consumed by --json/--baseline,
-    // so they live outside the fn(bool) table.
+    // e18–e22 return reports consumed by --json/--baseline, so they
+    // live outside the fn(bool) table.
     type JsonRunner = (&'static str, fn(bool) -> Json);
     let json_runners: Vec<JsonRunner> = vec![
         ("e18", ex::e18),
         ("e19", ex::e19),
         ("e20", ex::e20),
         ("e21", ex::e21),
+        ("e22", ex::e22),
     ];
     let known = |s: &str| {
         s == "all"
@@ -129,9 +132,7 @@ fn run() -> i32 {
         .collect();
     let flags = json_path.is_some() || baseline_path.is_some();
     if flags && json_selected.is_empty() {
-        eprintln!(
-            "error: --json/--baseline require e18, e19, e20 or e21 to be selected (see --help)"
-        );
+        eprintln!("error: --json/--baseline require one of e18–e22 to be selected (see --help)");
         return 2;
     }
     // Which report the flags apply to: an explicit lone selection wins;
@@ -143,7 +144,7 @@ fn run() -> i32 {
     } else {
         if flags {
             eprintln!(
-                "error: select only one of e18/e19/e20/e21 with --json/--baseline (see --help)"
+                "error: select only one of e18/e19/e20/e21/e22 with --json/--baseline (see --help)"
             );
             return 2;
         }

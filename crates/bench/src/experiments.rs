@@ -1481,6 +1481,239 @@ pub fn e21(quick: bool) -> crate::json::Json {
     ])
 }
 
+/// E22 — the linalg microkernels: the 8-lane panel kernel vs the
+/// pre-panel reference (bit-identical by construction, so only
+/// wall-clock differs), the f32 storage mode, and work-stealing vs
+/// fixed row shards on a skewed-degree sparse input. Returns the
+/// machine-readable report the harness writes as `BENCH_e22.json`; the
+/// gated metrics are **same-run speedup ratios** (new/old measured on
+/// the same machine in the same process), so the gate is
+/// machine-independent.
+pub fn e22(quick: bool) -> crate::json::Json {
+    use crate::json::Json;
+    use cct_linalg::{CsrMatrix, CsrMatrixF32, Matrix, MatrixF32};
+    banner(
+        "E22",
+        "Microkernels — panel f64 vs reference, f32 storage, work stealing vs fixed shards",
+    );
+
+    // Deterministic dense test matrix: a hash keeps entries spread over
+    // (0, 1) with no structure the kernels could exploit.
+    fn hashed(i: usize, j: usize, salt: u64) -> f64 {
+        let mut h = (i as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(j as u64)
+            .wrapping_add(salt);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % 1_000_000) as f64 / 1_000_000.0 + 1e-6
+    }
+    fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    // ── Part A: dense n×n product — panel kernel vs the pre-panel
+    // reference loop, and the f32 storage route. The panel kernel is
+    // asserted bit-identical to the reference before timing counts.
+    let dense_ns: &[usize] = if quick { &[256] } else { &[256, 384, 512] };
+    let reps = 3usize;
+    println!(
+        "\ndense n×n, best of {reps} (panel == reference asserted bitwise):\n{:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "n", "ref ms", "panel ms", "f32 ms", "panel ×", "f32 ×"
+    );
+    let mut dense_rows = Vec::new();
+    for &n in dense_ns {
+        let a = Matrix::from_fn(n, n, |i, j| hashed(i, j, 5000));
+        let b = Matrix::from_fn(n, n, |i, j| hashed(i, j, 5001));
+        let mut out_ref = Matrix::zeros(n, n);
+        let mut out_new = Matrix::zeros(n, n);
+        a.matmul_into_ref(&b, &mut out_ref);
+        a.matmul_into(&b, &mut out_new);
+        assert_eq!(
+            out_ref.as_slice(),
+            out_new.as_slice(),
+            "panel kernel diverged from the reference at n = {n}"
+        );
+        let (a32, b32) = (MatrixF32::from_matrix(&a), MatrixF32::from_matrix(&b));
+        let mut scratch = Matrix::zeros(n, n);
+        let ref_ms = time_best(reps, || a.matmul_into_ref(&b, &mut scratch));
+        let panel_ms = time_best(reps, || a.matmul_into(&b, &mut scratch));
+        let f32_ms = time_best(reps, || {
+            std::hint::black_box(a32.matmul(&b32));
+        });
+        let panel_speedup = ref_ms / panel_ms.max(1e-9);
+        let f32_speedup = ref_ms / f32_ms.max(1e-9);
+        println!(
+            "{n:>6} {ref_ms:>10.2} {panel_ms:>10.2} {f32_ms:>10.2} {panel_speedup:>8.2}x {f32_speedup:>8.2}x"
+        );
+        dense_rows.push(Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("ref_ms".into(), Json::Num(ref_ms)),
+            ("panel_ms".into(), Json::Num(panel_ms)),
+            ("f32_ms".into(), Json::Num(f32_ms)),
+            ("panel_speedup".into(), Json::Num(panel_speedup)),
+            ("f32_speedup".into(), Json::Num(f32_speedup)),
+        ]));
+    }
+
+    // ── Part B: CSR × dense-RHS — the LANES-panel row kernel vs the
+    // pre-panel scalar loop (reimplemented verbatim below; both
+    // accumulate per output entry over stored entries in increasing
+    // index, so they are bit-identical), plus the f32 CSR route. Banded
+    // inputs keep every row's support small, the shape the sparse
+    // pipeline feeds these kernels.
+    fn csr_dense_rhs_scalar(m: &CsrMatrix, rhs: &Matrix) -> Matrix {
+        let (rows, mid) = m.shape();
+        let cols = rhs.cols();
+        let mut out = Matrix::zeros(rows, cols);
+        assert_eq!(mid, rhs.rows());
+        for i in 0..rows {
+            let (cs, vs) = m.row(i);
+            let out_row = out.row_mut(i);
+            for (&k, &v) in cs.iter().zip(vs) {
+                let b_row = rhs.row(k as usize);
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+    let sparse_ns: &[usize] = if quick { &[1024] } else { &[1024, 2048] };
+    let band = 6usize;
+    println!(
+        "\nbanded CSR ({band} nnz/row) × dense n×256 RHS, best of {reps}:\n{:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "n", "scalar ms", "panel ms", "f32 ms", "panel ×", "f32 ×"
+    );
+    let mut sparse_rows = Vec::new();
+    for &n in sparse_ns {
+        let mut builder = CsrMatrix::builder(n, n);
+        for i in 0..n {
+            let mut cols: Vec<usize> = (0..band).map(|d| (i + d * 7 + 1) % n).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                builder.push(c, hashed(i, c, 5002));
+            }
+            builder.finish_row();
+        }
+        let m = builder.build();
+        let rhs = Matrix::from_fn(n, 256, |i, j| hashed(i, j, 5003));
+        let reference = csr_dense_rhs_scalar(&m, &rhs);
+        let panel = m.matmul_dense_rhs(&rhs, 1);
+        assert_eq!(
+            reference.as_slice(),
+            panel.as_slice(),
+            "sparse panel kernel diverged from the scalar loop at n = {n}"
+        );
+        let m32 = CsrMatrixF32::from_csr(&m);
+        let rhs32 = MatrixF32::from_matrix(&rhs);
+        let scalar_ms = time_best(reps, || {
+            std::hint::black_box(csr_dense_rhs_scalar(&m, &rhs));
+        });
+        let panel_ms = time_best(reps, || {
+            std::hint::black_box(m.matmul_dense_rhs(&rhs, 1));
+        });
+        let f32_ms = time_best(reps, || {
+            std::hint::black_box(m32.matmul_dense_rhs(&rhs32, 1));
+        });
+        let panel_speedup = scalar_ms / panel_ms.max(1e-9);
+        let f32_speedup = scalar_ms / f32_ms.max(1e-9);
+        println!(
+            "{n:>6} {scalar_ms:>10.2} {panel_ms:>10.2} {f32_ms:>10.2} {panel_speedup:>8.2}x {f32_speedup:>8.2}x"
+        );
+        sparse_rows.push(Json::Obj(vec![
+            ("n".into(), Json::Num(n as f64)),
+            ("scalar_ms".into(), Json::Num(scalar_ms)),
+            ("panel_ms".into(), Json::Num(panel_ms)),
+            ("f32_ms".into(), Json::Num(f32_ms)),
+            ("panel_speedup".into(), Json::Num(panel_speedup)),
+            ("f32_speedup".into(), Json::Num(f32_speedup)),
+        ]));
+    }
+
+    // ── Part C: work-stealing vs fixed row shards at 4 threads on a
+    // skewed-degree CSR input (one dense row, the rest banded) — the
+    // shape where fixed sharding strands one worker with nearly all the
+    // work. Both schedules write disjoint rows of the same product and
+    // are asserted bit-identical to the sequential kernel; wall-clock
+    // is reported but never gated (container core counts vary).
+    let n = if quick { 1024 } else { 2048 };
+    let threads = 4usize;
+    let mut builder = CsrMatrix::builder(n, n);
+    for d in 0..n {
+        builder.push(d, hashed(0, d, 5004)); // row 0: fully dense
+    }
+    builder.finish_row();
+    for i in 1..n {
+        let mut cols: Vec<usize> = (0..4).map(|d| (i + d * 11 + 1) % n).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            builder.push(c, hashed(i, c, 5005));
+        }
+        builder.finish_row();
+    }
+    let skew = builder.build();
+    let rhs = Matrix::from_fn(n, 256, |i, j| hashed(i, j, 5006));
+    let sequential = skew.matmul_dense_rhs(&rhs, 1);
+    let stealing = skew.matmul_dense_rhs(&rhs, threads);
+    let fixed = skew.matmul_dense_rhs_fixed(&rhs, threads);
+    assert_eq!(
+        sequential.as_slice(),
+        stealing.as_slice(),
+        "work stealing changed the product"
+    );
+    assert_eq!(
+        sequential.as_slice(),
+        fixed.as_slice(),
+        "fixed sharding changed the product"
+    );
+    let stealing_ms = time_best(reps, || {
+        std::hint::black_box(skew.matmul_dense_rhs(&rhs, threads));
+    });
+    let fixed_ms = time_best(reps, || {
+        std::hint::black_box(skew.matmul_dense_rhs_fixed(&rhs, threads));
+    });
+    let steal_ratio = fixed_ms / stealing_ms.max(1e-9);
+    println!(
+        "\nskewed CSR (row 0 dense, {n} rows) × dense RHS at {threads} threads, best of {reps}:\n\
+         fixed shards {fixed_ms:.2} ms, work stealing {stealing_ms:.2} ms — ×{steal_ratio:.2} \
+         (reported, not gated)"
+    );
+
+    println!(
+        "\n(the panel/f32 speedups are same-run ratios — `harness --baseline BENCH_e22.json`\n\
+         gates them machine-independently; wall-clock columns are reported only)"
+    );
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e22".into())),
+        (
+            "mode".into(),
+            Json::Str(if quick { "quick" } else { "full" }.into()),
+        ),
+        ("dense".into(), Json::Arr(dense_rows)),
+        ("sparse".into(), Json::Arr(sparse_rows)),
+        (
+            "stealing".into(),
+            Json::Obj(vec![
+                ("n".into(), Json::Num(n as f64)),
+                ("threads".into(), Json::Num(threads as f64)),
+                ("fixed_ms".into(), Json::Num(fixed_ms)),
+                ("stealing_ms".into(), Json::Num(stealing_ms)),
+                ("steal_ratio".into(), Json::Num(steal_ratio)),
+            ]),
+        ),
+    ])
+}
+
 /// Variant trio used by `harness all`: Monte Carlo failure-rate probe —
 /// complements E2 by measuring how often the ℓ-budget fails at small ℓ.
 pub fn failure_probe(quick: bool) {

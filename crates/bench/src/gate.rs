@@ -66,9 +66,115 @@ pub fn check_against_baseline(current: &Json, baseline: &Json) -> Result<GateRep
         "e19" => check_e19_against_baseline(current, baseline),
         "e20" => check_e20_against_baseline(current, baseline),
         "e21" => check_e21_against_baseline(current, baseline),
+        "e22" => check_e22_against_baseline(current, baseline),
         "serve" => check_serve_against_baseline(current, baseline),
         other => Err(format!("no baseline gate for experiment {other}")),
     }
+}
+
+/// The floor a same-run speedup ratio must keep against its baseline.
+///
+/// A speedup has a natural floor at ×1 (an identical kernel measures
+/// ×1), so for healthy baselines the band applies to the **margin over
+/// ×1**: keep at least `1 / `[`REGRESSION_FACTOR`] of the baseline's
+/// margin. A baseline at or below ×1 (the new kernel was never a win on
+/// that row) falls back to the plain `base / REGRESSION_FACTOR` floor
+/// so an equal current value still passes.
+fn speedup_floor(base: f64) -> f64 {
+    if base > 1.0 {
+        1.0 + (base - 1.0) / REGRESSION_FACTOR
+    } else {
+        base / REGRESSION_FACTOR
+    }
+}
+
+/// Compares `current` against `baseline` (both `e22` reports).
+///
+/// Gated metrics — all **same-run speedup ratios** (new kernel vs the
+/// pre-panel loop, timed back to back in one process), so the gate is
+/// machine-independent:
+///
+/// * `dense[].panel_speedup` and `dense[].f32_speedup` — the panel
+///   microkernel's and the f32-storage route's win over the reference
+///   dense loop, per matrix size `n`;
+/// * `sparse[].panel_speedup` and `sparse[].f32_speedup` — the same two
+///   ratios for the CSR × dense-RHS kernel vs the old scalar loop.
+///
+/// Each ratio is held to [`speedup_floor`]: keep at least half the
+/// baseline's margin over ×1. The `stealing` section (work stealing vs
+/// fixed shards) is reported but never gated — thread scheduling on a
+/// loaded or single-core CI box swamps the signal.
+///
+/// # Errors
+///
+/// Returns a description if either document is not a well-formed `e22`
+/// report.
+pub fn check_e22_against_baseline(current: &Json, baseline: &Json) -> Result<GateReport, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        if doc.get("experiment").and_then(Json::as_str) != Some("e22") {
+            return Err(format!("{label} report is not an e22 document"));
+        }
+    }
+    let mut report = GateReport {
+        compared: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for section in ["dense", "sparse"] {
+        let arr = |doc: &Json, label: &str| -> Result<Vec<Json>, String> {
+            doc.get(section)
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .ok_or(format!("{label} report lacks a {section} array"))
+        };
+        let current_rows = arr(current, "current")?;
+        let baseline_rows = arr(baseline, "baseline")?;
+        for row in &current_rows {
+            let Some(n) = row.get("n").and_then(Json::as_f64).map(|n| n as i64) else {
+                return Err(format!("current e22 {section} row missing n"));
+            };
+            let Some(base_row) = baseline_rows
+                .iter()
+                .find(|b| b.get("n").and_then(Json::as_f64).map(|v| v as i64) == Some(n))
+            else {
+                continue; // not in the baseline (e.g. quick vs full sweep)
+            };
+            let metric = |doc: &Json, name: &str| {
+                doc.get(name)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("e22 {section} row missing {name}"))
+            };
+            let cur_panel = metric(row, "panel_speedup")?;
+            let base_panel = metric(base_row, "panel_speedup")?;
+            let cur_f32 = metric(row, "f32_speedup")?;
+            let base_f32 = metric(base_row, "f32_speedup")?;
+            let panel_floor = speedup_floor(base_panel);
+            let f32_floor = speedup_floor(base_f32);
+            let line = format!(
+                "{section}/n={n}: panel ×{cur_panel:.2} vs baseline ×{base_panel:.2} \
+                 (floor ×{panel_floor:.2}); f32 ×{cur_f32:.2} vs ×{base_f32:.2} \
+                 (floor ×{f32_floor:.2})"
+            );
+            if cur_panel < panel_floor || cur_f32 < f32_floor {
+                report.regressions.push(line.clone());
+            }
+            report.compared.push(line);
+        }
+    }
+    if report.compared.is_empty() {
+        report
+            .compared
+            .push("no overlapping e22 rows — nothing gated".into());
+    }
+    if let Some(ratio) = current
+        .get("stealing")
+        .and_then(|s| s.get("steal_ratio"))
+        .and_then(Json::as_f64)
+    {
+        report.compared.push(format!(
+            "stealing: fixed/stealing wall ×{ratio:.2} (reported, not gated)"
+        ));
+    }
+    Ok(report)
 }
 
 /// Compares `current` against `baseline` (both `serve` loadgen
@@ -707,6 +813,69 @@ mod tests {
         assert!(disjoint.compared[0].contains("nothing gated"));
     }
 
+    fn e22_report(dense: &[(f64, f64, f64)], sparse: &[(f64, f64, f64)]) -> Json {
+        let rows = |data: &[(f64, f64, f64)]| {
+            Json::Arr(
+                data.iter()
+                    .map(|&(n, panel, f32x)| {
+                        Json::Obj(vec![
+                            ("n".into(), Json::Num(n)),
+                            ("panel_speedup".into(), Json::Num(panel)),
+                            ("f32_speedup".into(), Json::Num(f32x)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str("e22".into())),
+            ("dense".into(), rows(dense)),
+            ("sparse".into(), rows(sparse)),
+            (
+                "stealing".into(),
+                Json::Obj(vec![("steal_ratio".into(), Json::Num(1.5))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e22_gate_holds_both_speedups_to_the_margin_floor() {
+        // Baseline: panel ×2.0 (floor ×1.5), f32 ×3.0 (floor ×2.0).
+        let baseline = e22_report(&[(256.0, 2.0, 3.0)], &[(1024.0, 1.8, 2.2)]);
+        let ok = check_e22_against_baseline(
+            &e22_report(&[(256.0, 1.6, 2.1)], &[(1024.0, 1.5, 1.7)]),
+            &baseline,
+        )
+        .unwrap();
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        // Panel win collapsed below its floor: regression.
+        let bad_panel = check_e22_against_baseline(
+            &e22_report(&[(256.0, 1.4, 3.0)], &[(1024.0, 1.8, 2.2)]),
+            &baseline,
+        )
+        .unwrap();
+        assert!(!bad_panel.passed());
+        // f32 win collapsed in the sparse section: regression.
+        let bad_f32 = check_e22_against_baseline(
+            &e22_report(&[(256.0, 2.0, 3.0)], &[(1024.0, 1.8, 1.5)]),
+            &baseline,
+        )
+        .unwrap();
+        assert!(!bad_f32.passed());
+        // A never-was-a-win baseline (≤ ×1) falls back to base/2: an
+        // equal current value passes.
+        let flat_base = e22_report(&[(256.0, 0.9, 0.9)], &[]);
+        let flat = check_e22_against_baseline(&flat_base, &flat_base).unwrap();
+        assert!(flat.passed(), "{:?}", flat.regressions);
+        // Non-overlapping rows pass vacuously; the stealing ratio is
+        // reported but never gated.
+        let disjoint =
+            check_e22_against_baseline(&e22_report(&[(384.0, 0.1, 0.1)], &[]), &baseline).unwrap();
+        assert!(disjoint.passed());
+        assert!(disjoint.compared[0].contains("nothing gated"));
+        assert!(disjoint.compared[1].contains("not gated"));
+    }
+
     fn serve_report(speedup: f64) -> Json {
         Json::Obj(vec![
             ("experiment".into(), Json::Str("serve".into())),
@@ -742,16 +911,19 @@ mod tests {
             &[("path", 16384.0, 131072.0, 8.0)],
         );
         let e21 = e21_report(&[("grid-w", 64.0, 40.0, 1_200.0)]);
+        let e22 = e22_report(&[(256.0, 2.0, 3.0)], &[(1024.0, 1.8, 2.2)]);
         let serve = serve_report(40.0);
         assert!(check_against_baseline(&e18, &e18).unwrap().passed());
         assert!(check_against_baseline(&e19, &e19).unwrap().passed());
         assert!(check_against_baseline(&e20, &e20).unwrap().passed());
         assert!(check_against_baseline(&e21, &e21).unwrap().passed());
+        assert!(check_against_baseline(&e22, &e22).unwrap().passed());
         assert!(check_against_baseline(&serve, &serve).unwrap().passed());
         assert!(check_against_baseline(&e18, &e19).is_err());
         assert!(check_against_baseline(&e19, &e18).is_err());
         assert!(check_against_baseline(&e20, &e18).is_err());
         assert!(check_against_baseline(&e21, &e20).is_err());
+        assert!(check_against_baseline(&e22, &e21).is_err());
         assert!(check_against_baseline(&serve, &e18).is_err());
     }
 }

@@ -419,9 +419,7 @@ pub(crate) fn top_down_phase<R: Rng + ?Sized>(
                 // never touched.
                 let last = powers.last();
                 let mut sq = engine.multiply_p(clique, last, last);
-                if let crate::config::Precision::Fixed(fp) = config.precision {
-                    sq.truncate_inplace(fp);
-                }
+                sq.round_inplace(config.precision.rounding());
                 powers.push(sq);
             }
         }
@@ -858,7 +856,7 @@ mod tests {
                 .map(PMatrix::Dense)
                 .collect(),
             1,
-            None,
+            cct_linalg::Rounding::Exact,
         )
     }
 

@@ -9,9 +9,7 @@
 //! The union of first-visit edges across phases is the Aldous–Broder
 //! spanning tree.
 
-use crate::config::{
-    EngineChoice, Precision, SamplerConfig, SchurComputation, Variant, WalkLength,
-};
+use crate::config::{EngineChoice, SamplerConfig, SchurComputation, Variant, WalkLength};
 use crate::phase::{
     direct_local_phase, is_degenerate_bipartite, streamed_local_phase, top_down_phase, PhaseError,
     PhaseWalkResult, PowerTable,
@@ -135,7 +133,7 @@ struct ResolvedConfig {
     /// square with.
     threads: usize,
     engine: Box<dyn MatMulEngine>,
-    fp: Option<cct_linalg::FixedPoint>,
+    rounding: cct_linalg::Rounding,
     rho: usize,
     ell0: u64,
     /// The matrix representation the backend knob resolved to for this
@@ -155,19 +153,13 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
     let threads = workers.max(config.threads);
     let engine: Box<dyn MatMulEngine> = match config.engine {
         EngineChoice::FastOracle { alpha } => {
-            let wpe = match config.precision {
-                Precision::Fixed(fp) => fp.words_per_entry(n),
-                Precision::Float64 => 1,
-            };
+            let wpe = config.precision.rounding().words_per_entry(n);
             Box::new(FastOracleEngine::new(alpha, wpe, threads))
         }
         EngineChoice::Semiring => Box::new(SemiringEngine::new(threads)),
         EngineChoice::UnitCost => Box::new(UnitCostEngine { threads }),
     };
-    let fp = match config.precision {
-        Precision::Fixed(fp) => Some(fp),
-        Precision::Float64 => None,
-    };
+    let rounding = config.precision.rounding();
     let rho = config.resolve_rho(n);
     // Footnote 1: with integer weights ≤ W the cover time is
     // O(W·|V|·|E|), so the paper's ℓ budget scales by W (this is the
@@ -183,7 +175,7 @@ fn resolve_config(config: &SamplerConfig, g: &Graph) -> ResolvedConfig {
         workers,
         threads,
         engine,
-        fp,
+        rounding,
         rho,
         ell0,
         repr: config.backend.resolve(g),
@@ -279,7 +271,7 @@ fn sample_with<R: Rng + ?Sized>(
         workers,
         threads,
         engine,
-        fp,
+        rounding,
         rho,
         ell0,
         repr,
@@ -463,7 +455,7 @@ fn sample_with<R: Rng + ?Sized>(
                         engine.as_ref(),
                         &t0,
                         levels + 1,
-                        fp,
+                        rounding,
                         threads,
                     );
                     &owned_powers
@@ -617,7 +609,7 @@ impl PreparedSampler {
         let ResolvedConfig {
             threads,
             engine,
-            fp,
+            rounding,
             rho,
             ell0,
             repr,
@@ -652,7 +644,7 @@ impl PreparedSampler {
                     engine.as_ref(),
                     &p,
                     levels + 1,
-                    fp,
+                    rounding,
                     threads,
                 );
                 Some(Phase1Cache {

@@ -1,0 +1,114 @@
+//! Statistical uniformity of the opt-in `Precision::F32` mode: the
+//! chi-square suites of `parallel_uniformity.rs` (unweighted K4, C4,
+//! diamond) and the weighted layer (weighted K4 and diamond) rerun with
+//! every transition-matrix entry truncated toward zero to the binary32
+//! grid. The paper's Lemma 9 bound with δ = 2⁻²⁴ puts the induced
+//! statistical distance many orders of magnitude below the chi-square
+//! gate's resolution — these tests check that claim empirically rather
+//! than trusting the algebra.
+//!
+//! Gates mirror the f64 suites: 8 000 trials, a generous `2 × crit`
+//! threshold, < 1% Monte Carlo failure budget.
+
+use cct_core::{CliqueTreeSampler, EngineChoice, Precision, SamplerConfig, WalkLength, Workers};
+use cct_graph::{
+    generators, spanning_tree_count_exact, spanning_tree_distribution, Graph, SpanningTree,
+};
+use cct_walks::stats;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const TRIALS: usize = 8_000;
+
+fn f32_config(engine: EngineChoice) -> SamplerConfig {
+    SamplerConfig::new()
+        .walk_length(WalkLength::ScaledCubic { factor: 4.0 })
+        .engine(engine)
+        .workers(Workers::Fixed(4))
+        .precision(Precision::F32)
+}
+
+fn assert_f32_uniform(g: &Graph, engine: EngineChoice, seed: u64, label: &str) {
+    let exact = spanning_tree_distribution(g);
+    let sampler = CliqueTreeSampler::new(f32_config(engine));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut counts: HashMap<SpanningTree, usize> = HashMap::new();
+    let mut failures = 0usize;
+    for _ in 0..TRIALS {
+        let report = sampler.sample(g, &mut rng).expect("sampling failed");
+        if report.monte_carlo_failure {
+            failures += 1;
+            continue;
+        }
+        *counts.entry(report.tree).or_insert(0) += 1;
+    }
+    assert!(
+        failures * 100 < TRIALS,
+        "{label}: {failures}/{TRIALS} Monte Carlo failures"
+    );
+    let effective = TRIALS - failures;
+    let (stat, crit) = stats::goodness_of_fit(&counts, &exact, effective);
+    assert!(
+        stat < 2.0 * crit,
+        "{label}: chi² = {stat:.1} ≥ 2 × {crit:.1} over {} trees",
+        exact.len()
+    );
+}
+
+#[test]
+fn f32_mode_is_uniform_on_k4() {
+    let g = generators::complete(4);
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 16);
+    assert_f32_uniform(&g, EngineChoice::UnitCost, 4100, "K4/f32");
+}
+
+#[test]
+fn f32_mode_is_uniform_on_cycle4() {
+    let g = generators::cycle(4);
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 4);
+    assert_f32_uniform(&g, EngineChoice::UnitCost, 4101, "C4/f32");
+}
+
+#[test]
+fn f32_mode_is_uniform_on_diamond() {
+    // The diamond through the real semiring engine, so the
+    // MachineProgram multiply runs on quantized entries too.
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+    assert_eq!(spanning_tree_count_exact(&g).unwrap(), 8);
+    assert_f32_uniform(&g, EngineChoice::Semiring, 4102, "diamond/f32");
+}
+
+#[test]
+fn f32_mode_is_weight_proportional_on_k4() {
+    // Footnote 1 under quantization: tree probability ∝ Π weights must
+    // survive binary32 truncation of the weighted transition matrix.
+    let g = Graph::from_weighted_edges(
+        4,
+        &[
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (0, 3, 3.0),
+            (1, 2, 4.0),
+            (1, 3, 5.0),
+            (2, 3, 6.0),
+        ],
+    )
+    .unwrap();
+    assert_f32_uniform(&g, EngineChoice::UnitCost, 4103, "K4-w/f32");
+}
+
+#[test]
+fn f32_mode_is_weight_proportional_on_diamond() {
+    let g = Graph::from_weighted_edges(
+        4,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 0, 3.0),
+            (0, 2, 5.0),
+        ],
+    )
+    .unwrap();
+    assert_f32_uniform(&g, EngineChoice::UnitCost, 4104, "diamond-w/f32");
+}

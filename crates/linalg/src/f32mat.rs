@@ -1,0 +1,322 @@
+//! True f32-storage matrix kernels — the storage half of the
+//! [`crate::Rounding::F32`] precision mode.
+//!
+//! # The quantization equivalence
+//!
+//! The sampler pipeline implements f32 mode as *quantization*: matrices
+//! stay in `f64` buffers whose entries all lie on the binary32 grid
+//! (rounded toward zero after every squaring). These types store the
+//! same entries in actual `f32` buffers — half the memory traffic —
+//! and multiply with **`f64` accumulators** over the full inner
+//! dimension in increasing index order, rounding to binary32 once at
+//! the store. Because `f32 → f64` widening is exact, every partial
+//! product and every partial sum is bit-identical to the quantized-f64
+//! route followed by [`crate::Rounding::F32`] on the product, so the
+//! two routes agree bit for bit (asserted by this module's tests).
+//! That equality is what lets the `e22` bench time the f32 kernels as
+//! a faithful stand-in for the pipeline's `--precision f32` mode.
+
+use crate::kernel::{steal_row_chunks, LANES};
+use crate::{CsrMatrix, Matrix, Rounding};
+
+/// Rounds an `f64` accumulator to binary32 with the same toward-zero
+/// rule the pipeline applies between squarings.
+fn store_f32(x: f64) -> f32 {
+    Rounding::F32.apply(x) as f32
+}
+
+/// A dense row-major matrix with `f32` storage.
+///
+/// # Examples
+///
+/// ```
+/// use cct_linalg::{Matrix, MatrixF32, Rounding};
+///
+/// let mut p = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.5, 0.5]]);
+/// let f = MatrixF32::from_matrix(&p);
+/// // The f32 product equals the quantized-f64 product, bit for bit.
+/// Rounding::F32.round_matrix_inplace(&mut p);
+/// let mut sq = p.matmul(&p);
+/// Rounding::F32.round_matrix_inplace(&mut sq);
+/// assert_eq!(f.matmul(&f).to_matrix(), sq);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Quantizes a `f64` matrix to binary32 storage (toward zero, the
+    /// pipeline's rounding rule — entries already on the grid, e.g.
+    /// from a [`Rounding::F32`] pipeline, convert exactly).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        MatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&x| store_f32(x)).collect(),
+        }
+    }
+
+    /// Widens back to `f64` storage (exact).
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            f64::from(self.data[i * self.cols + j])
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One output row chunk of `self · rhs`: panel-blocked like the f64
+    /// kernel, `f64` accumulators over the full inner dimension in
+    /// increasing index order, one toward-zero rounding at the store.
+    fn rows_into(&self, rhs: &MatrixF32, out: &mut [f32], lo: usize) {
+        let k = self.cols;
+        let m = rhs.cols;
+        let a = &self.data;
+        let b = &rhs.data;
+        for (r, out_row) in out.chunks_mut(m.max(1)).enumerate() {
+            let i = lo + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            let mut j = 0;
+            while j + LANES <= m {
+                let mut acc = [0.0f64; LANES];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let aik = f64::from(aik);
+                    let b_panel = &b[kk * m + j..kk * m + j + LANES];
+                    for (o, &bkj) in acc.iter_mut().zip(b_panel) {
+                        *o += aik * f64::from(bkj);
+                    }
+                }
+                for (o, &v) in out_row[j..j + LANES].iter_mut().zip(&acc) {
+                    *o = store_f32(v);
+                }
+                j += LANES;
+            }
+            for jj in j..m {
+                let mut acc = 0.0f64;
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    acc += f64::from(aik) * f64::from(b[kk * m + jj]);
+                }
+                out_row[jj] = store_f32(acc);
+            }
+        }
+    }
+
+    /// Matrix product with `f64` accumulation and binary32 stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &MatrixF32) -> MatrixF32 {
+        self.matmul_parallel(rhs, 1)
+    }
+
+    /// [`MatrixF32::matmul`] with row chunks claimed from the same
+    /// work-stealing queue the f64 kernels shard over. Bit-identical at
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_parallel(&self, rhs: &MatrixF32, threads: usize) -> MatrixF32 {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let m = rhs.cols;
+        let mut out = MatrixF32 {
+            rows: self.rows,
+            cols: m,
+            data: vec![0.0f32; self.rows * m],
+        };
+        if threads <= 1 || self.rows < 64 {
+            self.rows_into(rhs, &mut out.data, 0);
+            return out;
+        }
+        steal_row_chunks(&mut out.data, self.rows, m, threads, |lo, chunk| {
+            self.rows_into(rhs, chunk, lo);
+        });
+        out
+    }
+}
+
+/// A CSR matrix with `f32` values — the sparse half of the f32 storage
+/// mode, sharing [`CsrMatrix`]'s structure arrays' layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrixF32 {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrixF32 {
+    /// Quantizes a `f64` CSR matrix to binary32 values (structure is
+    /// copied unchanged; entries quantized toward zero may become
+    /// exact zeros only if they were below binary32's subnormal range).
+    pub fn from_csr(m: &CsrMatrix) -> Self {
+        let (row_ptr, col_idx, values) = m.raw_parts();
+        CsrMatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr: row_ptr.to_vec(),
+            col_idx: col_idx.to_vec(),
+            values: values.iter().map(|&x| store_f32(x)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse × dense product with `f64` accumulators and binary32
+    /// stores, panel-blocked and work-stealing-sharded exactly like
+    /// [`CsrMatrix::matmul_dense_rhs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows()`.
+    pub fn matmul_dense_rhs(&self, rhs: &MatrixF32, threads: usize) -> MatrixF32 {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let m = rhs.cols;
+        let mut out = MatrixF32 {
+            rows: self.rows,
+            cols: m,
+            data: vec![0.0f32; self.rows * m],
+        };
+        let row_kernel = |cols: &[u32], vals: &[f32], out_row: &mut [f32]| {
+            let b = &rhs.data;
+            let mut j = 0;
+            while j + LANES <= m {
+                let mut acc = [0.0f64; LANES];
+                for (&k, &aik) in cols.iter().zip(vals) {
+                    let aik = f64::from(aik);
+                    let base = k as usize * m + j;
+                    let b_panel = &b[base..base + LANES];
+                    for (o, &bkj) in acc.iter_mut().zip(b_panel) {
+                        *o += aik * f64::from(bkj);
+                    }
+                }
+                for (o, &v) in out_row[j..j + LANES].iter_mut().zip(&acc) {
+                    *o = store_f32(v);
+                }
+                j += LANES;
+            }
+            for jj in j..m {
+                let mut acc = 0.0f64;
+                for (&k, &aik) in cols.iter().zip(vals) {
+                    acc += f64::from(aik) * f64::from(b[k as usize * m + jj]);
+                }
+                out_row[jj] = store_f32(acc);
+            }
+        };
+        let row = |i: usize| {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            (&self.col_idx[lo..hi], &self.values[lo..hi])
+        };
+        if threads <= 1 || self.rows < 64 {
+            for (i, out_row) in out.data.chunks_mut(m.max(1)).enumerate() {
+                let (cols, vals) = row(i);
+                row_kernel(cols, vals, out_row);
+            }
+            return out;
+        }
+        steal_row_chunks(&mut out.data, self.rows, m, threads, |lo, chunk| {
+            for (off, out_row) in chunk.chunks_mut(m.max(1)).enumerate() {
+                let (cols, vals) = row(lo + off);
+                row_kernel(cols, vals, out_row);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantized(n: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::from_fn(n, n, |i, j| {
+            (((i * 31 + j * 17 + seed as usize * 7) % 97) as f64 / 97.0).max(1e-9)
+        });
+        Rounding::F32.round_matrix_inplace(&mut m);
+        m
+    }
+
+    #[test]
+    fn f32_product_equals_quantized_f64_route_bitwise() {
+        for n in [1usize, 7, 8, 9, 64, 65, 130] {
+            let a = quantized(n, 1);
+            let b = quantized(n, 2);
+            let mut f64_route = a.matmul(&b);
+            Rounding::F32.round_matrix_inplace(&mut f64_route);
+            let f32_route = MatrixF32::from_matrix(&a).matmul(&MatrixF32::from_matrix(&b));
+            assert_eq!(f32_route.to_matrix(), f64_route, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn f32_parallel_product_is_thread_count_invariant() {
+        let n = 131;
+        let a = MatrixF32::from_matrix(&quantized(n, 3));
+        let seq = a.matmul(&a);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(a.matmul_parallel(&a, threads), seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sparse_f32_product_equals_quantized_f64_route_bitwise() {
+        for n in [5usize, 64, 90] {
+            let mut band = Matrix::from_fn(n, n, |i, j| {
+                if i.abs_diff(j) <= 2 {
+                    ((i * 13 + j * 5) % 89) as f64 / 89.0 + 1e-9
+                } else {
+                    0.0
+                }
+            });
+            Rounding::F32.round_matrix_inplace(&mut band);
+            let rhs = quantized(n, 4);
+            let csr = CsrMatrix::from_dense(&band);
+            for threads in [1usize, 4] {
+                let mut f64_route = csr.matmul_dense_rhs(&rhs, threads);
+                Rounding::F32.round_matrix_inplace(&mut f64_route);
+                let f32_route = CsrMatrixF32::from_csr(&csr)
+                    .matmul_dense_rhs(&MatrixF32::from_matrix(&rhs), threads);
+                assert_eq!(f32_route.to_matrix(), f64_route, "n = {n}, t = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_on_the_grid() {
+        let m = quantized(17, 9);
+        let f = MatrixF32::from_matrix(&m);
+        assert_eq!(f.to_matrix(), m);
+        assert_eq!((f.rows(), f.cols()), (17, 17));
+        let c = CsrMatrixF32::from_csr(&CsrMatrix::from_dense(&m));
+        assert_eq!(c.nnz(), 17 * 17);
+        assert_eq!(c.rows(), 17);
+    }
+}

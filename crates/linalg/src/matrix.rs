@@ -7,6 +7,7 @@
 //! distributes matrices one *row per machine* (§1.6 of the paper), and the
 //! simulator hands machine `i` a view of row `i`.
 
+use crate::kernel::{matmul_rows_into, matmul_rows_into_ref, steal_row_chunks};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -266,6 +267,30 @@ impl Matrix {
         );
     }
 
+    /// [`Matrix::matmul_into`] through the pre-panel reference kernel —
+    /// the tiled loop the register-blocked kernel replaced. Retained for
+    /// the bit-identity equivalence suites and as the `e22` bench's
+    /// "old f64" timing baseline; not used on any production path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into_ref(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
+        out.data.fill(0.0);
+        matmul_rows_into_ref(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            rhs.cols,
+            0,
+            self.rows,
+        );
+    }
+
     /// Squares the matrix into a caller-owned buffer: `out = self · self`.
     ///
     /// # Panics
@@ -306,8 +331,10 @@ impl Matrix {
 
     /// [`Matrix::matmul_parallel`] into a caller-owned buffer (the
     /// threaded twin of [`Matrix::matmul_into`]): `out` is zeroed and
-    /// overwritten, rows are sharded across `threads` scoped threads, and
-    /// the result is bit-identical at every thread count.
+    /// overwritten, row chunks are claimed by `threads` scoped workers
+    /// from a work-stealing queue, and the result is bit-identical at
+    /// every thread count (chunks are disjoint and each output row keeps
+    /// the sequential kernel's accumulation order).
     ///
     /// # Panics
     ///
@@ -317,12 +344,38 @@ impl Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
         assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        out.data.fill(0.0);
         if threads <= 1 || n < 64 {
-            out.data.fill(0.0);
             matmul_rows_into(&self.data, &rhs.data, &mut out.data, k, m, 0, n);
             return;
         }
+        let a = &self.data;
+        let b = &rhs.data;
+        steal_row_chunks(&mut out.data, n, m, threads, |lo, chunk| {
+            let hi = lo + chunk.len() / m.max(1);
+            matmul_rows_into(a, b, chunk, k, m, lo, hi);
+        });
+    }
+
+    /// [`Matrix::matmul_parallel_into`] with the fixed (pre-stealing)
+    /// row sharding: the rows are split into `threads` equal chunks,
+    /// one scoped thread each. Retained for the `e22` bench's
+    /// stealing-vs-fixed comparison and the shard-equivalence tests;
+    /// production paths always take the work-stealing queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_parallel_into_fixed(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "output shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
         out.data.fill(0.0);
+        if threads <= 1 || n < 64 {
+            matmul_rows_into(&self.data, &rhs.data, &mut out.data, k, m, 0, n);
+            return;
+        }
         let chunk = n.div_ceil(threads);
         let a = &self.data;
         let b = &rhs.data;
@@ -346,48 +399,6 @@ impl Matrix {
     pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
         for x in &mut self.data {
             *x = f(*x);
-        }
-    }
-}
-
-/// Inner-dimension tile: `KC` rows of `B` occupy `KC · m · 8` bytes
-/// (≈ 128 KiB at `m = 256`), small enough to stay L2-resident while the
-/// tile is swept once per output row.
-const KC: usize = 64;
-
-/// Computes rows `lo..hi` of `A·B` into `out` (which holds those rows
-/// only), accumulating in place (`out` must be pre-zeroed).
-///
-/// `A` is `? × k` row-major, `B` is `k × m` row-major. The kernel is
-/// cache-tiled over the inner dimension: the `k` loop is blocked in `KC`
-/// chunks so the touched rows of `B` stay hot across consecutive output
-/// rows. Tiling never reorders the per-entry accumulation — `out[i][j]`
-/// still sums `a[i][kk]·b[kk][j]` over strictly increasing `kk` (blocks
-/// in order, indices within a block in order), so the result is
-/// bit-identical to the untiled `i-k-j` loop.
-fn matmul_rows_into(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
-    k: usize,
-    m: usize,
-    lo: usize,
-    hi: usize,
-) {
-    for k0 in (0..k).step_by(KC.max(1)) {
-        let k1 = (k0 + KC).min(k);
-        for i in lo..hi {
-            let out_row = &mut out[(i - lo) * m..(i - lo + 1) * m];
-            let a_row = &a[i * k + k0..i * k + k1];
-            for (kk, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[(k0 + kk) * m..(k0 + kk + 1) * m];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bkj;
-                }
-            }
         }
     }
 }
@@ -565,14 +576,37 @@ mod tests {
 
     #[test]
     fn tiled_kernel_is_bit_identical_to_naive() {
-        // Sizes straddling the KC = 64 tile boundary, including awkward
-        // remainders; irrational-ish entries so any reassociation would
-        // change low-order bits.
-        for n in [1usize, 7, 63, 64, 65, 130, 200] {
+        // Sizes straddling the KC = 64 tile and LANES = 8 panel
+        // boundaries, including awkward remainders; irrational-ish
+        // entries so any reassociation would change low-order bits.
+        for n in [1usize, 7, 8, 9, 63, 64, 65, 130, 200] {
             let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 97) as f64 / 97.0 + 1e-9);
             let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 7) % 89) as f64 / 89.0);
             assert_eq!(a.matmul(&b), matmul_naive(&a, &b), "n = {n}");
         }
+    }
+
+    #[test]
+    fn panel_kernel_is_bit_identical_to_reference_kernel() {
+        // The register-blocked kernel vs the retained pre-panel kernel:
+        // `==` (not approx) across the same size sweep, plus a
+        // rectangular case exercising the remainder columns.
+        for n in [1usize, 7, 8, 9, 63, 64, 65, 130, 200] {
+            let a = Matrix::from_fn(n, n, |i, j| ((i * 29 + j * 23) % 101) as f64 / 101.0 + 1e-9);
+            let b = Matrix::from_fn(n, n, |i, j| ((i * 19 + j * 3) % 83) as f64 / 83.0);
+            let mut new = Matrix::zeros(n, n);
+            let mut old = Matrix::zeros(n, n);
+            a.matmul_into(&b, &mut new);
+            a.matmul_into_ref(&b, &mut old);
+            assert_eq!(new, old, "n = {n}");
+        }
+        let a = Matrix::from_fn(70, 130, |i, j| ((i * 7 + j) % 53) as f64 / 53.0);
+        let b = Matrix::from_fn(130, 77, |i, j| ((i + j * 11) % 41) as f64 / 41.0);
+        let mut new = Matrix::zeros(70, 77);
+        let mut old = Matrix::zeros(70, 77);
+        a.matmul_into(&b, &mut new);
+        a.matmul_into_ref(&b, &mut old);
+        assert_eq!(new, old);
     }
 
     #[test]
@@ -638,6 +672,21 @@ mod tests {
         let seq = a.matmul(&b);
         for threads in [2, 3, 8] {
             assert_eq!(a.matmul_parallel(&b, threads), seq);
+        }
+    }
+
+    #[test]
+    fn stealing_and_fixed_shards_agree_with_sequential() {
+        let a = Matrix::from_fn(131, 131, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0);
+        let b = Matrix::from_fn(131, 131, |i, j| ((i * 5 + j * 11) % 7) as f64 / 7.0);
+        let seq = a.matmul(&b);
+        let mut stolen = Matrix::zeros(131, 131);
+        let mut fixed = Matrix::zeros(131, 131);
+        for threads in [1usize, 2, 4, 8] {
+            a.matmul_parallel_into(&b, &mut stolen, threads);
+            a.matmul_parallel_into_fixed(&b, &mut fixed, threads);
+            assert_eq!(stolen, seq, "stealing, threads = {threads}");
+            assert_eq!(fixed, seq, "fixed, threads = {threads}");
         }
     }
 

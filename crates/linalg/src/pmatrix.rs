@@ -374,9 +374,21 @@ impl PMatrix {
     /// Truncates every entry toward zero (Lemma 7's `round(M)`), in
     /// place; sparse entries truncated to exactly zero are dropped.
     pub fn truncate_inplace(&mut self, fp: FixedPoint) {
+        self.round_inplace(crate::Rounding::Fixed(fp));
+    }
+
+    /// Applies a [`crate::Rounding`] rule to every entry in place —
+    /// the representation-adaptive `round(M)` of the power pipelines.
+    /// `Exact` is a no-op; sparse entries rounded to exactly zero are
+    /// dropped (binary32 has subnormals down to `2⁻¹⁴⁹`, so `F32`
+    /// only zeroes entries that were already vanishing).
+    pub fn round_inplace(&mut self, rounding: crate::Rounding) {
+        if rounding.is_exact() {
+            return;
+        }
         match self {
-            PMatrix::Dense(m) => fp.truncate_matrix_inplace(m),
-            PMatrix::Sparse(m) => m.map_values_retain(|x| fp.truncate(x)),
+            PMatrix::Dense(m) => rounding.round_matrix_inplace(m),
+            PMatrix::Sparse(m) => m.map_values_retain(|x| rounding.apply(x)),
         }
     }
 

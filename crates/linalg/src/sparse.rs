@@ -257,6 +257,13 @@ impl CsrMatrix {
         }
     }
 
+    /// The raw CSR arrays `(row_ptr, col_idx, values)` — read-only
+    /// structure access for alternate-storage mirrors (e.g.
+    /// [`crate::CsrMatrixF32`]).
+    pub fn raw_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
     /// Sum of row `i`'s entries, in increasing column order.
     ///
     /// Bit-identical to summing the dense row left to right: the skipped
@@ -268,11 +275,17 @@ impl CsrMatrix {
 
     /// Applies `f` to every stored value, then drops entries that became
     /// exactly zero (e.g. after fixed-point truncation).
+    ///
+    /// The zero check rides the mapping pass itself, so the common case
+    /// — nothing mapped to zero — costs one flag test per entry and
+    /// skips the row-offset rebuild entirely.
     pub fn map_values_retain(&mut self, mut f: impl FnMut(f64) -> f64) {
+        let mut dropped = false;
         for v in &mut self.values {
             *v = f(*v);
+            dropped |= *v == 0.0;
         }
-        if self.values.contains(&0.0) {
+        if dropped {
             let mut b = CsrMatrix::builder(self.rows, self.cols);
             for i in 0..self.rows {
                 let (cols, vals) = self.row(i);
@@ -330,8 +343,45 @@ impl CsrMatrix {
         out.build()
     }
 
-    /// Sparse × dense product into a dense result, row-sharded over
-    /// `threads` scoped threads (bit-identical at every width).
+    /// One output row of the sparse × dense product, register-blocked
+    /// over [`crate::kernel::LANES`]-wide panels so the inner loop sweeps
+    /// contiguous lanes of `rhs` and `out` with the partial sums in a
+    /// fixed-width accumulator. Per output entry, products are added in
+    /// stored-entry order (strictly increasing inner index) — the same
+    /// order as the scalar scatter loop this replaces, so results stay
+    /// bit-identical to the dense route.
+    fn dense_rhs_row(cols: &[u32], vals: &[f64], b: &[f64], out_row: &mut [f64]) {
+        use crate::kernel::LANES;
+        let m = out_row.len();
+        let mut j = 0;
+        while j + LANES <= m {
+            let mut acc = [0.0f64; LANES];
+            acc.copy_from_slice(&out_row[j..j + LANES]);
+            for (&k, &aik) in cols.iter().zip(vals) {
+                let base = k as usize * m + j;
+                let b_panel = &b[base..base + LANES];
+                for (o, &bkj) in acc.iter_mut().zip(b_panel) {
+                    *o += aik * bkj;
+                }
+            }
+            out_row[j..j + LANES].copy_from_slice(&acc);
+            j += LANES;
+        }
+        for jj in j..m {
+            let mut acc = out_row[jj];
+            for (&k, &aik) in cols.iter().zip(vals) {
+                acc += aik * b[k as usize * m + jj];
+            }
+            out_row[jj] = acc;
+        }
+    }
+
+    /// Sparse × dense product into a dense result. Rows are computed by
+    /// the panel kernel ([`CsrMatrix::dense_rhs_row`]); above the size
+    /// threshold, row chunks are claimed by `threads` scoped workers
+    /// from a work-stealing queue, so a skewed row (one hub vertex with
+    /// huge degree) no longer idles the workers whose fixed shard was
+    /// cheap. Bit-identical at every width and claim order.
     ///
     /// # Panics
     ///
@@ -340,17 +390,40 @@ impl CsrMatrix {
         assert_eq!(self.cols, rhs.rows(), "inner dimension mismatch");
         let m = rhs.cols();
         let mut out = Matrix::zeros(self.rows, m);
-        let kernel = |lhs: &CsrMatrix, out_row: &mut [f64], i: usize| {
-            let (a_cols, a_vals) = lhs.row(i);
-            for (&k, &aik) in a_cols.iter().zip(a_vals) {
-                for (o, &bkj) in out_row.iter_mut().zip(rhs.row(k as usize)) {
-                    *o += aik * bkj;
-                }
-            }
-        };
         if threads <= 1 || self.rows < 64 {
             for i in 0..self.rows {
-                kernel(self, out.row_mut(i), i);
+                let (a_cols, a_vals) = self.row(i);
+                CsrMatrix::dense_rhs_row(a_cols, a_vals, rhs.as_slice(), out.row_mut(i));
+            }
+            return out;
+        }
+        let rows = self.rows;
+        crate::kernel::steal_row_chunks(out.as_mut_slice(), rows, m, threads, |lo, chunk| {
+            for (off, out_row) in chunk.chunks_mut(m.max(1)).enumerate() {
+                let (a_cols, a_vals) = self.row(lo + off);
+                CsrMatrix::dense_rhs_row(a_cols, a_vals, rhs.as_slice(), out_row);
+            }
+        });
+        out
+    }
+
+    /// [`CsrMatrix::matmul_dense_rhs`] with the fixed (pre-stealing) row
+    /// sharding: rows split into `threads` equal chunks, one scoped
+    /// thread each. Retained for the `e22` bench's stealing-vs-fixed
+    /// comparison on skewed-degree inputs and the shard-equivalence
+    /// tests; production paths always take the work-stealing queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_dense_rhs_fixed(&self, rhs: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "inner dimension mismatch");
+        let m = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, m);
+        if threads <= 1 || self.rows < 64 {
+            for i in 0..self.rows {
+                let (a_cols, a_vals) = self.row(i);
+                CsrMatrix::dense_rhs_row(a_cols, a_vals, rhs.as_slice(), out.row_mut(i));
             }
             return out;
         }
@@ -361,7 +434,8 @@ impl CsrMatrix {
                 let lo = t * chunk;
                 scope.spawn(move || {
                     for (off, out_row) in out_chunk.chunks_mut(m.max(1)).enumerate() {
-                        kernel(self, out_row, lo + off);
+                        let (a_cols, a_vals) = self.row(lo + off);
+                        CsrMatrix::dense_rhs_row(a_cols, a_vals, rhs.as_slice(), out_row);
                     }
                 });
             }
@@ -369,8 +443,10 @@ impl CsrMatrix {
         out
     }
 
-    /// Dense × sparse product into a dense result, row-sharded over
-    /// `threads` scoped threads (bit-identical at every width).
+    /// Dense × sparse product into a dense result: the scatter kernel
+    /// (irregular output columns — no contiguous panels to block over),
+    /// with row chunks claimed from the work-stealing queue above the
+    /// size threshold. Bit-identical at every width and claim order.
     ///
     /// # Panics
     ///
@@ -396,16 +472,10 @@ impl CsrMatrix {
             }
             return out;
         }
-        let chunk = lhs.rows().div_ceil(threads).max(1);
-        let data = out.as_mut_slice();
-        std::thread::scope(|scope| {
-            for (t, out_chunk) in data.chunks_mut(chunk * m.max(1)).enumerate() {
-                let lo = t * chunk;
-                scope.spawn(move || {
-                    for (off, out_row) in out_chunk.chunks_mut(m.max(1)).enumerate() {
-                        kernel(out_row, lo + off);
-                    }
-                });
+        let rows = lhs.rows();
+        crate::kernel::steal_row_chunks(out.as_mut_slice(), rows, m, threads, |lo, chunk| {
+            for (off, out_row) in chunk.chunks_mut(m.max(1)).enumerate() {
+                kernel(out_row, lo + off);
             }
         });
         out

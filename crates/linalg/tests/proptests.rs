@@ -2,10 +2,41 @@
 
 use cct_linalg::{
     det, det_exact, is_row_stochastic, is_row_substochastic, normalize_rows, permanent,
-    permanent_naive, powers_of_two, powers_rounded, subtractive_error, total_variation, FixedPoint,
-    Lu, Matrix,
+    permanent_naive, powers_of_two, powers_rounded, subtractive_error, total_variation, CsrMatrix,
+    FixedPoint, Lu, Matrix,
 };
 use proptest::prelude::*;
+
+/// Cheap deterministic entry generator for the work-stealing tests: the
+/// parallel path only engages at ≥ 64 rows, and a proptest `vec`
+/// strategy of 64² floats shrinks painfully — hashing a proptest-drawn
+/// seed gives the same case diversity at constant generation cost.
+fn hashed_entry(i: usize, j: usize, seed: u64) -> f64 {
+    let mut h = (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((j as u64) << 32)
+        .wrapping_add(seed);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h % 1_000_000) as f64 / 1_000_000.0
+}
+
+/// A CSR matrix whose row `i` keeps column `j` when the hash says so
+/// (density ~1/4), with a guaranteed diagonal so no row is empty.
+fn hashed_csr(n: usize, seed: u64) -> CsrMatrix {
+    let mut builder = CsrMatrix::builder(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let keep = hashed_entry(i, j, seed ^ 0xc5) < 0.25 || i == j;
+            if keep {
+                builder.push(j, hashed_entry(i, j, seed) + 0.001);
+            }
+        }
+        builder.finish_row();
+    }
+    builder.build()
+}
 
 /// Strategy: a square matrix with entries in [0, 1).
 fn square_matrix(max_n: usize) -> impl Strategy<Value = Matrix> {
@@ -136,5 +167,91 @@ proptest! {
         let t = fp.truncate(x);
         prop_assert!(t <= x);
         prop_assert!(x - t < fp.delta());
+    }
+
+    #[test]
+    fn work_stealing_dense_matmul_matches_sequential(
+        n in 64usize..=80,
+        m in 1usize..=48,
+        seed in any::<u64>(),
+    ) {
+        // The determinism contract: row chunks claimed in any order by
+        // any number of workers write the same bits as the sequential
+        // kernel, because each output row is computed whole by whoever
+        // claims it.
+        let a = Matrix::from_fn(n, n, |i, j| hashed_entry(i, j, seed));
+        let b = Matrix::from_fn(n, m, |i, j| hashed_entry(i, j, seed ^ 0x9d));
+        let sequential = a.matmul_parallel(&b, 1);
+        for workers in [2usize, 4, 8] {
+            let stolen = a.matmul_parallel(&b, workers);
+            prop_assert_eq!(
+                sequential.as_slice(), stolen.as_slice(),
+                "dense stealing diverged at {} workers", workers
+            );
+            let mut fixed = Matrix::zeros(n, m);
+            a.matmul_parallel_into_fixed(&b, &mut fixed, workers);
+            prop_assert_eq!(
+                sequential.as_slice(), fixed.as_slice(),
+                "fixed sharding diverged at {} workers", workers
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_csr_matmul_matches_sequential(
+        n in 64usize..=80,
+        seed in any::<u64>(),
+    ) {
+        let a = hashed_csr(n, seed);
+        let rhs = Matrix::from_fn(n, 32, |i, j| hashed_entry(i, j, seed ^ 0x3f));
+        let sequential = a.matmul_dense_rhs(&rhs, 1);
+        for workers in [2usize, 4, 8] {
+            let stolen = a.matmul_dense_rhs(&rhs, workers);
+            prop_assert_eq!(
+                sequential.as_slice(), stolen.as_slice(),
+                "CSR stealing diverged at {} workers", workers
+            );
+            let fixed = a.matmul_dense_rhs_fixed(&rhs, workers);
+            prop_assert_eq!(
+                sequential.as_slice(), fixed.as_slice(),
+                "CSR fixed sharding diverged at {} workers", workers
+            );
+        }
+    }
+
+    #[test]
+    fn work_stealing_survives_pathological_row_skew(
+        n in 64usize..=80,
+        dense_row in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        // One row carries almost all the work (a hub vertex): fixed
+        // shards strand a worker with it, stealing rebalances — either
+        // way the product must stay bit-identical to sequential.
+        let dense_row = dense_row % n;
+        let mut builder = CsrMatrix::builder(n, n);
+        for i in 0..n {
+            if i == dense_row {
+                for j in 0..n {
+                    builder.push(j, hashed_entry(i, j, seed) + 0.001);
+                }
+            } else {
+                builder.push(i, hashed_entry(i, i, seed) + 0.001);
+            }
+            builder.finish_row();
+        }
+        let a = builder.build();
+        let rhs = Matrix::from_fn(n, 24, |i, j| hashed_entry(i, j, seed ^ 0x77));
+        let sequential = a.matmul_dense_rhs(&rhs, 1);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(
+                sequential.as_slice(), a.matmul_dense_rhs(&rhs, workers).as_slice(),
+                "skewed stealing diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                sequential.as_slice(), a.matmul_dense_rhs_fixed(&rhs, workers).as_slice(),
+                "skewed fixed sharding diverged at {} workers", workers
+            );
+        }
     }
 }

@@ -11,7 +11,8 @@
 //! checksum u64      FNV-1a over every preceding byte
 //! ```
 //!
-//! Each entry carries its [`CacheKey`] (algorithm, backend, spec), an
+//! Each entry carries its [`CacheKey`] (algorithm, backend, precision,
+//! spec), an
 //! FNV fingerprint of the serving [`cct_core::SamplerConfig`], the
 //! transition matrix in its resolved representation, and — when the
 //! configuration builds a phase-1 doubling table — the table's exact
@@ -35,7 +36,7 @@
 use crate::cache::{CacheKey, PreparedCache};
 use crate::request::Algorithm;
 use crate::service::{build_spec_graph, ServeOptions};
-use cct_core::{Backend, PreparedSampler, SamplerConfig};
+use cct_core::{Backend, Precision, PreparedSampler, SamplerConfig};
 use cct_linalg::{CsrMatrix, Matrix, PMatrix};
 use cct_sim::{CostCategory, RoundLedger};
 use std::io::Write;
@@ -45,8 +46,10 @@ use std::sync::Arc;
 /// The 8-byte magic prefix of a snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CCTSNAP1";
 
-/// The format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The format version this build writes and accepts. Version 2 added
+/// the precision byte to each entry's key; version-1 files are rejected
+/// whole and rebuild cold.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// What a restore attempt accomplished: `restored` entries were
 /// verified and installed, `skipped` entries failed verification
@@ -111,6 +114,24 @@ fn backend_from_tag(tag: u8) -> Result<Backend, String> {
     }
 }
 
+/// Only the two wire precisions are snapshottable; `Fixed` keys never
+/// exist (requests cannot spell them) and are filtered out on write.
+fn precision_tag(precision: Precision) -> u8 {
+    match precision {
+        Precision::Float64 => 0,
+        Precision::F32 => 1,
+        Precision::Fixed(_) => 2,
+    }
+}
+
+fn precision_from_tag(tag: u8) -> Result<Precision, String> {
+    match tag {
+        0 => Ok(Precision::Float64),
+        1 => Ok(Precision::F32),
+        other => Err(format!("unknown precision tag {other}")),
+    }
+}
+
 fn algorithm_tag(algorithm: Algorithm) -> u8 {
     Algorithm::ALL
         .iter()
@@ -162,6 +183,7 @@ fn encode_ledger(buf: &mut Vec<u8>, ledger: &RoundLedger) {
 fn encode_entry(buf: &mut Vec<u8>, key: &CacheKey, config_fp: u64, prepared: &PreparedSampler) {
     buf.push(algorithm_tag(key.algorithm));
     buf.push(backend_tag(key.backend));
+    buf.push(precision_tag(key.precision));
     put_u32(buf, key.graph_spec.len() as u32);
     buf.extend_from_slice(key.graph_spec.as_bytes());
     put_u64(buf, config_fp);
@@ -288,6 +310,7 @@ struct DecodedEntry {
 fn decode_entry(r: &mut Reader) -> Result<DecodedEntry, String> {
     let algorithm = algorithm_from_tag(r.u8()?)?;
     let backend = backend_from_tag(r.u8()?)?;
+    let precision = precision_from_tag(r.u8()?)?;
     let spec_len = r.u32()? as usize;
     if spec_len > crate::request::MAX_SPEC_LEN {
         return Err(format!("spec length {spec_len} exceeds the wire limit"));
@@ -321,6 +344,7 @@ fn decode_entry(r: &mut Reader) -> Result<DecodedEntry, String> {
         key: CacheKey {
             algorithm,
             backend,
+            precision,
             graph_spec,
         },
         config_fp,
@@ -350,14 +374,15 @@ pub fn write_snapshot(
     put_u32(&mut buf, SNAPSHOT_VERSION);
     let writable: Vec<_> = entries
         .iter()
-        .filter(|(k, _)| k.algorithm != Algorithm::Mst)
+        .filter(|(k, _)| k.algorithm != Algorithm::Mst && precision_tag(k.precision) < 2)
         .collect();
     put_u32(&mut buf, writable.len() as u32);
     for (key, prepared) in &writable {
         let config = options
             .config_for(key.algorithm)
             .clone()
-            .backend(key.backend);
+            .backend(key.backend)
+            .precision(key.precision);
         encode_entry(&mut buf, key, config_fingerprint(&config), prepared);
     }
     let checksum = fnv64(&buf);
@@ -437,7 +462,8 @@ fn restore_entry(entry: &DecodedEntry, options: &ServeOptions) -> Result<Prepare
     let config = options
         .config_for(entry.key.algorithm)
         .clone()
-        .backend(entry.key.backend);
+        .backend(entry.key.backend)
+        .precision(entry.key.precision);
     if config_fingerprint(&config) != entry.config_fp {
         return Err("serving config changed since the snapshot was written".into());
     }
@@ -482,6 +508,7 @@ mod tests {
         CacheKey {
             algorithm: Algorithm::Thm1,
             backend: Backend::Auto,
+            precision: Precision::Float64,
             graph_spec: spec.into(),
         }
     }

@@ -20,7 +20,7 @@
 //! order (tested), so swapping engines changes only the ledger.
 
 use crate::{Clique, CostCategory, Envelope, MachineProgram, ParallelClique};
-use cct_linalg::{CsrMatrix, FixedPoint, Matrix, PMatrix};
+use cct_linalg::{CsrMatrix, Matrix, PMatrix, Rounding};
 
 /// Messages of the semiring machine program.
 ///
@@ -606,9 +606,9 @@ pub fn distributed_powers(
     engine: &dyn MatMulEngine,
     m: &Matrix,
     levels: usize,
-    fp: Option<FixedPoint>,
+    rounding: Rounding,
 ) -> Vec<Matrix> {
-    distributed_powers_impl(clique, m, levels, fp, |clique, last| {
+    distributed_powers_impl(clique, m, levels, rounding, |clique, last| {
         engine.multiply(clique, last, last)
     })
 }
@@ -628,9 +628,9 @@ pub fn distributed_powers_p(
     engine: &dyn MatMulEngine,
     m: &PMatrix,
     levels: usize,
-    fp: Option<FixedPoint>,
+    rounding: Rounding,
 ) -> Vec<PMatrix> {
-    distributed_powers_impl(clique, m, levels, fp, |clique, last| {
+    distributed_powers_impl(clique, m, levels, rounding, |clique, last| {
         engine.multiply_p(clique, last, last)
     })
 }
@@ -664,14 +664,14 @@ pub fn distributed_powers_p(
 pub struct DeferredPowers {
     levels: Vec<std::sync::OnceLock<PMatrix>>,
     threads: usize,
-    fp: Option<FixedPoint>,
+    rounding: Rounding,
 }
 
 impl DeferredPowers {
     /// Wraps an already materialized table (the eager fallback; also
     /// useful for callers that built levels by other means and want the
     /// uniform lazy-table interface).
-    pub fn from_materialized(table: Vec<PMatrix>, threads: usize, fp: Option<FixedPoint>) -> Self {
+    pub fn from_materialized(table: Vec<PMatrix>, threads: usize, rounding: Rounding) -> Self {
         let levels = table
             .into_iter()
             .map(|m| {
@@ -683,13 +683,13 @@ impl DeferredPowers {
         DeferredPowers {
             levels,
             threads,
-            fp,
+            rounding,
         }
     }
 
     /// Creates a table whose level 0 is `first` and whose higher levels
     /// materialize on first access.
-    fn lazy(first: PMatrix, levels: usize, threads: usize, fp: Option<FixedPoint>) -> Self {
+    fn lazy(first: PMatrix, levels: usize, threads: usize, rounding: Rounding) -> Self {
         let mut slots = Vec::with_capacity(levels);
         let slot = std::sync::OnceLock::new();
         slot.set(first).expect("fresh slot");
@@ -700,7 +700,7 @@ impl DeferredPowers {
         DeferredPowers {
             levels: slots,
             threads,
-            fp,
+            rounding,
         }
     }
 
@@ -727,9 +727,7 @@ impl DeferredPowers {
             if self.levels[i].get().is_none() {
                 let prev = self.levels[i - 1].get().expect("lower level materialized");
                 let mut sq = prev.matmul(prev, self.threads);
-                if let Some(fp) = self.fp {
-                    sq.truncate_inplace(fp);
-                }
+                sq.round_inplace(self.rounding);
                 // A concurrent materializer may have won the race; the
                 // value is identical either way (pure function of the
                 // previous level), so the losing square is dropped.
@@ -835,7 +833,7 @@ pub fn distributed_powers_deferred(
     engine: &dyn MatMulEngine,
     m: &PMatrix,
     levels: usize,
-    fp: Option<FixedPoint>,
+    rounding: Rounding,
     threads: usize,
 ) -> DeferredPowers {
     let n = clique.n();
@@ -845,13 +843,13 @@ pub fn distributed_powers_deferred(
     let Some((rounds, words)) = engine.analytic_multiply_charges(n) else {
         // Measured-cost engine: the charges only exist if the protocol
         // actually runs, so materialize eagerly.
-        let table = distributed_powers_p(clique, engine, m, levels, fp);
-        return DeferredPowers::from_materialized(table, threads, fp);
+        let table = distributed_powers_p(clique, engine, m, levels, rounding);
+        return DeferredPowers::from_materialized(table, threads, rounding);
     };
     // Charge everything the eager route would charge, in one place:
     // levels−1 squarings plus the per-level column redistribution of
     // Algorithm 1 step 3. Per-category totals equal the eager route's.
-    let wpe = fp.map_or(1, |fp| fp.words_per_entry(n)) as u64;
+    let wpe = rounding.words_per_entry(n) as u64;
     for _ in 1..levels {
         clique.ledger_mut().charge(CostCategory::MatMul, rounds);
         clique.ledger_mut().add_words(CostCategory::MatMul, words);
@@ -863,24 +861,22 @@ pub fn distributed_powers_deferred(
             .add_words(CostCategory::MatMul, (n * n) as u64 * wpe);
     }
     let mut first = m.clone();
-    if let Some(fp) = fp {
-        first.truncate_inplace(fp);
-    }
-    DeferredPowers::lazy(first, levels, threads, fp)
+    first.round_inplace(rounding);
+    DeferredPowers::lazy(first, levels, threads, rounding)
 }
 
 /// The shared Algorithm-1 skeleton behind both power-table builders.
 trait PowerLevel: Clone {
     fn shape(&self) -> (usize, usize);
-    fn truncate(&mut self, fp: FixedPoint);
+    fn round(&mut self, rounding: Rounding);
 }
 
 impl PowerLevel for Matrix {
     fn shape(&self) -> (usize, usize) {
         Matrix::shape(self)
     }
-    fn truncate(&mut self, fp: FixedPoint) {
-        fp.truncate_matrix_inplace(self);
+    fn round(&mut self, rounding: Rounding) {
+        rounding.round_matrix_inplace(self);
     }
 }
 
@@ -888,8 +884,8 @@ impl PowerLevel for PMatrix {
     fn shape(&self) -> (usize, usize) {
         PMatrix::shape(self)
     }
-    fn truncate(&mut self, fp: FixedPoint) {
-        self.truncate_inplace(fp);
+    fn round(&mut self, rounding: Rounding) {
+        self.round_inplace(rounding);
     }
 }
 
@@ -897,26 +893,22 @@ fn distributed_powers_impl<M: PowerLevel>(
     clique: &mut Clique,
     m: &M,
     levels: usize,
-    fp: Option<FixedPoint>,
+    rounding: Rounding,
     mut square: impl FnMut(&mut Clique, &M) -> M,
 ) -> Vec<M> {
     let n = clique.n();
     assert_eq!(m.shape(), (n, n), "matrix must match clique size");
     assert!(levels > 0, "need at least one level");
-    let wpe = fp.map_or(1, |fp| fp.words_per_entry(n)) as u64;
+    let wpe = rounding.words_per_entry(n) as u64;
     let mut table = Vec::with_capacity(levels);
     let mut first = m.clone();
-    if let Some(fp) = fp {
-        first.truncate(fp);
-    }
+    first.round(rounding);
     table.push(first);
     for _ in 1..levels {
         let last = table.last().expect("non-empty");
-        // Truncate the engine's product in place: no clone-per-level.
+        // Round the engine's product in place: no clone-per-level.
         let mut sq = square(clique, last);
-        if let Some(fp) = fp {
-            sq.truncate(fp);
-        }
+        sq.round(rounding);
         table.push(sq);
     }
     // Step 3 of Algorithm 1: column redistribution of every power.
@@ -932,7 +924,7 @@ fn distributed_powers_impl<M: PowerLevel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cct_linalg::{is_row_stochastic, normalize_rows, powers_of_two};
+    use cct_linalg::{is_row_stochastic, normalize_rows, powers_of_two, FixedPoint};
     use rand::{Rng, SeedableRng};
 
     fn random_stochastic(n: usize, seed: u64) -> Matrix {
@@ -1032,7 +1024,13 @@ mod tests {
         let n = 16;
         let p = random_stochastic(n, 8);
         let mut clique = Clique::new(n);
-        let table = distributed_powers(&mut clique, &UnitCostEngine::default(), &p, 5, None);
+        let table = distributed_powers(
+            &mut clique,
+            &UnitCostEngine::default(),
+            &p,
+            5,
+            Rounding::Exact,
+        );
         let expect = powers_of_two(&p, 5, 1);
         for (a, b) in table.iter().zip(&expect) {
             assert!(a.max_abs_diff(b) < 1e-12);
@@ -1048,7 +1046,13 @@ mod tests {
         let p = random_stochastic(n, 9);
         let fp = FixedPoint::new(24);
         let mut clique = Clique::new(n);
-        let table = distributed_powers(&mut clique, &UnitCostEngine::default(), &p, 4, Some(fp));
+        let table = distributed_powers(
+            &mut clique,
+            &UnitCostEngine::default(),
+            &p,
+            4,
+            Rounding::Fixed(fp),
+        );
         for m in &table {
             assert!(cct_linalg::is_row_substochastic(m, 1e-12));
         }
@@ -1107,8 +1111,13 @@ mod tests {
         let n = 16;
         let p = random_stochastic(n, 8);
         let mut dense_clique = Clique::new(n);
-        let dense_table =
-            distributed_powers(&mut dense_clique, &UnitCostEngine::default(), &p, 5, None);
+        let dense_table = distributed_powers(
+            &mut dense_clique,
+            &UnitCostEngine::default(),
+            &p,
+            5,
+            Rounding::Exact,
+        );
         for (repr, pm) in [
             (cct_linalg::Repr::Dense, PMatrix::Dense(p.clone())),
             (
@@ -1117,7 +1126,13 @@ mod tests {
             ),
         ] {
             let mut clique = Clique::new(n);
-            let table = distributed_powers_p(&mut clique, &UnitCostEngine::default(), &pm, 5, None);
+            let table = distributed_powers_p(
+                &mut clique,
+                &UnitCostEngine::default(),
+                &pm,
+                5,
+                Rounding::Exact,
+            );
             assert_eq!(table.len(), dense_table.len());
             for (a, b) in table.iter().zip(&dense_table) {
                 assert_eq!(&a.to_dense(), b, "{repr:?}");
@@ -1139,7 +1154,7 @@ mod tests {
             &UnitCostEngine::default(),
             &PMatrix::Sparse(CsrMatrix::from_dense(&cyc)),
             4,
-            None,
+            Rounding::Exact,
         );
         assert!(table[0].is_sparse() && table[1].is_sparse());
     }
@@ -1165,13 +1180,24 @@ mod tests {
             Box::new(UnitCostEngine { threads: 1 }),
             Box::new(FastOracleEngine::new(ALPHA, 2, 1)),
         ];
-        for fp in [None, Some(FixedPoint::new(24))] {
+        for rounding in [
+            Rounding::Exact,
+            Rounding::Fixed(FixedPoint::new(24)),
+            Rounding::F32,
+        ] {
             for engine in &engines {
                 let mut eager_clique = Clique::new(n);
-                let eager = distributed_powers_p(&mut eager_clique, engine.as_ref(), &pm, 6, fp);
+                let eager =
+                    distributed_powers_p(&mut eager_clique, engine.as_ref(), &pm, 6, rounding);
                 let mut lazy_clique = Clique::new(n);
-                let lazy =
-                    distributed_powers_deferred(&mut lazy_clique, engine.as_ref(), &pm, 6, fp, 1);
+                let lazy = distributed_powers_deferred(
+                    &mut lazy_clique,
+                    engine.as_ref(),
+                    &pm,
+                    6,
+                    rounding,
+                    1,
+                );
                 // The full cost lands at construction, before any level
                 // beyond 0 exists.
                 assert_eq!(
@@ -1209,9 +1235,10 @@ mod tests {
         let engine = SemiringEngine::new(1);
         assert!(engine.analytic_multiply_charges(n).is_none());
         let mut eager_clique = Clique::new(n);
-        let eager = distributed_powers_p(&mut eager_clique, &engine, &pm, 4, None);
+        let eager = distributed_powers_p(&mut eager_clique, &engine, &pm, 4, Rounding::Exact);
         let mut lazy_clique = Clique::new(n);
-        let lazy = distributed_powers_deferred(&mut lazy_clique, &engine, &pm, 4, None, 1);
+        let lazy =
+            distributed_powers_deferred(&mut lazy_clique, &engine, &pm, 4, Rounding::Exact, 1);
         assert_eq!(lazy.materialized_levels(), 4);
         assert_eq!(lazy_clique.ledger(), eager_clique.ledger());
         for (k, want) in eager.iter().enumerate() {
